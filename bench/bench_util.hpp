@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper: it prints
+// the figure id, the paper's qualitative expectation, the scale-down used
+// (our substrate is an emulated cluster on one host, so absolute numbers
+// differ), and then the same series the paper plots.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace concord::bench {
+
+inline void banner(const char* figure, const char* paper_claim, const char* scale_note) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("  paper: %s\n", paper_claim);
+  std::printf("  scale: %s\n", scale_note);
+  std::printf("==============================================================================\n");
+}
+
+/// Wall-clock nanoseconds of fn().
+template <typename Fn>
+std::int64_t wall_ns(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+inline double to_ms(sim::Time t) { return static_cast<double>(t) / 1e6; }
+inline double to_us(sim::Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Deterministic synthetic content hash (for preloading stores without
+/// hashing real memory).
+inline ContentHash synth_hash(std::uint64_t i) {
+  std::uint64_t s = i;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  return ContentHash{a, b};
+}
+
+}  // namespace concord::bench

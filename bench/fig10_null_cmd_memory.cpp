@@ -1,0 +1,63 @@
+// Figure 10: null service command execution time on a fixed number of SEs
+// and nodes as the memory size per process grows — interactive vs batch.
+//
+// Paper: execution time is linear in the total memory of the SEs; batch
+// mode is modestly cheaper than interactive (the plan executes as one tight
+// pass instead of per-callback work).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "services/null_service.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+using namespace concord;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 8;
+
+double run(std::size_t blocks_per_se, svc::Mode mode) {
+  core::ClusterParams p;
+  p.num_nodes = kNodes;
+  p.max_entities = kNodes + 1;
+  p.seed = 60;
+  auto cluster = std::make_unique<core::Cluster>(p);
+  std::vector<EntityId> ses;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    mem::MemoryEntity& e = cluster->create_entity(node_id(n), EntityKind::kProcess,
+                                                  blocks_per_se, kDefaultBlockSize);
+    workload::fill(e, workload::defaults_for(workload::Kind::kMoldy, 2));
+    ses.push_back(e.id());
+  }
+  (void)cluster->scan_all();
+
+  services::NullService null;
+  svc::CommandEngine engine(*cluster);
+  svc::CommandSpec spec;
+  spec.service_entities = ses;
+  spec.mode = mode;
+  const svc::CommandStats stats = engine.execute(null, spec);
+  return ok(stats.status) ? bench::to_ms(stats.latency()) : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 10 — null service command time vs memory per process (8 SEs, 8 nodes)",
+      "execution time grows linearly with the total SE memory; interactive and batch "
+      "modes track each other, batch slightly cheaper",
+      "per-SE memory 256 KB - 16 MB of 4 KB pages (paper: 256 MB - 8 GB)");
+
+  (void)run(64, svc::Mode::kInteractive);  // warmup: exclude cold-start noise
+
+  std::printf("%14s %10s %18s %14s\n", "KB/process", "blocks", "interactive ms", "batch ms");
+  for (const std::size_t blocks : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const double inter = run(blocks, svc::Mode::kInteractive);
+    const double batch = run(blocks, svc::Mode::kBatch);
+    std::printf("%14zu %10zu %18.2f %14.2f\n", blocks * kDefaultBlockSize / 1024, blocks,
+                inter, batch);
+  }
+  return 0;
+}

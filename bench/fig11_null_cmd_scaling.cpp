@@ -1,0 +1,82 @@
+// Figure 11 (+ §5.4 traffic): null service command execution time for an
+// increasing number of SEs and nodes, holding per-SE memory constant.
+//
+// Paper: in the expected regime (more SEs -> more nodes), execution time
+// stays roughly constant and the average traffic volume sourced+sunk per
+// node is constant (~15 MB for their 1 GB/process runs).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "services/null_service.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+using namespace concord;
+
+namespace {
+
+constexpr std::size_t kBlocksPerSe = 1024;  // 4 MB/process (paper: 1 GB)
+
+struct Row {
+  std::uint32_t nodes;
+  double interactive_ms = -1;
+  double batch_ms = -1;
+  double traffic_mb_per_node = 0;
+};
+
+Row run(std::uint32_t nodes) {
+  Row row;
+  row.nodes = nodes;
+  for (const svc::Mode mode : {svc::Mode::kInteractive, svc::Mode::kBatch}) {
+    core::ClusterParams p;
+    p.num_nodes = nodes;
+    p.max_entities = nodes + 1;
+    p.seed = 70;
+    auto cluster = std::make_unique<core::Cluster>(p);
+    std::vector<EntityId> ses;
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      mem::MemoryEntity& e = cluster->create_entity(node_id(n), EntityKind::kProcess,
+                                                    kBlocksPerSe, kDefaultBlockSize);
+      workload::fill(e, workload::defaults_for(workload::Kind::kMoldy, 3));
+      ses.push_back(e.id());
+    }
+    (void)cluster->scan_all();
+    cluster->fabric().reset_traffic();  // isolate command traffic from scan traffic
+
+    services::NullService null;
+    svc::CommandEngine engine(*cluster);
+    svc::CommandSpec spec;
+    spec.service_entities = ses;
+    spec.mode = mode;
+    const svc::CommandStats stats = engine.execute(null, spec);
+    const double ms = ok(stats.status) ? bench::to_ms(stats.latency()) : -1.0;
+    if (mode == svc::Mode::kInteractive) {
+      row.interactive_ms = ms;
+      const net::NodeTraffic t = cluster->fabric().total_traffic();
+      row.traffic_mb_per_node =
+          static_cast<double>(t.bytes_sent + t.bytes_received) / nodes / 1e6;
+    } else {
+      row.batch_ms = ms;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 11 + §5.4 — null command time and per-node traffic vs #SEs = #nodes",
+      "execution time roughly constant as SEs and nodes scale together; per-node "
+      "command traffic constant (paper: ~15 MB/node at 1 GB/process)",
+      "4 MB/process of 4 KB pages (paper: 1 GB/process); sweep 1-12 nodes");
+
+  std::printf("%8s %18s %14s %22s\n", "nodes", "interactive ms", "batch ms",
+              "cmd traffic MB/node");
+  for (const std::uint32_t nodes : {1u, 2u, 4u, 8u, 12u}) {
+    const Row r = run(nodes);
+    std::printf("%8u %18.2f %14.2f %22.2f\n", r.nodes, r.interactive_ms, r.batch_ms,
+                r.traffic_mb_per_node);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 14: checkpoint compression ratios for Moldy (considerable
+// redundancy) and Nasty (no page-level redundancy) as the job scales,
+// for Raw / Raw-gzip / ConCORD / ConCORD-gzip, plus the measured degree of
+// sharing (the sharing() query).
+//
+// Paper, Moldy: ConCORD exploits all the redundancy its query interface
+// reports — far more than gzip captures — and compression on top helps only
+// slightly. Nasty: ConCORD's overhead over raw is minuscule; gzip still
+// squeezes the structured-but-unique pages somewhat.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "compress/cgz.hpp"
+#include "query/queries.hpp"
+#include "services/collective_checkpoint.hpp"
+#include "services/raw_checkpoint.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+using namespace concord;
+
+namespace {
+
+constexpr std::size_t kBlocksPerProc = 1024;  // 4 MB/process of 4 KB pages
+
+struct Row {
+  std::uint32_t nodes;
+  double raw_pct, rawgz_pct, concord_pct, concordgz_pct, dos_pct;
+};
+
+Row run(std::uint32_t nodes, workload::Kind kind) {
+  core::ClusterParams p;
+  p.num_nodes = nodes;
+  p.max_entities = nodes + 1;
+  p.seed = 90;
+  auto cluster = std::make_unique<core::Cluster>(p);
+  std::vector<EntityId> procs;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    mem::MemoryEntity& e = cluster->create_entity(node_id(n), EntityKind::kProcess,
+                                                  kBlocksPerProc, kDefaultBlockSize);
+    workload::fill(e, workload::defaults_for(kind, 14));
+    procs.push_back(e.id());
+  }
+  (void)cluster->scan_all();
+
+  const double raw_bytes =
+      static_cast<double>(nodes) * kBlocksPerProc * kDefaultBlockSize;
+
+  query::QueryEngine q(*cluster);
+  const double dos = q.sharing(node_id(0), procs).degree_of_sharing();
+
+  const services::RawCheckpointResult rawgz =
+      services::raw_checkpoint(*cluster, procs, "rawgz", /*gzip=*/true);
+
+  services::CollectiveCheckpointService ckpt(*cluster);
+  svc::CommandEngine engine(*cluster);
+  svc::CommandSpec spec;
+  spec.service_entities = procs;
+  const svc::CommandStats stats = engine.execute(ckpt, spec);
+  (void)stats;
+
+  // ConCORD-gzip additionally compresses the shared content file.
+  const auto shared = cluster->fs().read_all(ckpt.shared_path());
+  std::uint64_t concordgz = ckpt.total_bytes();
+  if (shared.has_value()) {
+    concordgz = concordgz - shared.value().size() +
+                compress::compressed_size(shared.value());
+  }
+
+  Row r;
+  r.nodes = nodes;
+  r.raw_pct = 100.0;
+  r.rawgz_pct = 100.0 * static_cast<double>(rawgz.compressed_bytes) / raw_bytes;
+  r.concord_pct = 100.0 * static_cast<double>(ckpt.total_bytes()) / raw_bytes;
+  r.concordgz_pct = 100.0 * static_cast<double>(concordgz) / raw_bytes;
+  r.dos_pct = 100.0 * dos;
+  return r;
+}
+
+void sweep(const char* label, workload::Kind kind) {
+  std::printf("\n--- %s ---\n", label);
+  std::printf("%8s %8s %10s %10s %12s %8s\n", "nodes", "Raw %", "Raw-gz %", "ConCORD %",
+              "ConCORD-gz %", "DoS %");
+  for (const std::uint32_t nodes : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    const Row r = run(nodes, kind);
+    std::printf("%8u %8.1f %10.1f %10.1f %12.1f %8.1f\n", r.nodes, r.raw_pct, r.rawgz_pct,
+                r.concord_pct, r.concordgz_pct, r.dos_pct);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 14 — checkpoint compression ratios (Moldy and Nasty) vs #processes",
+      "Moldy: ConCORD captures the redundancy the sharing() query reports, well "
+      "beyond gzip; dedup improves with scale. Nasty: ConCORD adds only minuscule "
+      "overhead over raw; compression ratios near (or above) 100%",
+      "4 MB/process of 4 KB pages (paper: full process images), 1 process/node; "
+      "gzip = from-scratch cgz (LZ77+Huffman)");
+
+  sweep("Moldy-like (considerable redundancy)", workload::Kind::kMoldy);
+  sweep("Nasty (no page-level redundancy)", workload::Kind::kNasty);
+  return 0;
+}

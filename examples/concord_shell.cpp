@@ -1,0 +1,335 @@
+// concord_shell — the interactive control shell of Fig. 2.
+//
+//   $ ./concord_shell            # interactive REPL
+//   $ ./concord_shell --demo     # scripted walk-through
+//   $ echo "..." | ./concord_shell
+//
+// Drives an emulated site through the full public API: entity lifecycle,
+// monitor epochs, the Fig. 3 query interface, service commands
+// (checkpoint/restore), migration, the audit service, and traffic/DHT
+// statistics. Type `help` for the command list.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/queries.hpp"
+#include "services/checkpoint_format.hpp"
+#include "services/collective_checkpoint.hpp"
+#include "services/dht_audit.hpp"
+#include "services/migration.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+using namespace concord;
+
+namespace {
+
+struct Shell {
+  std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<services::CollectiveCheckpointService> last_ckpt;
+
+  bool require_cluster() const {
+    if (!cluster) std::puts("no cluster — run: cluster <nodes> [loss]");
+    return cluster != nullptr;
+  }
+
+  std::vector<EntityId> parse_entities(const std::string& spec) const {
+    std::vector<EntityId> out;
+    if (spec == "all") return cluster->live_entities();
+    std::stringstream ss(spec);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      out.push_back(entity_id(static_cast<std::uint32_t>(std::stoul(tok))));
+    }
+    return out;
+  }
+
+  void cmd_cluster(std::istringstream& args) {
+    std::uint32_t nodes = 4;
+    double loss = 0.0;
+    args >> nodes >> loss;
+    core::ClusterParams p;
+    p.num_nodes = nodes;
+    p.max_entities = 256;
+    p.fabric.loss_rate = loss;
+    cluster = std::make_unique<core::Cluster>(p);
+    last_ckpt.reset();
+    std::printf("cluster: %u nodes, loss %.1f%%\n", nodes, loss * 100.0);
+  }
+
+  void cmd_entity(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t node = 0;
+    std::size_t blocks = 64;
+    std::string kind = "process";
+    args >> node >> blocks >> kind;
+    if (node >= cluster->num_nodes()) {
+      std::puts("no such node");
+      return;
+    }
+    const EntityKind k =
+        kind == "vm" ? EntityKind::kVirtualMachine : EntityKind::kProcess;
+    mem::MemoryEntity& e = cluster->create_entity(node_id(node), k, blocks, 4096);
+    std::printf("entity %u on node %u: %zu blocks of 4 KB\n", raw(e.id()), node, blocks);
+  }
+
+  void cmd_fill(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t id = 0;
+    std::string kind = "moldy";
+    std::uint64_t seed = 1;
+    args >> id >> kind >> seed;
+    const workload::Kind k = kind == "nasty"    ? workload::Kind::kNasty
+                             : kind == "hpccg"  ? workload::Kind::kHpccg
+                             : kind == "random" ? workload::Kind::kRandom
+                                                : workload::Kind::kMoldy;
+    workload::fill(cluster->entity(entity_id(id)), workload::defaults_for(k, seed));
+    std::printf("entity %u filled (%s, seed %llu)\n", id, kind.c_str(),
+                static_cast<unsigned long long>(seed));
+  }
+
+  void cmd_mutate(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t id = 0;
+    double fraction = 0.1;
+    args >> id >> fraction;
+    workload::mutate(cluster->entity(entity_id(id)), fraction, 4242);
+    std::printf("entity %u: ~%.0f%% of blocks rewritten\n", id, fraction * 100.0);
+  }
+
+  void cmd_scan() {
+    if (!require_cluster()) return;
+    const mem::ScanStats st = cluster->scan_all();
+    std::printf("scan: %llu blocks hashed, %llu inserts, %llu removes; DHT now tracks %zu "
+                "unique hashes\n",
+                static_cast<unsigned long long>(st.blocks_hashed),
+                static_cast<unsigned long long>(st.inserts_emitted),
+                static_cast<unsigned long long>(st.removes_emitted),
+                cluster->total_unique_hashes());
+  }
+
+  void cmd_copies(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t id = 0;
+    BlockIndex block = 0;
+    args >> id >> block;
+    const mem::MemoryEntity& e = cluster->entity(entity_id(id));
+    if (block >= e.num_blocks()) {
+      std::puts("no such block");
+      return;
+    }
+    const hash::BlockHasher hasher(cluster->params().hash_algorithm);
+    const ContentHash h = hasher(e.block(block));
+    query::QueryEngine q(*cluster);
+    const query::NodewiseAnswer ans = q.entities(node_id(0), h);
+    std::printf("%s: %zu entities hold it:", h.to_string().c_str(), ans.entities.size());
+    for (const EntityId eid : ans.entities) std::printf(" %u", raw(eid));
+    std::printf("  (%.1f us)\n", static_cast<double>(ans.latency) / 1e3);
+  }
+
+  void cmd_sharing(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::string spec = "all";
+    args >> spec;
+    const auto set = parse_entities(spec);
+    query::QueryEngine q(*cluster);
+    const query::SharingAnswer a = q.sharing(node_id(0), set);
+    std::printf("DoS %.1f%%: %llu copies / %llu distinct (intra %llu, inter %llu), %.2f ms\n",
+                a.degree_of_sharing() * 100.0,
+                static_cast<unsigned long long>(a.total_copies),
+                static_cast<unsigned long long>(a.unique_hashes),
+                static_cast<unsigned long long>(a.intra_sharing),
+                static_cast<unsigned long long>(a.inter_sharing),
+                static_cast<double>(a.latency) / 1e6);
+  }
+
+  void cmd_kshared(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::size_t k = 2;
+    args >> k;
+    query::QueryEngine q(*cluster);
+    const query::KCopyAnswer a =
+        q.num_shared_content(node_id(0), cluster->live_entities(), k);
+    std::printf("%llu hashes with >= %zu replicas\n",
+                static_cast<unsigned long long>(a.num_hashes), k);
+  }
+
+  void cmd_checkpoint(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::string spec = "all", dir = "shell-ckpt";
+    args >> spec >> dir;
+    last_ckpt = std::make_unique<services::CollectiveCheckpointService>(*cluster);
+    svc::CommandEngine engine(*cluster);
+    svc::CommandSpec cmd;
+    cmd.service_entities = parse_entities(spec);
+    cmd.config.set("ckpt.dir", dir);
+    const svc::CommandStats st = engine.execute(*last_ckpt, cmd);
+    std::printf("checkpoint [%s]: %s; %llu distinct handled, %llu stale, "
+                "%llu/%llu blocks by pointer, %.1f KB total, %.2f ms\n",
+                dir.c_str(), std::string(to_string(st.status)).c_str(),
+                static_cast<unsigned long long>(st.collective_handled),
+                static_cast<unsigned long long>(st.collective_stale),
+                static_cast<unsigned long long>(st.local_covered),
+                static_cast<unsigned long long>(st.local_blocks),
+                static_cast<double>(last_ckpt->total_bytes()) / 1e3,
+                static_cast<double>(st.latency()) / 1e6);
+  }
+
+  void cmd_restore(std::istringstream& args) {
+    if (!require_cluster()) return;
+    if (!last_ckpt) {
+      std::puts("no checkpoint taken in this session");
+      return;
+    }
+    std::uint32_t id = 0;
+    args >> id;
+    const auto mem = services::restore_entity(cluster->fs(), last_ckpt->se_path(entity_id(id)),
+                                              last_ckpt->shared_path());
+    if (!mem.has_value()) {
+      std::printf("restore failed: %s\n", std::string(to_string(mem.status())).c_str());
+      return;
+    }
+    const mem::MemoryEntity& e = cluster->entity(entity_id(id));
+    bool identical = mem.value().size() == e.memory_bytes();
+    for (BlockIndex b = 0; identical && b < e.num_blocks(); ++b) {
+      identical = std::equal(e.block(b).begin(), e.block(b).end(),
+                             mem.value().begin() +
+                                 static_cast<std::ptrdiff_t>(b * e.block_size()));
+    }
+    std::printf("restored %zu bytes — %s current memory\n", mem.value().size(),
+                identical ? "identical to" : "DIFFERS from");
+  }
+
+  void cmd_migrate(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t id = 0, node = 0;
+    args >> id >> node;
+    services::CollectiveMigration mig(*cluster);
+    const services::MigrationPlanItem item{entity_id(id), node_id(node)};
+    const services::MigrationStats st = mig.migrate(std::span(&item, 1));
+    if (!ok(st.status)) {
+      std::puts("migration failed");
+      return;
+    }
+    std::printf("entity %u -> node %u as entity %u: %llu shipped, %llu reconstructed, "
+                "%.1f KB on the wire, %.2f ms\n",
+                id, node, raw(st.new_ids[0]),
+                static_cast<unsigned long long>(st.blocks_shipped),
+                static_cast<unsigned long long>(st.blocks_reconstructed),
+                static_cast<double>(st.wire_bytes) / 1e3,
+                static_cast<double>(st.latency) / 1e6);
+  }
+
+  void cmd_audit() {
+    if (!require_cluster()) return;
+    services::DhtAudit audit(*cluster);
+    const services::AuditReport r = audit.run_to_convergence();
+    std::printf("audit: %llu entries checked, %llu missing repaired, %llu stale removed\n",
+                static_cast<unsigned long long>(r.entries_checked),
+                static_cast<unsigned long long>(r.missing_repaired),
+                static_cast<unsigned long long>(r.stale_removed));
+  }
+
+  void cmd_stats() {
+    if (!require_cluster()) return;
+    const net::NodeTraffic t = cluster->fabric().total_traffic();
+    std::printf("network: %llu msgs / %.1f KB sent, %llu dropped\n",
+                static_cast<unsigned long long>(t.msgs_sent),
+                static_cast<double>(t.bytes_sent) / 1e3,
+                static_cast<unsigned long long>(t.msgs_dropped));
+    std::printf("dht: %zu unique hashes across %u shards\n", cluster->total_unique_hashes(),
+                cluster->num_nodes());
+    for (std::uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+      const auto& store = cluster->daemon(node_id(n)).store();
+      std::printf("  node %u: %zu hashes, %.1f KB, %zu entities tracked\n", n,
+                  store.unique_hashes(), static_cast<double>(store.memory_bytes()) / 1e3,
+                  cluster->daemon(node_id(n)).monitor().tracked_entities());
+    }
+    std::printf("fs: %.1f KB in %zu files; virtual time %.2f ms\n",
+                static_cast<double>(cluster->fs().total_bytes()) / 1e3,
+                cluster->fs().list().size(),
+                static_cast<double>(cluster->sim().now()) / 1e6);
+  }
+
+  bool dispatch(const std::string& line) {
+    std::istringstream args(line);
+    std::string cmd;
+    if (!(args >> cmd) || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::puts(
+          "cluster <nodes> [loss]      create an emulated site\n"
+          "entity <node> <blocks> [process|vm]\n"
+          "fill <id> <moldy|nasty|hpccg|random> [seed]\n"
+          "mutate <id> <fraction>      rewrite a fraction of blocks\n"
+          "scan                        one monitor epoch, site-wide\n"
+          "copies <id> <block>         who holds this block's content?\n"
+          "sharing [all|id,id,...]     collective sharing query\n"
+          "kshared <k>                 content with >= k replicas\n"
+          "checkpoint [all|ids] [dir]  collective checkpoint\n"
+          "restore <id>                restore + verify from last checkpoint\n"
+          "migrate <id> <node>         content-aware migration\n"
+          "audit                       reconcile DHT with ground truth\n"
+          "stats                       traffic / DHT / fs / clock\n"
+          "quit");
+      return true;
+    }
+    if (cmd == "cluster") cmd_cluster(args);
+    else if (cmd == "entity") cmd_entity(args);
+    else if (cmd == "fill") cmd_fill(args);
+    else if (cmd == "mutate") cmd_mutate(args);
+    else if (cmd == "scan") cmd_scan();
+    else if (cmd == "copies") cmd_copies(args);
+    else if (cmd == "sharing") cmd_sharing(args);
+    else if (cmd == "kshared") cmd_kshared(args);
+    else if (cmd == "checkpoint") cmd_checkpoint(args);
+    else if (cmd == "restore") cmd_restore(args);
+    else if (cmd == "migrate") cmd_migrate(args);
+    else if (cmd == "audit") cmd_audit();
+    else if (cmd == "stats") cmd_stats();
+    else std::printf("unknown command '%s' (try help)\n", cmd.c_str());
+    return true;
+  }
+};
+
+constexpr const char* kDemoScript[] = {
+    "cluster 4 0.02",
+    "entity 0 128", "entity 1 128", "entity 2 128 vm", "entity 3 128 vm",
+    "fill 0 moldy 7", "fill 1 moldy 7", "fill 2 moldy 7", "fill 3 nasty 7",
+    "scan",
+    "sharing all",
+    "kshared 3",
+    "copies 0 0",
+    "checkpoint all demo-ckpt",
+    "mutate 0 0.3",
+    "scan",
+    "checkpoint all demo-ckpt2",
+    "restore 0",
+    "migrate 1 3",
+    "audit",
+    "stats",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    for (const char* line : kDemoScript) {
+      std::printf("concord> %s\n", line);
+      if (!shell.dispatch(line)) break;
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("concord> ");
+  while (std::getline(std::cin, line)) {
+    if (!shell.dispatch(line)) break;
+    std::printf("concord> ");
+  }
+  return 0;
+}

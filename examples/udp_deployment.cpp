@@ -1,0 +1,151 @@
+// Real-socket deployment: the paper's actual data path over loopback UDP.
+//
+//   $ ./udp_deployment [shards] [blocks_per_proc]
+//
+// Instead of the emulated fabric, this example runs genuine UDP sockets:
+// DHT shard nodes bind real ports, memory update monitors hash real process
+// memory and push codec-encoded insert/remove datagrams "send and forget",
+// and node-wise queries travel as request/response datagrams. This is the
+// miniature of the deployed system; the emulation exists only because 128
+// physical nodes don't fit in this room.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "dht/placement.hpp"
+#include "mem/update_monitor.hpp"
+#include "net/udp_node.hpp"
+#include "workload/workloads.hpp"
+
+using namespace concord;
+
+int main(int argc, char** argv) {
+  const std::uint32_t shards = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  const std::size_t blocks = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
+  constexpr std::uint32_t kMaxEntities = 16;
+
+  std::printf("== real-UDP deployment: %u DHT shard nodes on loopback ==\n", shards);
+
+  // Bring up the shard nodes.
+  std::vector<std::unique_ptr<net::UdpDhtNode>> nodes;
+  std::vector<std::uint16_t> ports;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    nodes.push_back(std::make_unique<net::UdpDhtNode>(kMaxEntities));
+    if (!ok(nodes.back()->start())) {
+      std::puts("failed to bind a shard socket");
+      return 1;
+    }
+    ports.push_back(nodes.back()->port());
+    std::printf("  shard %u listening on 127.0.0.1:%u\n", i, ports[i]);
+  }
+
+  // Two processes with overlapping content, tracked by a real monitor.
+  mem::MemoryEntity proc_a(entity_id(0), node_id(0), EntityKind::kProcess, blocks, 4096);
+  mem::MemoryEntity proc_b(entity_id(1), node_id(1), EntityKind::kProcess, blocks, 4096);
+  workload::fill(proc_a, workload::defaults_for(workload::Kind::kMoldy, 77));
+  workload::fill(proc_b, workload::defaults_for(workload::Kind::kMoldy, 77));
+
+  mem::MemoryUpdateMonitor monitor;
+  monitor.attach(proc_a);
+  monitor.attach(proc_b);
+
+  net::UdpEndpoint uplink;  // the monitor's sending socket
+  if (!ok(uplink.bind())) {
+    std::puts("failed to bind the monitor socket");
+    return 1;
+  }
+
+  const dht::Placement placement(shards);
+  std::uint64_t sent = 0;
+  const mem::ScanStats st = monitor.scan([&](const mem::ContentUpdate& u) {
+    const auto owner = raw(placement.owner(u.hash));
+    (void)net::UdpDhtNode::send_update(
+        uplink, ports[owner],
+        net::codec::DhtUpdate{u.hash, u.entity,
+                              u.op == mem::ContentUpdate::Op::kInsert});
+    ++sent;
+    // Pace the senders the way a throttled monitor does, and let the
+    // single-threaded nodes drain (a deployment would poll in their own
+    // processes).
+    if (sent % 64 == 0) {
+      for (auto& n : nodes) n->poll_all();
+    }
+  });
+  for (auto& n : nodes) n->poll_all();
+
+  std::uint64_t stored = 0, applied = 0;
+  for (auto& n : nodes) {
+    stored += n->store().unique_hashes();
+    applied += n->stats().updates_applied;
+  }
+  std::printf("scan: %llu blocks hashed, %llu datagrams sent, %llu applied, "
+              "%llu unique hashes stored (loss: %lld)\n",
+              static_cast<unsigned long long>(st.blocks_hashed),
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(applied),
+              static_cast<unsigned long long>(stored),
+              static_cast<long long>(sent - applied));
+
+  // A node-wise query over the real wire: who holds proc_a's block 0?
+  const hash::BlockHasher hasher;
+  const ContentHash h = hasher(proc_a.block(0));
+  const auto owner = raw(placement.owner(h));
+  std::vector<std::byte> wire;
+  net::codec::encode(net::codec::Query{1, h, true}, wire);
+  if (!ok(uplink.send_to(ports[owner], wire))) {
+    std::puts("query send failed");
+    return 1;
+  }
+  nodes[owner]->poll_all();
+  const auto got = uplink.recv(1000);
+  if (!got.has_value()) {
+    std::puts("query reply lost (UDP is UDP) — rerun");
+    return 1;
+  }
+  const auto reply = net::codec::decode_query_reply(got.value());
+  if (!reply.has_value()) {
+    std::puts("malformed reply");
+    return 1;
+  }
+  std::printf("entities(%s) over the wire: %u copies:", h.to_string().c_str(),
+              reply.value().num_copies);
+  for (const EntityId e : reply.value().entities) std::printf(" %u", raw(e));
+  std::printf("\n");
+
+  // A collective query over the wire: scatter one slice request to every
+  // shard, gather, and merge by addition — sharing() the deployed way.
+  const std::vector<std::uint32_t> hosts = {0, 1};  // entity -> node
+  for (auto& n : nodes) n->set_entity_hosts(hosts);
+  net::codec::CollectiveQuery cq;
+  cq.req_id = 2;
+  cq.k = 2;
+  cq.scope_words = {0b11};  // both processes
+  net::codec::CollectiveReply total;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    // Interleave: the single-threaded node answers between send and recv.
+    std::vector<std::byte> req;
+    net::codec::encode(cq, req);
+    if (!ok(uplink.send_to(ports[s], req))) continue;
+    nodes[s]->poll_all();
+    const auto resp = uplink.recv(1000);
+    if (!resp.has_value()) continue;
+    const auto part = net::codec::decode_collective_reply(resp.value());
+    if (!part.has_value()) continue;
+    total.total += part.value().total;
+    total.unique += part.value().unique;
+    total.intra += part.value().intra;
+    total.inter += part.value().inter;
+    total.k_count += part.value().k_count;
+  }
+  const double dos = total.total == 0 ? 0.0
+                                      : 100.0 *
+                                            static_cast<double>(total.total - total.unique) /
+                                            static_cast<double>(total.total);
+  std::printf("collective sharing over the wire: %llu copies / %llu distinct — DoS %.1f%% "
+              "(%llu hashes on both nodes)\n",
+              static_cast<unsigned long long>(total.total),
+              static_cast<unsigned long long>(total.unique), dos,
+              static_cast<unsigned long long>(total.k_count));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Live gang migration of a group of VMs, exploiting memory redundancy.
+//
+//   $ ./vm_migration [vms] [MB_per_vm]
+//
+// A pool of mostly-identical VMs (a common cloud shape: same OS image,
+// different working sets) lives on the first half of the nodes; we migrate
+// them all to the second half. Content already resident at a destination —
+// either from a previously migrated twin or a resident VM — never crosses
+// the wire. This is the introduction's "a single process or VM could be
+// reconstructed using multiple sources" scenario.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "services/migration.hpp"
+#include "workload/workloads.hpp"
+
+using namespace concord;
+
+int main(int argc, char** argv) {
+  const std::uint32_t vms = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  const std::size_t mb = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+  const std::size_t blocks = mb * 1024 * 1024 / kDefaultBlockSize;
+  const std::uint32_t nodes = vms * 2;
+
+  core::ClusterParams params;
+  params.num_nodes = nodes;
+  params.max_entities = 4 * vms + 8;
+  core::Cluster cluster(params);
+
+  std::printf("== VM gang migration: %u VMs x %zu MB, nodes 0-%u -> %u-%u ==\n", vms, mb,
+              vms - 1, vms, nodes - 1);
+
+  // Mostly-identical VMs: a large shared "OS image" pool plus unique state.
+  std::vector<services::MigrationPlanItem> plan;
+  for (std::uint32_t i = 0; i < vms; ++i) {
+    mem::MemoryEntity& vm =
+        cluster.create_entity(node_id(i), EntityKind::kVirtualMachine, blocks,
+                              kDefaultBlockSize);
+    auto wp = workload::defaults_for(workload::Kind::kMoldy, 99);  // same seed: shared image
+    wp.shared_fraction = 0.7;
+    wp.pool_pages = blocks / 2;
+    workload::fill(vm, wp);
+    // Two VMs per destination node: after the first lands, the second finds
+    // most of its content already resident.
+    plan.push_back({vm.id(), node_id(vms + i / 2)});
+  }
+  (void)cluster.scan_all();
+
+  services::CollectiveMigration mig(cluster);
+  const services::MigrationStats stats = mig.migrate(plan);
+  if (!ok(stats.status)) {
+    std::printf("migration failed\n");
+    return 1;
+  }
+
+  const std::uint64_t total_bytes = stats.blocks_total * kDefaultBlockSize;
+  std::printf("blocks: %llu total, %llu shipped, %llu reconstructed from "
+              "destination-resident content (%llu stale DHT claims re-verified)\n",
+              static_cast<unsigned long long>(stats.blocks_total),
+              static_cast<unsigned long long>(stats.blocks_shipped),
+              static_cast<unsigned long long>(stats.blocks_reconstructed),
+              static_cast<unsigned long long>(stats.stale_claims));
+  std::printf("wire traffic: %.1f MB of %.1f MB of VM memory (%.1f%% saved), %.2f ms\n",
+              static_cast<double>(stats.wire_bytes) / 1e6,
+              static_cast<double>(total_bytes) / 1e6,
+              100.0 * (1.0 - static_cast<double>(stats.wire_bytes) /
+                                 static_cast<double>(total_bytes)),
+              static_cast<double>(stats.latency) / 1e6);
+
+  for (const EntityId id : stats.new_ids) {
+    std::printf("  VM %u now on node %u\n", raw(id), raw(cluster.registry().host_of(id)));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "common/bitmap.hpp"
+
+#include <algorithm>
+
+namespace concord {
+
+Bitmap& Bitmap::operator|=(const Bitmap& o) {
+  grow_to(o.nbits_);
+  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& o) {
+  const std::size_t common_words = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common_words; ++i) words_[i] &= o.words_[i];
+  for (std::size_t i = common_words; i < words_.size(); ++i) words_[i] = 0;
+  return *this;
+}
+
+Bitmap& Bitmap::operator-=(const Bitmap& o) {
+  const std::size_t common_words = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common_words; ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool Bitmap::intersects(const Bitmap& o) const noexcept {
+  const std::size_t common_words = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < common_words; ++i) {
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool operator==(const Bitmap& a, const Bitmap& b) noexcept {
+  // Equality is set equality: trailing zero words are insignificant.
+  const std::size_t n = std::max(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+    const std::uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+    if (wa != wb) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> Bitmap::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+std::size_t Bitmap::find_next(std::size_t from) const noexcept {
+  if (from >= nbits_) return nbits_;
+  std::size_t wi = from >> 6;
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit = wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < nbits_ ? bit : nbits_;
+    }
+    if (++wi >= words_.size()) return nbits_;
+    w = words_[wi];
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,85 @@
+#include "common/config.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace concord {
+
+namespace {
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+}  // namespace
+
+std::optional<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = (nl == std::string_view::npos) ? std::string_view{} : text.substr(nl + 1);
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) return std::nullopt;
+    cfg.set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::optional<std::int64_t> Config::get_int(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) return std::nullopt;
+  return out;
+}
+
+std::int64_t Config::get_int_or(std::string_view key, std::int64_t fallback) const {
+  const auto v = get_int(key);
+  return v ? *v : fallback;
+}
+
+std::optional<double> Config::get_double(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    if (pos != v->size()) return std::nullopt;
+    return d;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+}  // namespace concord

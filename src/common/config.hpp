@@ -1,0 +1,40 @@
+// Key=value configuration, used to parameterize application services.
+//
+// The paper's service_init() callback receives "a service-specific
+// configuration file to be parsed" (§4.3). Services in this repo accept a
+// Config; it can be built programmatically or parsed from `key = value`
+// text with '#' comments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace concord {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines. Blank lines and '#' comments are ignored.
+  /// Later keys override earlier ones. Returns nullopt on malformed input.
+  static std::optional<Config> parse(std::string_view text);
+
+  void set(std::string key, std::string value) { values_[std::move(key)] = std::move(value); }
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] std::string get_or(std::string_view key, std::string fallback) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(std::string_view key) const;
+  [[nodiscard]] std::int64_t get_int_or(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view key) const;
+  [[nodiscard]] bool get_bool_or(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace concord

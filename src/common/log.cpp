@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace concord::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+
+constexpr const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kError: return "E";
+    case Level::kWarn: return "W";
+    case Level::kInfo: return "I";
+    case Level::kDebug: return "D";
+    case Level::kNone: return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+namespace detail {
+void vlog(Level lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  std::fprintf(stderr, "[concord:%s] ", tag(lvl));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace concord::log

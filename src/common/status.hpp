@@ -1,0 +1,79 @@
+// Lightweight error handling: a Status code plus a Result<T> carrier.
+//
+// ConCORD's C interfaces return error codes; we mirror that with a small
+// value type instead of exceptions so the hot paths (updates, callbacks)
+// stay allocation-free and branch-predictable.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace concord {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound,        // hash/entity/file absent
+  kStale,           // DHT information no longer matches ground truth
+  kTimeout,         // reliable protocol gave up
+  kExhausted,       // all replicas tried and failed
+  kInvalidArgument,
+  kAlreadyExists,
+  kUnavailable,     // target node/daemon down
+  kInternal,
+};
+
+[[nodiscard]] constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
+
+[[nodiscard]] constexpr std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not-found";
+    case Status::kStale: return "stale";
+    case Status::kTimeout: return "timeout";
+    case Status::kExhausted: return "exhausted";
+    case Status::kInvalidArgument: return "invalid-argument";
+    case Status::kAlreadyExists: return "already-exists";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Value-or-Status. Deliberately minimal: enough for internal interfaces
+/// without dragging in exceptions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), status_(Status::kOk) {}  // NOLINT(google-explicit-constructor)
+  Result(Status s) : status_(s) { assert(s != Status::kOk); }          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return status_ == Status::kOk; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace concord

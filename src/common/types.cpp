@@ -1,0 +1,18 @@
+#include "common/types.hpp"
+
+namespace concord {
+
+std::string ContentHash::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = (i < 8) ? hi : lo;
+    const int byte = (i < 8) ? (7 - i) : (15 - i);
+    const auto v = static_cast<unsigned>((word >> (byte * 8)) & 0xff);
+    out[static_cast<std::size_t>(2 * i)] = kHex[v >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = kHex[v & 0xf];
+  }
+  return out;
+}
+
+}  // namespace concord

@@ -1,0 +1,90 @@
+// Core value types shared by every ConCORD module.
+//
+// ConCORD tracks memory content at *block* granularity (the paper uses the
+// 4 KB base page) across *entities* (processes, VMs, ...) hosted on *nodes*
+// of a parallel machine. These are the strong identifier types for all three,
+// plus the 128-bit content hash that names a block's content.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace concord {
+
+/// Default memory block size. The paper evaluates block sizes and settles on
+/// the x64 base page (4 KB); all experiments in the paper use this value.
+inline constexpr std::size_t kDefaultBlockSize = 4096;
+
+/// Identifies a node of the (emulated) parallel machine. Dense, 0-based.
+enum class NodeId : std::uint32_t {};
+
+/// Identifies an entity (process, VM, ...) site-wide. Dense, 0-based, so
+/// entity sets can be stored as bitmaps inside the DHT.
+enum class EntityId : std::uint32_t {};
+
+/// Kinds of entities a node-specific module (NSM) can manage.
+enum class EntityKind : std::uint8_t { kProcess, kVirtualMachine, kOther };
+
+constexpr std::uint32_t raw(NodeId id) noexcept { return static_cast<std::uint32_t>(id); }
+constexpr std::uint32_t raw(EntityId id) noexcept { return static_cast<std::uint32_t>(id); }
+
+constexpr NodeId node_id(std::uint32_t v) noexcept { return static_cast<NodeId>(v); }
+constexpr EntityId entity_id(std::uint32_t v) noexcept { return static_cast<EntityId>(v); }
+
+/// 128-bit content hash naming the content of one memory block.
+///
+/// MD5 produces all 128 bits; non-cryptographic hashers (SuperFastHash)
+/// widen into this type. Equality of ContentHash is ConCORD's (probabilistic)
+/// proxy for equality of block content, exactly as in the paper.
+struct ContentHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr auto operator<=>(const ContentHash&, const ContentHash&) = default;
+
+  /// Mixes both halves; used for shard placement and hash-table buckets.
+  [[nodiscard]] constexpr std::uint64_t well_mixed() const noexcept {
+    std::uint64_t x = hi ^ (lo + 0x9e3779b97f4a7c15ULL + (hi << 6) + (hi >> 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A block index within an entity's memory (block number, not byte offset).
+using BlockIndex = std::uint64_t;
+
+/// Byte offset within a file.
+using FileOffset = std::uint64_t;
+
+}  // namespace concord
+
+template <>
+struct std::hash<concord::ContentHash> {
+  std::size_t operator()(const concord::ContentHash& h) const noexcept {
+    return static_cast<std::size_t>(h.well_mixed());
+  }
+};
+
+template <>
+struct std::hash<concord::EntityId> {
+  std::size_t operator()(concord::EntityId id) const noexcept {
+    return std::hash<std::uint32_t>{}(concord::raw(id));
+  }
+};
+
+template <>
+struct std::hash<concord::NodeId> {
+  std::size_t operator()(concord::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(concord::raw(id));
+  }
+};

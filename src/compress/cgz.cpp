@@ -1,0 +1,513 @@
+#include "compress/cgz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <queue>
+
+namespace concord::compress {
+
+namespace {
+
+// ---------------------------------------------------------------- constants
+
+constexpr std::size_t kWindowSize = 32 * 1024;  // gzip's window: distances fit the code table
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr int kMaxCodeLen = 15;
+
+// Literal/length alphabet: 0..255 literals, 256 EOB, 257..284 length codes.
+constexpr std::size_t kEob = 256;
+constexpr std::size_t kNumLitLen = 285;
+constexpr std::size_t kNumDist = 30;
+
+// DEFLATE-style length codes: base length and extra bits per code 257+i.
+constexpr std::uint16_t kLenBase[28] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                        15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                        67, 83, 99, 115, 131, 163, 195, 227};
+constexpr std::uint8_t kLenExtra[28] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2,
+                                        2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5};
+
+constexpr std::uint32_t kDistBase[30] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5, 6,
+                                         6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+std::size_t length_code(std::size_t len) noexcept {
+  assert(len >= kMinMatch && len <= kMaxMatch);
+  // kMaxMatch maps to the last code; others by table scan (tiny, cached).
+  if (len == kMaxMatch) return 27;
+  std::size_t c = 0;
+  while (c + 1 < 28 && kLenBase[c + 1] <= len) ++c;
+  return c;
+}
+
+std::size_t dist_code(std::size_t dist) noexcept {
+  assert(dist >= 1);
+  std::size_t c = 0;
+  while (c + 1 < kNumDist && kDistBase[c + 1] <= dist) ++c;
+  return c;
+}
+
+// ------------------------------------------------------------------ bit I/O
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void put(std::uint32_t bits, unsigned count) {
+    acc_ |= static_cast<std::uint64_t>(bits) << fill_;
+    fill_ += count;
+    while (fill_ >= 8) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xff));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  void flush() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xff));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> data) : data_(data) {}
+
+  /// Reads `count` bits LSB-first; returns false past end of stream.
+  bool get(unsigned count, std::uint32_t& out) {
+    while (fill_ < count) {
+      if (pos_ >= data_.size()) return false;
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    out = static_cast<std::uint32_t>(acc_ & ((std::uint64_t{1} << count) - 1));
+    acc_ >>= count;
+    fill_ -= count;
+    return true;
+  }
+
+  bool get_bit(std::uint32_t& out) { return get(1, out); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+// ------------------------------------------------------ canonical Huffman
+
+/// Builds length-limited Huffman code lengths from symbol frequencies.
+void build_code_lengths(std::span<const std::uint64_t> freq, std::span<std::uint8_t> lens) {
+  const std::size_t n = freq.size();
+  std::fill(lens.begin(), lens.end(), std::uint8_t{0});
+
+  struct Node {
+    std::uint64_t weight;
+    int left, right;   // -1 for leaves
+    std::size_t symbol;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  using QE = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> heap;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freq[s] > 0) {
+      nodes.push_back({freq[s], -1, -1, s});
+      heap.emplace(freq[s], static_cast<int>(nodes.size() - 1));
+    }
+  }
+  if (heap.empty()) return;
+  if (heap.size() == 1) {
+    lens[nodes[0].symbol] = 1;
+    return;
+  }
+
+  while (heap.size() > 1) {
+    const auto [wa, ia] = heap.top();
+    heap.pop();
+    const auto [wb, ib] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, ia, ib, 0});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+
+  // Assign depths iteratively from the root.
+  std::vector<std::pair<int, std::uint8_t>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(idx)];
+    if (nd.left < 0) {
+      lens[nd.symbol] = std::max<std::uint8_t>(depth, 1);
+    } else {
+      stack.emplace_back(nd.left, static_cast<std::uint8_t>(depth + 1));
+      stack.emplace_back(nd.right, static_cast<std::uint8_t>(depth + 1));
+    }
+  }
+
+  // Length-limit to kMaxCodeLen (zlib-style overflow fixup): repeatedly move
+  // over-deep leaves up by stealing depth from shallower leaves.
+  std::array<std::uint32_t, kMaxCodeLen + 1> count{};
+  bool overflow = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (lens[s] == 0) continue;
+    if (lens[s] > kMaxCodeLen) {
+      overflow = true;
+      lens[s] = kMaxCodeLen;
+    }
+    ++count[lens[s]];
+  }
+  if (overflow) {
+    // Kraft sum in units of 2^-kMaxCodeLen.
+    std::uint64_t kraft = 0;
+    for (int l = 1; l <= kMaxCodeLen; ++l) {
+      kraft += static_cast<std::uint64_t>(count[static_cast<std::size_t>(l)]) << (kMaxCodeLen - l);
+    }
+    const std::uint64_t budget = std::uint64_t{1} << kMaxCodeLen;
+    while (kraft > budget) {
+      // Demote one symbol from the deepest non-full level above max.
+      int l = kMaxCodeLen - 1;
+      while (count[static_cast<std::size_t>(l)] == 0) --l;
+      --count[static_cast<std::size_t>(l)];
+      ++count[static_cast<std::size_t>(l + 1)];
+      kraft -= std::uint64_t{1} << (kMaxCodeLen - 1 - l);
+    }
+    // Re-assign lengths to symbols ordered by descending frequency.
+    std::vector<std::size_t> syms;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (freq[s] > 0) syms.push_back(s);
+    }
+    std::sort(syms.begin(), syms.end(),
+              [&](std::size_t a, std::size_t b) { return freq[a] > freq[b]; });
+    std::size_t si = 0;
+    for (int l = 1; l <= kMaxCodeLen; ++l) {
+      for (std::uint32_t c = 0; c < count[static_cast<std::size_t>(l)]; ++c) {
+        lens[syms[si++]] = static_cast<std::uint8_t>(l);
+      }
+    }
+  }
+}
+
+/// Canonical code assignment from lengths (RFC 1951 §3.2.2).
+void assign_codes(std::span<const std::uint8_t> lens, std::span<std::uint16_t> codes) {
+  std::array<std::uint16_t, kMaxCodeLen + 1> count{};
+  for (const std::uint8_t l : lens) {
+    if (l != 0) ++count[l];
+  }
+  std::array<std::uint16_t, kMaxCodeLen + 2> next{};
+  std::uint16_t code = 0;
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    code = static_cast<std::uint16_t>((code + count[static_cast<std::size_t>(l) - 1]) << 1);
+    next[static_cast<std::size_t>(l)] = code;
+  }
+  for (std::size_t s = 0; s < lens.size(); ++s) {
+    if (lens[s] != 0) codes[s] = next[lens[s]]++;
+  }
+}
+
+/// Reverses the low `len` bits (canonical codes are MSB-first; our bit I/O
+/// is LSB-first, so codes are emitted reversed, the DEFLATE convention).
+std::uint32_t reverse_bits(std::uint32_t v, unsigned len) noexcept {
+  std::uint32_t r = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    r = (r << 1) | ((v >> i) & 1);
+  }
+  return r;
+}
+
+/// Slow-but-simple canonical decoder: walk bits, track (code, first, index)
+/// per length. O(bits) per symbol; fine for tests/benchmarks.
+class HuffDecoder {
+ public:
+  explicit HuffDecoder(std::span<const std::uint8_t> lens) {
+    std::array<std::uint16_t, kMaxCodeLen + 1> count{};
+    for (const std::uint8_t l : lens) {
+      if (l != 0) ++count[l];
+    }
+    std::uint16_t code = 0;
+    std::uint16_t index = 0;
+    for (int l = 1; l <= kMaxCodeLen; ++l) {
+      code = static_cast<std::uint16_t>((code + count[static_cast<std::size_t>(l) - 1]) << 1);
+      first_code_[static_cast<std::size_t>(l)] = code;
+      first_index_[static_cast<std::size_t>(l)] = index;
+      index = static_cast<std::uint16_t>(index + count[static_cast<std::size_t>(l)]);
+      counts_[static_cast<std::size_t>(l)] = count[static_cast<std::size_t>(l)];
+    }
+    // Symbols sorted by (length, symbol).
+    for (int l = 1; l <= kMaxCodeLen; ++l) {
+      for (std::size_t s = 0; s < lens.size(); ++s) {
+        if (lens[s] == l) sorted_.push_back(static_cast<std::uint16_t>(s));
+      }
+    }
+  }
+
+  /// Reads one symbol; returns false on malformed/truncated stream.
+  bool decode(BitReader& br, std::uint16_t& symbol) const {
+    std::uint32_t code = 0;
+    for (int l = 1; l <= kMaxCodeLen; ++l) {
+      std::uint32_t bit;
+      if (!br.get_bit(bit)) return false;
+      code = (code << 1) | bit;
+      const auto lu = static_cast<std::size_t>(l);
+      if (counts_[lu] != 0 && code >= first_code_[lu] &&
+          code < static_cast<std::uint32_t>(first_code_[lu] + counts_[lu])) {
+        const std::size_t idx = first_index_[lu] + (code - first_code_[lu]);
+        if (idx >= sorted_.size()) return false;
+        symbol = sorted_[idx];
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::array<std::uint16_t, kMaxCodeLen + 1> first_code_{};
+  std::array<std::uint16_t, kMaxCodeLen + 1> first_index_{};
+  std::array<std::uint16_t, kMaxCodeLen + 1> counts_{};
+  std::vector<std::uint16_t> sorted_;
+};
+
+// --------------------------------------------------------------- LZ77 layer
+
+struct Token {
+  // literal when length == 0 (value in dist field's low byte), else a match
+  std::uint32_t length;  // 0 or [kMinMatch, kMaxMatch]
+  std::uint32_t dist;    // literal byte, or match distance [1, kWindowSize]
+};
+
+/// Hash-chain matcher with one-step lazy matching (the gzip strategy).
+void lz77_tokenize(std::span<const std::byte> in, std::vector<Token>& out) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(in.data());
+  const std::size_t n = in.size();
+  out.clear();
+  out.reserve(n / 4 + 16);
+
+  constexpr std::size_t kHashBits = 16;
+  constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+  constexpr std::size_t kMaxChain = 64;
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n > 0 ? n : 1, -1);
+
+  auto hash4 = [&](std::size_t pos) -> std::size_t {
+    std::uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  };
+
+  auto longest_match = [&](std::size_t pos, std::size_t& best_dist) -> std::size_t {
+    if (pos + kMinMatch > n) return 0;
+    std::size_t best_len = 0;
+    const std::size_t limit = std::min(kMaxMatch, n - pos);
+    std::int64_t cand = head[hash4(pos)];
+    std::size_t chain = 0;
+    while (cand >= 0 && chain++ < kMaxChain) {
+      const auto cpos = static_cast<std::size_t>(cand);
+      if (pos - cpos > kWindowSize) break;
+      std::size_t len = 0;
+      while (len < limit && data[cpos + len] == data[pos + len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - cpos;
+        if (len == limit) break;
+      }
+      cand = prev[cpos];
+    }
+    return best_len >= kMinMatch ? best_len : 0;
+  };
+
+  auto insert_pos = [&](std::size_t pos) {
+    if (pos + 4 > n) return;
+    const std::size_t h = hash4(pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t dist = 0;
+    const std::size_t len = longest_match(pos, dist);
+    if (len == 0) {
+      out.push_back({0, data[pos]});
+      insert_pos(pos);
+      ++pos;
+      continue;
+    }
+    // Lazy evaluation: if the next position has a strictly better match,
+    // emit a literal and defer.
+    std::size_t next_dist = 0;
+    std::size_t next_len = 0;
+    if (pos + 1 < n) {
+      insert_pos(pos);
+      next_len = longest_match(pos + 1, next_dist);
+    }
+    if (next_len > len) {
+      out.push_back({0, data[pos]});
+      ++pos;
+      continue;  // the deferred match is found again on the next iteration
+    }
+    out.push_back({static_cast<std::uint32_t>(len), static_cast<std::uint32_t>(dist)});
+    // First position was inserted above (when probing lazy); insert the rest.
+    for (std::size_t i = (pos + 1 < n) ? 1 : 0; i < len; ++i) insert_pos(pos + i);
+    pos += len;
+  }
+}
+
+void put_u64_le(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+bool get_u64_le(std::span<const std::byte> in, std::size_t off, std::uint64_t& v) {
+  if (off + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(in[off + static_cast<std::size_t>(i)]);
+  }
+  return true;
+}
+
+constexpr std::array<std::byte, 4> kMagic = {std::byte{'C'}, std::byte{'G'}, std::byte{'Z'},
+                                             std::byte{'1'}};
+
+}  // namespace
+
+std::vector<std::byte> compress(std::span<const std::byte> input) {
+  std::vector<std::byte> out;
+  out.reserve(16 + input.size() / 2);
+  for (const std::byte b : kMagic) out.push_back(b);
+  put_u64_le(out, input.size());
+  if (input.empty()) return out;
+
+  std::vector<Token> tokens;
+  lz77_tokenize(input, tokens);
+
+  // Frequencies over both alphabets.
+  std::array<std::uint64_t, kNumLitLen> lit_freq{};
+  std::array<std::uint64_t, kNumDist> dist_freq{};
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      ++lit_freq[t.dist & 0xff];
+    } else {
+      ++lit_freq[257 + length_code(t.length)];
+      ++dist_freq[dist_code(t.dist)];
+    }
+  }
+  ++lit_freq[kEob];
+
+  std::array<std::uint8_t, kNumLitLen> lit_lens{};
+  std::array<std::uint8_t, kNumDist> dist_lens{};
+  build_code_lengths(lit_freq, lit_lens);
+  build_code_lengths(dist_freq, dist_lens);
+  std::array<std::uint16_t, kNumLitLen> lit_codes{};
+  std::array<std::uint16_t, kNumDist> dist_codes{};
+  assign_codes(lit_lens, lit_codes);
+  assign_codes(dist_lens, dist_codes);
+
+  // Header: code lengths as nibbles (length 0..15 fits exactly).
+  BitWriter bw(out);
+  for (const std::uint8_t l : lit_lens) bw.put(l, 4);
+  for (const std::uint8_t l : dist_lens) bw.put(l, 4);
+
+  auto emit = [&](std::uint16_t code, std::uint8_t len) {
+    bw.put(reverse_bits(code, len), len);
+  };
+
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      const std::size_t sym = t.dist & 0xff;
+      emit(lit_codes[sym], lit_lens[sym]);
+    } else {
+      const std::size_t lc = length_code(t.length);
+      emit(lit_codes[257 + lc], lit_lens[257 + lc]);
+      if (kLenExtra[lc] != 0) {
+        bw.put(t.length - kLenBase[lc], kLenExtra[lc]);
+      }
+      const std::size_t dc = dist_code(t.dist);
+      emit(dist_codes[dc], dist_lens[dc]);
+      if (kDistExtra[dc] != 0) {
+        bw.put(t.dist - kDistBase[dc], kDistExtra[dc]);
+      }
+    }
+  }
+  emit(lit_codes[kEob], lit_lens[kEob]);
+  bw.flush();
+  return out;
+}
+
+Result<std::vector<std::byte>> decompress(std::span<const std::byte> input) {
+  if (input.size() < 12 || !std::equal(kMagic.begin(), kMagic.end(), input.begin())) {
+    return Status::kInvalidArgument;
+  }
+  std::uint64_t orig_size = 0;
+  if (!get_u64_le(input, 4, orig_size)) return Status::kInvalidArgument;
+  std::vector<std::byte> out;
+  out.reserve(orig_size);
+  if (orig_size == 0) return out;
+
+  BitReader br(input.subspan(12));
+  std::array<std::uint8_t, kNumLitLen> lit_lens{};
+  std::array<std::uint8_t, kNumDist> dist_lens{};
+  for (auto& l : lit_lens) {
+    std::uint32_t v;
+    if (!br.get(4, v)) return Status::kInvalidArgument;
+    l = static_cast<std::uint8_t>(v);
+  }
+  for (auto& l : dist_lens) {
+    std::uint32_t v;
+    if (!br.get(4, v)) return Status::kInvalidArgument;
+    l = static_cast<std::uint8_t>(v);
+  }
+  const HuffDecoder lit_dec(lit_lens);
+  const HuffDecoder dist_dec(dist_lens);
+
+  while (true) {
+    std::uint16_t sym;
+    if (!lit_dec.decode(br, sym)) return Status::kInvalidArgument;
+    if (sym == kEob) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::byte>(sym));
+      continue;
+    }
+    const std::size_t lc = static_cast<std::size_t>(sym) - 257;
+    if (lc >= 28) return Status::kInvalidArgument;
+    std::uint32_t extra = 0;
+    if (kLenExtra[lc] != 0 && !br.get(kLenExtra[lc], extra)) return Status::kInvalidArgument;
+    const std::size_t len = kLenBase[lc] + extra;
+
+    std::uint16_t dsym;
+    if (!dist_dec.decode(br, dsym)) return Status::kInvalidArgument;
+    if (dsym >= kNumDist) return Status::kInvalidArgument;
+    std::uint32_t dextra = 0;
+    if (kDistExtra[dsym] != 0 && !br.get(kDistExtra[dsym], dextra)) {
+      return Status::kInvalidArgument;
+    }
+    const std::size_t dist = kDistBase[dsym] + dextra;
+    if (dist > out.size()) return Status::kInvalidArgument;
+
+    const std::size_t start = out.size() - dist;
+    for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);  // may overlap
+  }
+
+  if (out.size() != orig_size) return Status::kInvalidArgument;
+  return out;
+}
+
+std::size_t compressed_size(std::span<const std::byte> input) {
+  return compress(input).size();
+}
+
+}  // namespace concord::compress

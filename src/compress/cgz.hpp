@@ -1,0 +1,33 @@
+// cgz — ConCORD's from-scratch stream compressor (gzip stand-in).
+//
+// The paper's Raw-gzip / ConCORD-gzip baselines run gzip over checkpoint
+// files (§6.2). We implement an equivalent from scratch: LZ77 with a 32 KB (gzip-sized)
+// sliding window and lazy matching, followed by canonical Huffman coding of
+// a DEFLATE-style literal/length alphabet and a distance alphabet. What
+// matters for the experiments is that — like gzip — it removes *local*
+// redundancy (within the window) but cannot deduplicate identical pages that
+// sit megabytes apart in a concatenated checkpoint, which is exactly the
+// redundancy ConCORD's collective checkpoint removes.
+//
+// Format: "CGZ1" magic, u64 LE uncompressed size, Huffman code-length
+// tables, then the LSB-first bit-packed token stream ending in EOB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace concord::compress {
+
+/// Compresses `input` into a self-describing cgz container.
+[[nodiscard]] std::vector<std::byte> compress(std::span<const std::byte> input);
+
+/// Inverse of compress(). Fails with kInvalidArgument on malformed input.
+[[nodiscard]] Result<std::vector<std::byte>> decompress(std::span<const std::byte> input);
+
+/// Convenience: compressed size only (the benchmarks just need the ratio).
+[[nodiscard]] std::size_t compressed_size(std::span<const std::byte> input);
+
+}  // namespace concord::compress

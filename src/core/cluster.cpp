@@ -1,0 +1,66 @@
+#include "core/cluster.hpp"
+
+namespace concord::core {
+
+Cluster::Cluster(ClusterParams params)
+    : params_(params),
+      sim_(params.seed),
+      fabric_(sim_, params.fabric),
+      placement_(params.single_node_dht ? 1 : params.num_nodes),
+      registry_(params.max_entities) {
+  daemons_.reserve(params_.num_nodes);
+  for (std::uint32_t n = 0; n < params_.num_nodes; ++n) {
+    daemons_.push_back(std::make_unique<ServiceDaemon>(
+        node_id(n), params_.max_entities, params_.alloc_mode, placement_, fabric_,
+        hash::BlockHasher(params_.hash_algorithm), params_.detect_mode));
+  }
+}
+
+mem::MemoryEntity& Cluster::create_entity(NodeId node, EntityKind kind,
+                                          std::size_t num_blocks, std::size_t block_size) {
+  const EntityId id = registry_.register_entity(node, kind);
+  entities_.push_back(
+      std::make_unique<mem::MemoryEntity>(id, node, kind, num_blocks, block_size));
+  mem::MemoryEntity& e = *entities_.back();
+  daemon(node).track(e);
+  return e;
+}
+
+void Cluster::depart_entity(EntityId id) {
+  const NodeId host = registry_.host_of(id);
+  daemon(host).publish_departure(id);
+  registry_.deregister(id);
+  sim_.run();  // flush the departure's best-effort removes
+}
+
+mem::ScanStats Cluster::scan_all() {
+  mem::ScanStats total;
+  for (auto& d : daemons_) {
+    const mem::ScanStats s = d->scan_and_publish();
+    total.blocks_examined += s.blocks_examined;
+    total.blocks_hashed += s.blocks_hashed;
+    total.bytes_hashed += s.bytes_hashed;
+    total.inserts_emitted += s.inserts_emitted;
+    total.removes_emitted += s.removes_emitted;
+    total.throttled_blocks += s.throttled_blocks;
+  }
+  sim_.run();  // deliver (or lose) every update datagram
+  return total;
+}
+
+std::vector<EntityId> Cluster::live_entities() const {
+  std::vector<EntityId> out;
+  for (std::uint32_t i = 0; i < registry_.size(); ++i) {
+    const auto id = entity_id(i);
+    if (registry_.alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t Cluster::total_unique_hashes() const {
+  std::size_t sum = 0;
+  for (const auto& d : daemons_) sum += d->store().unique_hashes();
+  return sum;
+}
+
+}  // namespace concord::core

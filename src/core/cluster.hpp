@@ -1,0 +1,88 @@
+// Cluster: the emulated parallel machine running ConCORD.
+//
+// Owns the simulation clock, the network fabric, the shared parallel file
+// system, the entity registry, one ServiceDaemon per node, and the tracked
+// MemoryEntity objects. This is the top-level object examples and tests
+// construct; it stands in for "a site" in the paper's terminology.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/entity_registry.hpp"
+#include "core/service_daemon.hpp"
+#include "fs/simfs.hpp"
+#include "sim/simulation.hpp"
+
+namespace concord::core {
+
+struct ClusterParams {
+  std::uint32_t num_nodes = 8;
+  std::uint32_t max_entities = 256;
+  dht::AllocMode alloc_mode = dht::AllocMode::kPool;
+  hash::Algorithm hash_algorithm = hash::Algorithm::kMd5;
+  mem::DetectMode detect_mode = mem::DetectMode::kFullScan;
+  net::FabricParams fabric;
+  std::uint64_t seed = 42;
+  /// When true the whole DHT lives on node 0 (the "single" configuration of
+  /// Fig. 9); updates and queries all route there.
+  bool single_node_dht = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return params_.num_nodes; }
+  [[nodiscard]] const ClusterParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] fs::SimFs& fs() noexcept { return fs_; }
+  [[nodiscard]] EntityRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const EntityRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const dht::Placement& placement() const noexcept { return placement_; }
+
+  [[nodiscard]] ServiceDaemon& daemon(NodeId n) { return *daemons_[raw(n)]; }
+  [[nodiscard]] const ServiceDaemon& daemon(NodeId n) const { return *daemons_[raw(n)]; }
+
+  /// Creates an entity on `node`, registers it, and starts tracking it.
+  mem::MemoryEntity& create_entity(NodeId node, EntityKind kind, std::size_t num_blocks,
+                                   std::size_t block_size = kDefaultBlockSize);
+
+  [[nodiscard]] mem::MemoryEntity& entity(EntityId id) { return *entities_[raw(id)]; }
+  [[nodiscard]] const mem::MemoryEntity& entity(EntityId id) const {
+    return *entities_[raw(id)];
+  }
+  [[nodiscard]] std::size_t num_entities() const noexcept { return entities_.size(); }
+
+  /// Stops tracking, best-effort-removes DHT state, and marks the entity
+  /// departed (its memory stays readable for verification).
+  void depart_entity(EntityId id);
+
+  /// Runs one monitor epoch on every node and pumps the simulation until all
+  /// resulting update datagrams are delivered or lost. Returns aggregate
+  /// monitor stats.
+  mem::ScanStats scan_all();
+
+  /// All live entity ids, in id order.
+  [[nodiscard]] std::vector<EntityId> live_entities() const;
+
+  /// Sums unique hashes across all DHT shards.
+  [[nodiscard]] std::size_t total_unique_hashes() const;
+
+ private:
+  ClusterParams params_;
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+  fs::SimFs fs_;
+  dht::Placement placement_;
+  EntityRegistry registry_;
+  std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
+  std::vector<std::unique_ptr<mem::MemoryEntity>> entities_;
+};
+
+}  // namespace concord::core

@@ -1,0 +1,61 @@
+// EntityRegistry: site-wide entity membership.
+//
+// ConCORD assigns dense ids to tracked entities so the DHT can store entity
+// sets as bitmaps (§3.3) and so intra-/inter-node sharing can be split by
+// looking up each entity's host. Membership is low-churn: entities register
+// when tracking starts and deregister when they depart.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace concord::core {
+
+struct EntityInfo {
+  EntityId id{};
+  NodeId host{};
+  EntityKind kind = EntityKind::kProcess;
+  bool alive = false;
+};
+
+class EntityRegistry {
+ public:
+  explicit EntityRegistry(std::uint32_t max_entities) { infos_.reserve(max_entities); }
+
+  /// Registers a new entity; ids are handed out densely.
+  EntityId register_entity(NodeId host, EntityKind kind) {
+    const auto id = entity_id(static_cast<std::uint32_t>(infos_.size()));
+    infos_.push_back(EntityInfo{id, host, kind, true});
+    return id;
+  }
+
+  void deregister(EntityId id) {
+    assert(raw(id) < infos_.size());
+    infos_[raw(id)].alive = false;
+  }
+
+  [[nodiscard]] const EntityInfo& info(EntityId id) const {
+    assert(raw(id) < infos_.size());
+    return infos_[raw(id)];
+  }
+
+  [[nodiscard]] NodeId host_of(EntityId id) const { return info(id).host; }
+  [[nodiscard]] bool alive(EntityId id) const { return info(id).alive; }
+  [[nodiscard]] std::size_t size() const noexcept { return infos_.size(); }
+
+  [[nodiscard]] std::vector<EntityId> on_node(NodeId node) const {
+    std::vector<EntityId> out;
+    for (const EntityInfo& e : infos_) {
+      if (e.alive && e.host == node) out.push_back(e.id);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<EntityInfo> infos_;
+};
+
+}  // namespace concord::core

@@ -1,0 +1,75 @@
+#include "core/service_daemon.hpp"
+
+#include "common/log.hpp"
+
+namespace concord::core {
+
+ServiceDaemon::ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMode alloc_mode,
+                             const dht::Placement& placement, net::Fabric& fabric,
+                             hash::BlockHasher hasher, mem::DetectMode detect_mode)
+    : id_(id),
+      placement_(placement),
+      fabric_(fabric),
+      store_(max_entities, alloc_mode),
+      monitor_(hasher, detect_mode) {
+  fabric_.register_node(id_, [this](const net::Message& m) { handle_message(m); });
+}
+
+void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
+  const NodeId owner = placement_.owner(u.hash);
+  const bool insert = u.op == mem::ContentUpdate::Op::kInsert;
+  if (owner == id_) {
+    // Local shard: apply directly; no network traffic (intra-node updates
+    // bypass the NIC in the real system too).
+    if (insert) {
+      store_.insert(u.hash, u.entity);
+    } else {
+      store_.remove(u.hash, u.entity);
+    }
+    return;
+  }
+  fabric_.send_unreliable(net::make_message(
+      id_, owner, insert ? net::MsgType::kDhtInsert : net::MsgType::kDhtRemove,
+      DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes));
+}
+
+mem::ScanStats ServiceDaemon::scan_and_publish() {
+  return monitor_.scan([this](const mem::ContentUpdate& u) { route_update(u); });
+}
+
+void ServiceDaemon::publish_departure(EntityId id) {
+  const auto* hashes = monitor_.known_hashes(id);
+  if (hashes != nullptr) {
+    for (const ContentHash& h : *hashes) {
+      if (h == ContentHash{}) continue;  // never scanned
+      route_update(mem::ContentUpdate{mem::ContentUpdate::Op::kRemove, h, id});
+    }
+  }
+  monitor_.detach(id);
+}
+
+void ServiceDaemon::handle_message(const net::Message& msg) {
+  switch (msg.type) {
+    case net::MsgType::kDhtInsert: {
+      const auto& u = msg.as<DhtUpdateMsg>();
+      store_.insert(u.hash, u.entity);
+      return;
+    }
+    case net::MsgType::kDhtRemove: {
+      const auto& u = msg.as<DhtUpdateMsg>();
+      store_.remove(u.hash, u.entity);
+      return;
+    }
+    default: {
+      const auto it = handlers_.find(static_cast<std::uint16_t>(msg.type));
+      if (it != handlers_.end()) {
+        it->second(*this, msg);
+      } else {
+        log::warn("daemon %u: unhandled message type %u", raw(id_),
+                  static_cast<unsigned>(msg.type));
+      }
+    }
+  }
+}
+
+}  // namespace concord::core

@@ -1,0 +1,88 @@
+// ServiceDaemon: the per-node ConCORD instance (Fig. 2).
+//
+// Each node of the emulated machine runs one daemon holding:
+//   * its shard of the distributed content-tracing DHT,
+//   * the node-specific module's memory update monitor + ground-truth
+//     local block map for the entities hosted here,
+//   * the message dispatch glue between the two and the fabric.
+//
+// The daemon is deliberately thin: collective query execution and the
+// content-aware service command engine (src/query, src/svc) drive it
+// through public methods and fabric messages.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dht/dht_store.hpp"
+#include "dht/placement.hpp"
+#include "mem/update_monitor.hpp"
+#include "net/fabric.hpp"
+
+namespace concord::core {
+
+/// Payload of kDhtInsert / kDhtRemove datagrams. Wire layout (§3.3) is a
+/// content hash plus entity id plus op tag.
+struct DhtUpdateMsg {
+  ContentHash hash;
+  EntityId entity{};
+  bool insert = true;
+};
+inline constexpr std::size_t kDhtUpdateBytes = sizeof(ContentHash) + sizeof(EntityId) + 1;
+
+class ServiceDaemon {
+ public:
+  ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMode alloc_mode,
+                const dht::Placement& placement, net::Fabric& fabric,
+                hash::BlockHasher hasher, mem::DetectMode detect_mode);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  // --- local entity tracking (NSM surface) ---
+  void track(mem::MemoryEntity& entity) { monitor_.attach(entity); }
+  void untrack(EntityId id) { monitor_.detach(id); }
+
+  /// One monitor epoch: hash changed blocks and push each update to its
+  /// shard owner over the unreliable datagram class. Returns monitor stats.
+  mem::ScanStats scan_and_publish();
+
+  /// Emits removes for every block of a departing entity (best effort), so
+  /// the DHT stops advertising it. Ground truth is dropped immediately.
+  void publish_departure(EntityId id);
+
+  // --- DHT shard surface ---
+  [[nodiscard]] dht::DhtStore& store() noexcept { return store_; }
+  [[nodiscard]] const dht::DhtStore& store() const noexcept { return store_; }
+
+  // --- ground truth surface ---
+  [[nodiscard]] const mem::LocalBlockMap& block_map() const noexcept {
+    return monitor_.block_map();
+  }
+  [[nodiscard]] mem::MemoryUpdateMonitor& monitor() noexcept { return monitor_; }
+
+  /// Fabric receive entry point; non-DHT types go to the handler registered
+  /// for that message type by the query / service-command engines.
+  void handle_message(const net::Message& msg);
+
+  using ExtraHandler = std::function<void(ServiceDaemon&, const net::Message&)>;
+  void set_handler(net::MsgType type, ExtraHandler h) {
+    handlers_[static_cast<std::uint16_t>(type)] = std::move(h);
+  }
+
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const dht::Placement& placement() const noexcept { return placement_; }
+
+ private:
+  void route_update(const mem::ContentUpdate& u);
+
+  NodeId id_;
+  const dht::Placement& placement_;
+  net::Fabric& fabric_;
+  dht::DhtStore store_;
+  mem::MemoryUpdateMonitor monitor_;
+  std::unordered_map<std::uint16_t, ExtraHandler> handlers_;
+};
+
+}  // namespace concord::core

@@ -1,0 +1,53 @@
+#include "dht/collective_scan.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace concord::dht {
+
+ScanPartial collective_scan(const DhtStore& store, const Bitmap& query_set,
+                            std::span<const std::uint32_t> entity_host, std::size_t k,
+                            bool collect_hashes) {
+  ScanPartial p;
+
+  // Scratch for the per-hash node split; entities-per-hash is small, so a
+  // flat touched-list beats a map.
+  std::uint32_t max_host = 0;
+  for (const std::uint32_t h : entity_host) max_host = std::max(max_host, h);
+  std::vector<std::uint32_t> node_count(max_host + 1, 0);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(16);
+
+  store.for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
+                           std::size_t nwords) {
+    std::uint64_t copies = 0;
+    touched.clear();
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t inter = words[w] & query_set.word(w);
+      while (inter != 0) {
+        const auto idx = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(inter)));
+        inter &= inter - 1;
+        if (idx >= entity_host.size()) continue;  // unplaced entity
+        ++copies;
+        const std::uint32_t host = entity_host[idx];
+        if (node_count[host]++ == 0) touched.push_back(host);
+      }
+    }
+    if (copies == 0) return;
+    p.total += copies;
+    ++p.unique;
+    for (const std::uint32_t n : touched) {
+      p.intra += node_count[n] - 1;
+      node_count[n] = 0;  // reset scratch
+    }
+    p.inter += touched.size() - 1;
+    if (copies >= k) {
+      ++p.k_count;
+      if (collect_hashes) p.k_hashes.push_back(h);
+    }
+  });
+  return p;
+}
+
+}  // namespace concord::dht

@@ -1,0 +1,34 @@
+// Zero-hop shard placement.
+//
+// Every ConCORD daemon knows the full (low-churn) membership of the site, so
+// the owner of a content hash is computed locally: one hash evaluation, one
+// message, no routing hops — the property the paper's DHT shares with ZHT
+// and C-MPI. "The originator of an update can not only readily determine
+// which node and daemon is the target of the update, but, in principle, also
+// the specific address and bit that will be changed in that node" (§3.3).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace concord::dht {
+
+class Placement {
+ public:
+  explicit Placement(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+    assert(num_nodes_ > 0);
+  }
+
+  [[nodiscard]] NodeId owner(const ContentHash& h) const noexcept {
+    return node_id(static_cast<std::uint32_t>(h.well_mixed() % num_nodes_));
+  }
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+
+ private:
+  std::uint32_t num_nodes_;
+};
+
+}  // namespace concord::dht

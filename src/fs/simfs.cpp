@@ -1,0 +1,119 @@
+#include "fs/simfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace concord::fs {
+
+void SimFs::write_at(File& f, FileOffset offset, std::span<const std::byte> data) {
+  const std::uint64_t end = offset + data.size();
+  while (f.chunks.size() * kChunkSize < end) {
+    f.chunks.push_back(std::make_unique<std::byte[]>(kChunkSize));
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::uint64_t pos = offset + written;
+    const std::size_t chunk = static_cast<std::size_t>(pos / kChunkSize);
+    const std::size_t within = static_cast<std::size_t>(pos % kChunkSize);
+    const std::size_t n = std::min(data.size() - written, kChunkSize - within);
+    std::memcpy(f.chunks[chunk].get() + within, data.data() + written, n);
+    written += n;
+  }
+  f.size = std::max(f.size, end);
+}
+
+void SimFs::read_at(const File& f, FileOffset offset, std::span<std::byte> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::size_t chunk = static_cast<std::size_t>(pos / kChunkSize);
+    const std::size_t within = static_cast<std::size_t>(pos % kChunkSize);
+    const std::size_t n = std::min(out.size() - done, kChunkSize - within);
+    std::memcpy(out.data() + done, f.chunks[chunk].get() + within, n);
+    done += n;
+  }
+}
+
+Status SimFs::create(const std::string& path) {
+  const std::scoped_lock lock(mu_);
+  const auto [it, inserted] = files_.try_emplace(path);
+  (void)it;
+  return inserted ? Status::kOk : Status::kAlreadyExists;
+}
+
+FileOffset SimFs::append(const std::string& path, std::span<const std::byte> data) {
+  const std::scoped_lock lock(mu_);
+  File& f = files_[path];
+  const FileOffset offset = f.size;
+  write_at(f, offset, data);
+  ++f.stats.appends;
+  f.stats.bytes_written += data.size();
+  return offset;
+}
+
+Status SimFs::pread(const std::string& path, FileOffset offset, std::span<std::byte> out) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::kNotFound;
+  const File& f = it->second;
+  if (offset + out.size() > f.size) return Status::kInvalidArgument;
+  read_at(f, offset, out);
+  auto& stats = const_cast<FileStats&>(f.stats);
+  ++stats.reads;
+  stats.bytes_read += out.size();
+  return Status::kOk;
+}
+
+Result<std::uint64_t> SimFs::size(const std::string& path) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::kNotFound;
+  return it->second.size;
+}
+
+bool SimFs::exists(const std::string& path) const {
+  const std::scoped_lock lock(mu_);
+  return files_.contains(path);
+}
+
+Status SimFs::remove(const std::string& path) {
+  const std::scoped_lock lock(mu_);
+  return files_.erase(path) != 0 ? Status::kOk : Status::kNotFound;
+}
+
+Result<std::vector<std::byte>> SimFs::read_all(const std::string& path) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::kNotFound;
+  std::vector<std::byte> out(it->second.size);
+  read_at(it->second, 0, out);
+  return out;
+}
+
+std::vector<std::string> SimFs::list() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, f] : files_) out.push_back(name);
+  return out;
+}
+
+FileStats SimFs::stats(const std::string& path) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? FileStats{} : it->second.stats;
+}
+
+std::uint64_t SimFs::total_bytes() const {
+  const std::scoped_lock lock(mu_);
+  std::uint64_t sum = 0;
+  for (const auto& [name, f] : files_) sum += f.size;
+  return sum;
+}
+
+void SimFs::clear() {
+  const std::scoped_lock lock(mu_);
+  files_.clear();
+}
+
+}  // namespace concord::fs

@@ -1,0 +1,81 @@
+// SimFs: RAM-backed stand-in for the parallel file system.
+//
+// Collective checkpointing (§6.1) requires one property from storage:
+// *atomic append with multiple writers* — collective_command() callbacks on
+// many nodes append distinct blocks to one shared content file, and each
+// append must return the offset where the block landed ("in effect, a log
+// file with multiple writers"). SimFs provides exactly that, plus ordinary
+// positional reads for restore. The paper factors out file-system cost by
+// writing to a RAM disk; SimFs is our RAM disk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace concord::fs {
+
+struct FileStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class SimFs {
+ public:
+  SimFs() = default;
+  SimFs(const SimFs&) = delete;
+  SimFs& operator=(const SimFs&) = delete;
+
+  /// Creates an empty file; kAlreadyExists if present.
+  Status create(const std::string& path);
+
+  /// Atomic append: writes `data` at end-of-file and returns the offset the
+  /// data starts at. Creates the file if absent. Safe for concurrent
+  /// writers (one lock per file system; a parallel FS would shard this).
+  FileOffset append(const std::string& path, std::span<const std::byte> data);
+
+  /// Positional read of out.size() bytes at `offset`.
+  Status pread(const std::string& path, FileOffset offset, std::span<std::byte> out) const;
+
+  [[nodiscard]] Result<std::uint64_t> size(const std::string& path) const;
+  [[nodiscard]] bool exists(const std::string& path) const;
+  Status remove(const std::string& path);
+
+  /// Whole-file contents (for compression baselines and verification).
+  [[nodiscard]] Result<std::vector<std::byte>> read_all(const std::string& path) const;
+
+  [[nodiscard]] std::vector<std::string> list() const;
+  [[nodiscard]] FileStats stats(const std::string& path) const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  void clear();
+
+ private:
+  /// Files are stored in fixed chunks rather than one contiguous buffer so
+  /// appends never reallocate-and-copy the whole file — a growing shared
+  /// content file must have O(record) append cost, like a real parallel FS.
+  static constexpr std::size_t kChunkSize = 256 * 1024;
+
+  struct File {
+    std::uint64_t size = 0;
+    std::vector<std::unique_ptr<std::byte[]>> chunks;
+    FileStats stats;
+  };
+
+  void write_at(File& f, FileOffset offset, std::span<const std::byte> data);
+  void read_at(const File& f, FileOffset offset, std::span<std::byte> out) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+};
+
+}  // namespace concord::fs

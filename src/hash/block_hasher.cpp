@@ -1,0 +1,16 @@
+#include "hash/block_hasher.hpp"
+
+#include "hash/md5.hpp"
+#include "hash/superfast.hpp"
+
+namespace concord::hash {
+
+ContentHash BlockHasher::operator()(std::span<const std::byte> block) const noexcept {
+  switch (algo_) {
+    case Algorithm::kMd5: return Md5::content_hash(block);
+    case Algorithm::kSuperFast: return superfast_content_hash(block);
+  }
+  return {};
+}
+
+}  // namespace concord::hash

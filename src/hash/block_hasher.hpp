@@ -1,0 +1,37 @@
+// BlockHasher: the single seam through which all block content is named.
+//
+// The memory update monitor is configured with one of these; everything
+// downstream (DHT, queries, service commands) only ever sees ContentHash.
+// Matches the paper's MD5-vs-SuperHash choice (§5.2).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace concord::hash {
+
+enum class Algorithm : std::uint8_t { kMd5, kSuperFast };
+
+[[nodiscard]] constexpr std::string_view to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kMd5: return "md5";
+    case Algorithm::kSuperFast: return "superfast";
+  }
+  return "unknown";
+}
+
+class BlockHasher {
+ public:
+  explicit BlockHasher(Algorithm algo = Algorithm::kMd5) noexcept : algo_(algo) {}
+
+  [[nodiscard]] Algorithm algorithm() const noexcept { return algo_; }
+
+  [[nodiscard]] ContentHash operator()(std::span<const std::byte> block) const noexcept;
+
+ private:
+  Algorithm algo_;
+};
+
+}  // namespace concord::hash

@@ -1,0 +1,144 @@
+#include "hash/md5.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace concord::hash {
+
+namespace {
+
+// Per-round shift amounts (RFC 1321 §3.4).
+constexpr std::uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i+1))).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+}  // namespace
+
+void Md5::reset() noexcept {
+  a0_ = 0x67452301;
+  b0_ = 0xefcdab89;
+  c0_ = 0x98badcfe;
+  d0_ = 0x10325476;
+  total_len_ = 0;
+  buf_len_ = 0;
+}
+
+void Md5::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load_le32(block + 4 * i);
+
+  std::uint32_t a = a0_, b = b0_, c = c0_, d = d0_;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    f += a + kSine[i] + m[g];
+    a = d;
+    d = c;
+    c = b;
+    b += std::rotl(f, static_cast<int>(kShift[i]));
+  }
+  a0_ += a;
+  b0_ += b;
+  c0_ += c;
+  d0_ += d;
+}
+
+void Md5::update(std::span<const std::byte> data) noexcept {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t n = data.size();
+  total_len_ += n;
+
+  if (buf_len_ != 0) {
+    const std::size_t take = std::min(n, buf_.size() - buf_len_);
+    std::memcpy(buf_.data() + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    n -= take;
+    if (buf_len_ == buf_.size()) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n != 0) {
+    std::memcpy(buf_.data(), p, n);
+    buf_len_ = n;
+  }
+}
+
+std::array<std::uint8_t, 16> Md5::final_digest() noexcept {
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  // Pad: 0x80, zeros, then the 64-bit little-endian bit length.
+  static constexpr std::byte kPad[64] = {std::byte{0x80}};
+  const std::size_t pad_len =
+      (buf_len_ < 56) ? (56 - buf_len_) : (120 - buf_len_);
+  update(std::span<const std::byte>(kPad, pad_len));
+
+  std::uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i) len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  update(std::as_bytes(std::span<const std::uint8_t>(len_le, 8)));
+
+  std::array<std::uint8_t, 16> out;
+  const std::uint32_t regs[4] = {a0_, b0_, c0_, d0_};
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      out[static_cast<std::size_t>(4 * r + i)] = static_cast<std::uint8_t>(regs[r] >> (8 * i));
+    }
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 16> Md5::digest(std::span<const std::byte> data) noexcept {
+  Md5 md5;
+  md5.update(data);
+  return md5.final_digest();
+}
+
+ContentHash Md5::content_hash(std::span<const std::byte> data) noexcept {
+  const auto d = digest(data);
+  ContentHash h;
+  for (int i = 0; i < 8; ++i) h.hi = (h.hi << 8) | d[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) h.lo = (h.lo << 8) | d[static_cast<std::size_t>(i)];
+  return h;
+}
+
+}  // namespace concord::hash

@@ -1,0 +1,35 @@
+// SuperFastHash (Paul Hsieh), the paper's non-cryptographic "SuperHash".
+//
+// §5.2: with SuperFastHash the monitor's scan overhead drops from 6.4% to
+// 2.2% CPU at a 2 s period. The raw function yields 32 bits; ConCORD needs a
+// 128-bit content name, so content_hash() hashes four salted passes — still
+// far cheaper than MD5 (the salt mixes into the seed, not the data stream).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace concord::hash {
+
+/// The classic 32-bit SuperFastHash with an explicit seed.
+[[nodiscard]] std::uint32_t superfast32(std::span<const std::byte> data,
+                                        std::uint32_t seed = 0) noexcept;
+
+/// 128-bit content name from two independently-seeded passes (64 effective
+/// bits; see the .cpp for the trade-off discussion).
+[[nodiscard]] ContentHash superfast_content_hash(std::span<const std::byte> data) noexcept;
+
+/// FNV-1a 64-bit — used for cheap non-content hashing (shard placement of
+/// strings, test oracles), not for content names.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace concord::hash

@@ -1,0 +1,77 @@
+// LocalBlockMap: the NSM's ground-truth content index for one node.
+//
+// §3.2: "The NSM is also responsible for maintaining a mapping from content
+// hash to the addresses and sizes of memory blocks in the entities it tracks
+// locally. This information is available as a side effect of the memory
+// update monitor." The service command's collective phase resolves a content
+// hash to an actual local replica through this map — and detects staleness
+// when the map no longer has one.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace concord::mem {
+
+struct BlockLocation {
+  EntityId entity{};
+  BlockIndex block = 0;
+
+  friend bool operator==(const BlockLocation&, const BlockLocation&) = default;
+};
+
+class LocalBlockMap {
+ public:
+  void add(const ContentHash& h, BlockLocation loc) {
+    map_[h].push_back(loc);
+  }
+
+  /// Removes one specific (entity, block) location for `h`.
+  /// Returns false if that location was not present.
+  bool remove(const ContentHash& h, BlockLocation loc) {
+    const auto it = map_.find(h);
+    if (it == map_.end()) return false;
+    auto& v = it->second;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == loc) {
+        v[i] = v.back();
+        v.pop_back();
+        if (v.empty()) map_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// All local replicas of `h` (nullptr if none). The span is invalidated by
+  /// the next mutation.
+  [[nodiscard]] const std::vector<BlockLocation>* find(const ContentHash& h) const {
+    const auto it = map_.find(h);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Number of local copies (exact, unlike the DHT's entity bitmap).
+  [[nodiscard]] std::size_t copies(const ContentHash& h) const {
+    const auto it = map_.find(h);
+    return it == map_.end() ? 0 : it->second.size();
+  }
+
+  void reserve(std::size_t expected_hashes) { map_.reserve(expected_hashes); }
+
+  [[nodiscard]] std::size_t unique_hashes() const noexcept { return map_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [h, locs] : map_) fn(h, locs);
+  }
+
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<ContentHash, std::vector<BlockLocation>> map_;
+};
+
+}  // namespace concord::mem

@@ -1,0 +1,93 @@
+#include "mem/update_monitor.hpp"
+
+#include <cassert>
+
+namespace concord::mem {
+
+void MemoryUpdateMonitor::attach(MemoryEntity& entity) {
+  Tracked t;
+  t.entity = &entity;
+  t.last_hash.assign(entity.num_blocks(), ContentHash{});
+  t.ever_scanned.assign(entity.num_blocks(), false);
+  t.pending = Bitmap(entity.num_blocks());
+  tracked_.insert_or_assign(entity.id(), std::move(t));
+}
+
+void MemoryUpdateMonitor::detach(EntityId id) {
+  const auto it = tracked_.find(id);
+  if (it == tracked_.end()) return;
+  // Drop the entity's ground truth; the DHT side is cleaned up by the
+  // daemon, which emits removes when an entity departs.
+  Tracked& t = it->second;
+  for (BlockIndex b = 0; b < t.last_hash.size(); ++b) {
+    if (t.ever_scanned[b]) {
+      block_map_.remove(t.last_hash[b], BlockLocation{id, b});
+    }
+  }
+  tracked_.erase(it);
+}
+
+ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
+  ScanStats stats;
+  std::uint64_t emitted = 0;
+  const bool throttled = update_budget_ > 0;
+
+  for (auto& [id, t] : tracked_) {
+    MemoryEntity& e = *t.entity;
+
+    // Candidate blocks for this epoch: everything in full-scan mode, the
+    // dirty set (plus throttle carry-over) otherwise.
+    Bitmap candidates;
+    if (mode_ == DetectMode::kFullScan) {
+      candidates = Bitmap(e.num_blocks());
+      for (std::size_t b = 0; b < e.num_blocks(); ++b) candidates.set(b);
+      (void)e.consume_dirty();  // scan mode ignores (and resets) dirty bits
+    } else {
+      candidates = e.consume_dirty();
+      candidates |= t.pending;
+    }
+    t.pending = Bitmap(e.num_blocks());
+
+    candidates.for_each([&](std::size_t bi) {
+      const auto b = static_cast<BlockIndex>(bi);
+      ++stats.blocks_examined;
+
+      // Throttle: updates beyond the budget stay pending. In full-scan mode
+      // the pending set also carries over so nothing is lost permanently.
+      if (throttled && emitted >= update_budget_) {
+        ++stats.throttled_blocks;
+        t.pending.set(bi);
+        return;
+      }
+
+      const ContentHash h = hasher_(e.block(b));
+      ++stats.blocks_hashed;
+      stats.bytes_hashed += e.block_size();
+
+      const ContentHash old = t.last_hash[b];
+      const bool was_scanned = t.ever_scanned[b];
+      if (was_scanned && old == h) return;  // unchanged
+
+      if (was_scanned) {
+        block_map_.remove(old, BlockLocation{id, b});
+        emit(ContentUpdate{ContentUpdate::Op::kRemove, old, id});
+        ++stats.removes_emitted;
+        ++emitted;
+      }
+      block_map_.add(h, BlockLocation{id, b});
+      t.last_hash[b] = h;
+      t.ever_scanned[b] = true;
+      emit(ContentUpdate{ContentUpdate::Op::kInsert, h, id});
+      ++stats.inserts_emitted;
+      ++emitted;
+    });
+  }
+  return stats;
+}
+
+const std::vector<ContentHash>* MemoryUpdateMonitor::known_hashes(EntityId id) const {
+  const auto it = tracked_.find(id);
+  return it == tracked_.end() ? nullptr : &it->second.last_hash;
+}
+
+}  // namespace concord::mem

@@ -1,0 +1,228 @@
+#include "net/codec.hpp"
+
+namespace concord::net::codec {
+
+namespace {
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+    }
+    pos_ += 4;
+    return true;
+  }
+  [[nodiscard]] bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+    }
+    pos_ += 8;
+    return true;
+  }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_len) {
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, body_len);
+}
+
+/// Validates the header and returns a reader positioned at the body.
+Result<Reader> open_body(std::span<const std::byte> datagram, WireType expect_a,
+                         WireType expect_b) {
+  const Result<WireHeader> h = decode_header(datagram);
+  if (!h.has_value()) return h.status();
+  if (h.value().type != expect_a && h.value().type != expect_b) {
+    return Status::kInvalidArgument;
+  }
+  return Reader(datagram.subspan(kHeaderLen));
+}
+
+}  // namespace
+
+void encode(const DhtUpdate& msg, std::vector<std::byte>& out) {
+  put_header(out, msg.insert ? WireType::kDhtInsert : WireType::kDhtRemove, 16 + 4);
+  put_u64(out, msg.hash.hi);
+  put_u64(out, msg.hash.lo);
+  put_u32(out, raw(msg.entity));
+}
+
+void encode(const Query& msg, std::vector<std::byte>& out) {
+  put_header(out, msg.want_entities ? WireType::kEntitiesQuery : WireType::kNumCopiesQuery,
+             8 + 16);
+  put_u64(out, msg.req_id);
+  put_u64(out, msg.hash.hi);
+  put_u64(out, msg.hash.lo);
+}
+
+void encode(const QueryReply& msg, std::vector<std::byte>& out) {
+  const auto count = static_cast<std::uint32_t>(msg.entities.size());
+  put_header(out, WireType::kQueryReply, 8 + 4 + 4 + count * 4);
+  put_u64(out, msg.req_id);
+  put_u32(out, msg.num_copies);
+  put_u32(out, count);
+  for (const EntityId e : msg.entities) put_u32(out, raw(e));
+}
+
+Result<WireHeader> decode_header(std::span<const std::byte> datagram) {
+  Reader r(datagram);
+  std::uint32_t magic = 0, body_len = 0;
+  std::uint8_t version = 0, type = 0;
+  if (!r.u32(magic) || !r.u8(version) || !r.u8(type) || !r.u32(body_len)) {
+    return Status::kInvalidArgument;
+  }
+  if (magic != kMagic || version != kVersion) return Status::kInvalidArgument;
+  if (type < 1 || type > kMaxWireType) return Status::kInvalidArgument;
+  if (datagram.size() != kHeaderLen + body_len) return Status::kInvalidArgument;
+  return WireHeader{static_cast<WireType>(type), body_len};
+}
+
+void encode(const CollectiveQuery& msg, std::vector<std::byte>& out) {
+  const auto words = static_cast<std::uint32_t>(msg.scope_words.size());
+  put_header(out, WireType::kCollectiveQuery, 8 + 8 + 1 + 4 + words * 8);
+  put_u64(out, msg.req_id);
+  put_u64(out, msg.k);
+  put_u8(out, msg.collect_hashes ? 1 : 0);
+  put_u32(out, words);
+  for (const std::uint64_t w : msg.scope_words) put_u64(out, w);
+}
+
+void encode(const CollectiveReply& msg, std::vector<std::byte>& out) {
+  const auto count = static_cast<std::uint32_t>(msg.k_hashes.size());
+  put_header(out, WireType::kCollectiveReply, 8 + 5 * 8 + 4 + count * 16);
+  put_u64(out, msg.req_id);
+  put_u64(out, msg.total);
+  put_u64(out, msg.unique);
+  put_u64(out, msg.intra);
+  put_u64(out, msg.inter);
+  put_u64(out, msg.k_count);
+  put_u32(out, count);
+  for (const ContentHash& h : msg.k_hashes) {
+    put_u64(out, h.hi);
+    put_u64(out, h.lo);
+  }
+}
+
+Result<CollectiveQuery> decode_collective_query(std::span<const std::byte> datagram) {
+  Result<Reader> body =
+      open_body(datagram, WireType::kCollectiveQuery, WireType::kCollectiveQuery);
+  if (!body.has_value()) return body.status();
+  CollectiveQuery msg;
+  Reader& r = body.value();
+  std::uint8_t collect = 0;
+  std::uint32_t words = 0;
+  if (!r.u64(msg.req_id) || !r.u64(msg.k) || !r.u8(collect) || !r.u32(words)) {
+    return Status::kInvalidArgument;
+  }
+  if (words > 1u << 16) return Status::kInvalidArgument;  // 4M entities is plenty
+  msg.collect_hashes = collect != 0;
+  msg.scope_words.reserve(words);
+  for (std::uint32_t i = 0; i < words; ++i) {
+    std::uint64_t w = 0;
+    if (!r.u64(w)) return Status::kInvalidArgument;
+    msg.scope_words.push_back(w);
+  }
+  if (!r.done()) return Status::kInvalidArgument;
+  return msg;
+}
+
+Result<CollectiveReply> decode_collective_reply(std::span<const std::byte> datagram) {
+  Result<Reader> body =
+      open_body(datagram, WireType::kCollectiveReply, WireType::kCollectiveReply);
+  if (!body.has_value()) return body.status();
+  CollectiveReply msg;
+  Reader& r = body.value();
+  std::uint32_t count = 0;
+  if (!r.u64(msg.req_id) || !r.u64(msg.total) || !r.u64(msg.unique) || !r.u64(msg.intra) ||
+      !r.u64(msg.inter) || !r.u64(msg.k_count) || !r.u32(count)) {
+    return Status::kInvalidArgument;
+  }
+  if (count > 1u << 20) return Status::kInvalidArgument;
+  msg.k_hashes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ContentHash h;
+    if (!r.u64(h.hi) || !r.u64(h.lo)) return Status::kInvalidArgument;
+    msg.k_hashes.push_back(h);
+  }
+  if (!r.done()) return Status::kInvalidArgument;
+  return msg;
+}
+
+Result<DhtUpdate> decode_dht_update(std::span<const std::byte> datagram) {
+  Result<Reader> body = open_body(datagram, WireType::kDhtInsert, WireType::kDhtRemove);
+  if (!body.has_value()) return body.status();
+  const Result<WireHeader> h = decode_header(datagram);
+  DhtUpdate msg;
+  msg.insert = h.value().type == WireType::kDhtInsert;
+  std::uint32_t entity = 0;
+  Reader& r = body.value();
+  if (!r.u64(msg.hash.hi) || !r.u64(msg.hash.lo) || !r.u32(entity) || !r.done()) {
+    return Status::kInvalidArgument;
+  }
+  msg.entity = entity_id(entity);
+  return msg;
+}
+
+Result<Query> decode_query(std::span<const std::byte> datagram) {
+  Result<Reader> body =
+      open_body(datagram, WireType::kNumCopiesQuery, WireType::kEntitiesQuery);
+  if (!body.has_value()) return body.status();
+  const Result<WireHeader> h = decode_header(datagram);
+  Query msg;
+  msg.want_entities = h.value().type == WireType::kEntitiesQuery;
+  Reader& r = body.value();
+  if (!r.u64(msg.req_id) || !r.u64(msg.hash.hi) || !r.u64(msg.hash.lo) || !r.done()) {
+    return Status::kInvalidArgument;
+  }
+  return msg;
+}
+
+Result<QueryReply> decode_query_reply(std::span<const std::byte> datagram) {
+  Result<Reader> body = open_body(datagram, WireType::kQueryReply, WireType::kQueryReply);
+  if (!body.has_value()) return body.status();
+  QueryReply msg;
+  Reader& r = body.value();
+  std::uint32_t count = 0;
+  if (!r.u64(msg.req_id) || !r.u32(msg.num_copies) || !r.u32(count)) {
+    return Status::kInvalidArgument;
+  }
+  if (count > 1u << 20) return Status::kInvalidArgument;  // sanity bound
+  msg.entities.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t e = 0;
+    if (!r.u32(e)) return Status::kInvalidArgument;
+    msg.entities.push_back(entity_id(e));
+  }
+  if (!r.done()) return Status::kInvalidArgument;
+  return msg;
+}
+
+}  // namespace concord::net::codec

@@ -1,0 +1,102 @@
+// Wire codec for running ConCORD's protocols over real sockets.
+//
+// The emulated Fabric passes typed payloads within one address space and
+// models only the wire *size*. For genuine deployment — the paper's system
+// runs everything over UDP (§3.4) — messages need a byte layout. This codec
+// defines it: a fixed little-endian header (magic, version, type, body
+// length) followed by a per-type body. It is deliberately explicit (no
+// struct dumping) so the format is stable across compilers and
+// architectures, and every decoder rejects malformed input instead of
+// trusting the network.
+//
+// Covered messages: DHT updates (the bulk of real traffic), node-wise
+// queries and their replies — the paths exercised by the real-socket
+// integration tests and the udp_node loopback deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace concord::net::codec {
+
+inline constexpr std::uint32_t kMagic = 0x434e4344;  // "CNCD"
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class WireType : std::uint8_t {
+  kDhtInsert = 1,
+  kDhtRemove = 2,
+  kNumCopiesQuery = 3,
+  kEntitiesQuery = 4,
+  kQueryReply = 5,
+  kCollectiveQuery = 6,
+  kCollectiveReply = 7,
+};
+inline constexpr std::uint8_t kMaxWireType = 7;
+
+struct WireHeader {
+  WireType type{};
+  std::uint32_t body_len = 0;
+};
+inline constexpr std::size_t kHeaderLen = 4 + 1 + 1 + 4;  // magic, ver, type, len
+
+struct DhtUpdate {
+  ContentHash hash;
+  EntityId entity{};
+  bool insert = true;
+};
+
+struct Query {
+  std::uint64_t req_id = 0;
+  ContentHash hash;
+  bool want_entities = false;
+};
+
+struct QueryReply {
+  std::uint64_t req_id = 0;
+  std::uint32_t num_copies = 0;
+  std::vector<EntityId> entities;  // filled only for entities() queries
+};
+
+/// One shard's slice of a collective query (sharing / num_shared_content /
+/// shared_content). The scope travels as an entity bitmap; the shard's
+/// membership table (entity -> host) is deployment configuration, not wire
+/// data.
+struct CollectiveQuery {
+  std::uint64_t req_id = 0;
+  std::uint64_t k = ~std::uint64_t{0};
+  bool collect_hashes = false;
+  std::vector<std::uint64_t> scope_words;  // entity bitmap, 64-bit words
+};
+
+struct CollectiveReply {
+  std::uint64_t req_id = 0;
+  std::uint64_t total = 0, unique = 0, intra = 0, inter = 0, k_count = 0;
+  std::vector<ContentHash> k_hashes;
+};
+
+// --- encoders: append header+body to `out` and return the datagram span
+// boundaries (the datagram is out's new suffix).
+
+void encode(const DhtUpdate& msg, std::vector<std::byte>& out);
+void encode(const Query& msg, std::vector<std::byte>& out);
+void encode(const QueryReply& msg, std::vector<std::byte>& out);
+void encode(const CollectiveQuery& msg, std::vector<std::byte>& out);
+void encode(const CollectiveReply& msg, std::vector<std::byte>& out);
+
+// --- decoding: header first, then the matching body.
+
+[[nodiscard]] Result<WireHeader> decode_header(std::span<const std::byte> datagram);
+[[nodiscard]] Result<DhtUpdate> decode_dht_update(std::span<const std::byte> datagram);
+[[nodiscard]] Result<Query> decode_query(std::span<const std::byte> datagram);
+[[nodiscard]] Result<QueryReply> decode_query_reply(std::span<const std::byte> datagram);
+[[nodiscard]] Result<CollectiveQuery> decode_collective_query(
+    std::span<const std::byte> datagram);
+[[nodiscard]] Result<CollectiveReply> decode_collective_reply(
+    std::span<const std::byte> datagram);
+
+}  // namespace concord::net::codec

@@ -1,0 +1,166 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace concord::net {
+
+void Fabric::register_node(NodeId node, Handler handler) {
+  assert(handler);
+  handlers_[node] = std::move(handler);
+  traffic_.try_emplace(node);
+  next_tx_free_.try_emplace(node, 0);
+}
+
+sim::Time Fabric::transmit(NodeId src, std::size_t wire_size, bool lossy) {
+  NodeTraffic& t = traffic_[src];
+  ++t.msgs_sent;
+  t.bytes_sent += wire_size;
+
+  // Egress serialization: this datagram occupies the NIC for tx_time.
+  sim::Time& free_at = next_tx_free_[src];
+  const sim::Time start = std::max(sim_.now(), free_at);
+  const auto tx_time =
+      static_cast<sim::Time>(static_cast<double>(wire_size) * params_.ns_per_byte);
+  free_at = start + tx_time;
+
+  if (lossy && sim_.rng().chance(params_.loss_rate)) {
+    ++t.msgs_dropped;
+    return -1;
+  }
+
+  const sim::Time jitter =
+      params_.jitter > 0 ? static_cast<sim::Time>(sim_.rng().below(
+                               static_cast<std::uint64_t>(params_.jitter)))
+                         : 0;
+  return free_at + params_.base_latency + jitter;
+}
+
+void Fabric::deliver_at(sim::Time when, Message msg) {
+  sim_.at(when, [this, m = std::move(msg)]() {
+    const auto it = handlers_.find(m.dst);
+    if (it == handlers_.end()) {
+      log::warn("fabric: message for unregistered node %u dropped", raw(m.dst));
+      return;
+    }
+    NodeTraffic& t = traffic_[m.dst];
+    ++t.msgs_received;
+    t.bytes_received += m.wire_size;
+    it->second(m);
+  });
+}
+
+void Fabric::send_unreliable(Message msg) {
+  if (msg.src == msg.dst) {
+    deliver_at(sim_.now() + kLoopbackLatency, std::move(msg));
+    return;
+  }
+  type_bytes_[static_cast<std::uint16_t>(msg.type)] += msg.wire_size;
+  const sim::Time arrival = transmit(msg.src, msg.wire_size, /*lossy=*/true);
+  if (arrival < 0) return;  // lost in flight
+  deliver_at(arrival, std::move(msg));
+}
+
+void Fabric::send_reliable(Message msg, SendCallback on_done) {
+  if (msg.src == msg.dst) {
+    // Loopback: intra-node messages never touch the NIC and cannot be lost.
+    const sim::Time when = sim_.now() + kLoopbackLatency;
+    deliver_at(when, std::move(msg));
+    if (on_done) sim_.at(when, [cb = std::move(on_done)]() { cb(Status::kOk); });
+    return;
+  }
+  type_bytes_[static_cast<std::uint16_t>(msg.type)] += msg.wire_size;
+
+  // Simulate the ack protocol: geometric number of data attempts (each
+  // costing a timeout on failure), then an acked completion. Ack datagrams
+  // are small; their loss triggers a retransmit of the data as well.
+  constexpr std::size_t kAckBytes = kWireHeaderBytes;
+  sim::Time elapsed = 0;
+  int attempt = 0;
+  while (attempt < params_.max_retries) {
+    ++attempt;
+    const sim::Time arrival = transmit(msg.src, msg.wire_size, /*lossy=*/true);
+    if (arrival < 0) {
+      elapsed += params_.ack_timeout;  // sender waits out the timer
+      continue;
+    }
+    // Data arrived. The receiver acks; a lost ack costs another timeout and
+    // a retransmission, but the receiver dedups, so deliver only once.
+    const sim::Time deliver_time = arrival + elapsed;
+    deliver_at(deliver_time, std::move(msg));
+
+    sim::Time ack_elapsed = 0;
+    int ack_attempt = 0;
+    while (ack_attempt < params_.max_retries) {
+      ++ack_attempt;
+      const sim::Time ack_arrival = transmit(msg.dst, kAckBytes, /*lossy=*/true);
+      if (ack_arrival < 0) {
+        ack_elapsed += params_.ack_timeout;
+        continue;
+      }
+      if (on_done) {
+        sim_.at(deliver_time + ack_elapsed +
+                    std::max<sim::Time>(ack_arrival - sim_.now(), 0),
+                [cb = std::move(on_done)]() { cb(Status::kOk); });
+      }
+      return;
+    }
+    // Ack never made it; report timeout to the sender.
+    if (on_done) {
+      sim_.at(deliver_time + ack_elapsed, [cb = std::move(on_done)]() { cb(Status::kTimeout); });
+    }
+    return;
+  }
+  if (on_done) {
+    sim_.at(sim_.now() + elapsed, [cb = std::move(on_done)]() { cb(Status::kTimeout); });
+  }
+}
+
+void Fabric::broadcast_reliable(NodeId src, MsgType type, const std::any& body,
+                                std::size_t body_bytes, const std::vector<NodeId>& dsts,
+                                SendCallback on_done) {
+  if (dsts.empty()) {
+    if (on_done) sim_.after(0, [cb = std::move(on_done)]() { cb(Status::kOk); });
+    return;
+  }
+  struct BcastState {
+    std::size_t pending;
+    Status worst = Status::kOk;
+    SendCallback on_done;
+  };
+  auto state = std::make_shared<BcastState>(BcastState{dsts.size(), Status::kOk, std::move(on_done)});
+  for (const NodeId dst : dsts) {
+    Message m{src, dst, type, kWireHeaderBytes + body_bytes, body};
+    send_reliable(std::move(m), [state](Status s) {
+      if (!ok(s)) state->worst = s;
+      if (--state->pending == 0 && state->on_done) state->on_done(state->worst);
+    });
+  }
+}
+
+const NodeTraffic& Fabric::traffic(NodeId node) const { return traffic_[node]; }
+
+NodeTraffic Fabric::total_traffic() const {
+  NodeTraffic sum;
+  for (const auto& [node, t] : traffic_) {
+    sum.msgs_sent += t.msgs_sent;
+    sum.bytes_sent += t.bytes_sent;
+    sum.msgs_received += t.msgs_received;
+    sum.bytes_received += t.bytes_received;
+    sum.msgs_dropped += t.msgs_dropped;
+  }
+  return sum;
+}
+
+std::uint64_t Fabric::type_bytes(MsgType t) const {
+  const auto it = type_bytes_.find(static_cast<std::uint16_t>(t));
+  return it == type_bytes_.end() ? 0 : it->second;
+}
+
+void Fabric::reset_traffic() {
+  for (auto& [node, t] : traffic_) t = NodeTraffic{};
+  type_bytes_.clear();
+}
+
+}  // namespace concord::net

@@ -1,0 +1,101 @@
+// Fabric: the emulated site network connecting ConCORD daemons.
+//
+// Models a single switched network (the paper's gigabit / InfiniBand
+// clusters) with:
+//   * per-node egress serialization (bandwidth): messages from one node
+//     queue behind each other at ns-per-byte cost;
+//   * a base propagation/switching latency plus uniform jitter;
+//   * i.i.d. datagram loss applied to the unreliable class only;
+//   * a reliable class built from the unreliable one by ack + retransmit
+//     (out-of-order tolerant), as in §3.4.
+// All delays are charged to the Simulation's virtual clock. Per-node and
+// per-type traffic is accounted for the Fig. 7 / §5.4 volume results.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace concord::net {
+
+struct FabricParams {
+  sim::Time base_latency = 50 * sim::kMicrosecond;  // switch + stack traversal
+  sim::Time jitter = 20 * sim::kMicrosecond;        // uniform [0, jitter)
+  double ns_per_byte = 8.0;                         // ~1 Gbit/s
+  double loss_rate = 0.0;                           // unreliable class only
+  sim::Time ack_timeout = 2 * sim::kMillisecond;    // reliable retransmit timer
+  int max_retries = 16;                             // before kTimeout
+};
+
+/// Intra-node messages bypass the NIC entirely (shared-memory handoff):
+/// tiny fixed latency, no egress charge, no loss, no traffic accounting.
+inline constexpr sim::Time kLoopbackLatency = 2 * sim::kMicrosecond;
+
+struct NodeTraffic {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t msgs_dropped = 0;  // unreliable datagrams lost in flight
+};
+
+class Fabric {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  /// Invoked on the sender when a reliable send completes (acked or failed).
+  using SendCallback = std::function<void(Status)>;
+
+  Fabric(sim::Simulation& simulation, FabricParams params)
+      : sim_(simulation), params_(params) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers the receive handler for a node. One handler per node.
+  void register_node(NodeId node, Handler handler);
+  [[nodiscard]] std::size_t node_count() const noexcept { return handlers_.size(); }
+
+  /// Unreliable datagram: may be silently dropped (loss_rate).
+  void send_unreliable(Message msg);
+
+  /// Reliable message: delivered exactly once (acks + retransmits are
+  /// simulated and charged to virtual time and traffic accounting).
+  /// `on_done` fires on the sender when the ack arrives or retries are
+  /// exhausted.
+  void send_reliable(Message msg, SendCallback on_done = {});
+
+  /// Reliable 1-to-n broadcast; `on_done` fires once all destinations acked.
+  void broadcast_reliable(NodeId src, MsgType type, const std::any& body,
+                          std::size_t body_bytes, const std::vector<NodeId>& dsts,
+                          SendCallback on_done = {});
+
+  [[nodiscard]] const NodeTraffic& traffic(NodeId node) const;
+  [[nodiscard]] NodeTraffic total_traffic() const;
+  [[nodiscard]] std::uint64_t type_bytes(MsgType t) const;
+  void reset_traffic();
+
+  [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
+  void set_loss_rate(double p) noexcept { params_.loss_rate = p; }
+
+ private:
+  /// One transmission attempt: charges egress, returns arrival time, or -1
+  /// if the datagram is lost (loss is charged to traffic but not delivered).
+  sim::Time transmit(NodeId src, std::size_t wire_size, bool lossy);
+
+  void deliver_at(sim::Time when, Message msg);
+
+  sim::Simulation& sim_;
+  FabricParams params_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, sim::Time> next_tx_free_;
+  mutable std::unordered_map<NodeId, NodeTraffic> traffic_;
+  std::unordered_map<std::uint16_t, std::uint64_t> type_bytes_;
+};
+
+}  // namespace concord::net

@@ -1,0 +1,60 @@
+// Message envelope for the emulated site network.
+//
+// ConCORD separates two traffic classes (§3.4): unreliable "send and forget"
+// peer-to-peer datagrams (updates, hash exchange — the bulk of traffic) and
+// reliable 1-to-n synchronizing messages (query/command control). Both ride
+// this envelope. The payload crosses the fabric as a typed value (we are in
+// one address space) but every message declares its *wire size* — the bytes
+// it would occupy on a real network — which is what the latency/bandwidth
+// model and the traffic accounting consume. Senders compute wire sizes from
+// the real serialized layout of each message type.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace concord::net {
+
+/// Message type tags. One flat space so traffic accounting can break volume
+/// down by protocol.
+enum class MsgType : std::uint16_t {
+  kDhtInsert,        // monitor -> shard owner (unreliable)
+  kDhtRemove,        // monitor -> shard owner (unreliable)
+  kNodeQuery,        // client -> shard owner (reliable request/response)
+  kNodeQueryReply,
+  kCollectiveRequest,   // controller -> all daemons (reliable bcast)
+  kCollectiveReply,     // daemon -> controller (reliable)
+  kCommandControl,      // service command phase control (reliable bcast)
+  kCommandHashExchange, // daemon <-> daemon hash sets (unreliable)
+  kCommandAck,          // daemon -> controller phase completion (reliable)
+  kData,                // bulk content transfer (migration etc.)
+  kControl,             // misc control plane
+};
+
+/// Fixed per-datagram overhead we charge on the wire: Ethernet + IP + UDP
+/// headers plus ConCORD's own message header.
+inline constexpr std::size_t kWireHeaderBytes = 14 + 20 + 8 + 16;
+
+struct Message {
+  NodeId src{};
+  NodeId dst{};
+  MsgType type{};
+  std::size_t wire_size = kWireHeaderBytes;  // total bytes on the wire
+  std::any payload;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::any_cast<const T&>(payload);
+  }
+};
+
+/// Builds a message whose wire size is header + declared body bytes.
+template <typename T>
+Message make_message(NodeId src, NodeId dst, MsgType type, T body, std::size_t body_bytes) {
+  return Message{src, dst, type, kWireHeaderBytes + body_bytes, std::any(std::move(body))};
+}
+
+}  // namespace concord::net

@@ -1,0 +1,104 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace concord::net {
+
+namespace {
+constexpr std::size_t kMaxDatagram = 65507;  // UDP max payload over IPv4
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpEndpoint::~UdpEndpoint() { close_fd(); }
+
+UdpEndpoint::UdpEndpoint(UdpEndpoint&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), port_(std::exchange(o.port_, 0)) {}
+
+UdpEndpoint& UdpEndpoint::operator=(UdpEndpoint&& o) noexcept {
+  if (this != &o) {
+    close_fd();
+    fd_ = std::exchange(o.fd_, -1);
+    port_ = std::exchange(o.port_, 0);
+  }
+  return *this;
+}
+
+void UdpEndpoint::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status UdpEndpoint::bind() {
+  close_fd();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return Status::kUnavailable;
+
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close_fd();
+    return Status::kUnavailable;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close_fd();
+    return Status::kUnavailable;
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::kOk;
+}
+
+Status UdpEndpoint::send_to(std::uint16_t dst_port, std::span<const std::byte> data) {
+  if (fd_ < 0) return Status::kUnavailable;
+  if (data.size() > kMaxDatagram) return Status::kInvalidArgument;
+  const sockaddr_in dst = loopback_addr(dst_port);
+  const ssize_t n = ::sendto(fd_, data.data(), data.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+  // UDP is "send and forget": a transient error is indistinguishable from
+  // loss to the protocol above, but we do surface local failures.
+  return (n == static_cast<ssize_t>(data.size())) ? Status::kOk : Status::kUnavailable;
+}
+
+Result<std::vector<std::byte>> UdpEndpoint::recv(int timeout_ms) {
+  Result<Datagram> d = recv_from(timeout_ms);
+  if (!d.has_value()) return d.status();
+  return std::move(d.value().data);
+}
+
+Result<UdpEndpoint::Datagram> UdpEndpoint::recv_from(int timeout_ms) {
+  if (fd_ < 0) return Status::kUnavailable;
+
+  pollfd pfd{fd_, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) return Status::kInternal;
+  if (r == 0) return Status::kTimeout;
+
+  Datagram out;
+  out.data.resize(kMaxDatagram);
+  sockaddr_in src{};
+  socklen_t src_len = sizeof(src);
+  const ssize_t n = ::recvfrom(fd_, out.data.data(), out.data.size(), 0,
+                               reinterpret_cast<sockaddr*>(&src), &src_len);
+  if (n < 0) return Status::kInternal;
+  out.data.resize(static_cast<std::size_t>(n));
+  out.sender_port = ntohs(src.sin_port);
+  return out;
+}
+
+}  // namespace concord::net

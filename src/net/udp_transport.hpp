@@ -1,0 +1,55 @@
+// Real-socket UDP endpoint (loopback), mirroring the paper's transport.
+//
+// ConCORD's deployed implementation runs all communication over UDP (§3.4).
+// The emulation (Fabric) is what the experiments use, but this class proves
+// the message layer also runs over genuine sockets: integration tests bind
+// several endpoints on 127.0.0.1 and push real datagrams between "nodes".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace concord::net {
+
+class UdpEndpoint {
+ public:
+  UdpEndpoint() = default;
+  ~UdpEndpoint();
+
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+  UdpEndpoint(UdpEndpoint&& o) noexcept;
+  UdpEndpoint& operator=(UdpEndpoint&& o) noexcept;
+
+  /// Binds to 127.0.0.1 on an ephemeral port.
+  [[nodiscard]] Status bind();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool is_bound() const noexcept { return fd_ >= 0; }
+
+  /// Fire-and-forget datagram to another loopback endpoint.
+  [[nodiscard]] Status send_to(std::uint16_t dst_port, std::span<const std::byte> data);
+
+  /// Receives one datagram, waiting up to timeout_ms (0 = poll).
+  /// Returns kTimeout if nothing arrived.
+  [[nodiscard]] Result<std::vector<std::byte>> recv(int timeout_ms);
+
+  struct Datagram {
+    std::vector<std::byte> data;
+    std::uint16_t sender_port = 0;  // for request/response protocols
+  };
+
+  /// Like recv(), but also reports the sender's port.
+  [[nodiscard]] Result<Datagram> recv_from(int timeout_ms);
+
+ private:
+  void close_fd() noexcept;
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace concord::net

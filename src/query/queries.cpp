@@ -1,0 +1,217 @@
+#include "query/queries.hpp"
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "core/cost_model.hpp"
+#include "dht/collective_scan.hpp"
+
+namespace concord::query {
+
+namespace {
+
+/// Measures a local computation on the host clock so its cost can be
+/// charged to the simulation's virtual clock.
+template <typename Fn>
+sim::Time timed(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+struct NodeQueryMsg {
+  std::uint64_t req_id;
+  ContentHash hash;
+  bool want_entities;
+};
+constexpr std::size_t kNodeQueryBytes = 8 + sizeof(ContentHash) + 1;
+
+struct NodeQueryReplyMsg {
+  std::uint64_t req_id;
+  std::size_t num_copies;
+  std::vector<EntityId> entities;
+  sim::Time compute_time;
+};
+
+struct CollectiveReqMsg {
+  std::uint64_t req_id;
+  std::shared_ptr<const Bitmap> set;  // query entity set (shared: 1-to-n bcast)
+  std::size_t k;
+  bool collect_hashes;
+};
+
+}  // namespace
+
+// Partial results travel back as this payload.
+struct CollectiveReplyMsg {
+  std::uint64_t req_id;
+  QueryEngine::CollectivePartial partial;
+};
+
+QueryEngine::CollectivePartial QueryEngine::compute_partial(const core::ServiceDaemon& d,
+                                                            const Bitmap& query_set,
+                                                            std::size_t k,
+                                                            bool collect_hashes) const {
+  // The shared shard kernel (dht/collective_scan.hpp) needs the site
+  // membership as a flat entity->host table.
+  const core::EntityRegistry& reg = cluster_.registry();
+  std::vector<std::uint32_t> hosts(reg.size());
+  for (std::uint32_t i = 0; i < reg.size(); ++i) hosts[i] = raw(reg.host_of(entity_id(i)));
+
+  dht::ScanPartial p = dht::collective_scan(d.store(), query_set, hosts, k, collect_hashes);
+  return CollectivePartial{p.total, p.unique, p.intra, p.inter, p.k_count,
+                           std::move(p.k_hashes)};
+}
+
+NodewiseAnswer QueryEngine::num_copies(NodeId from, const ContentHash& h) {
+  return entities_impl(from, h, /*want_entities=*/false);
+}
+
+NodewiseAnswer QueryEngine::entities(NodeId from, const ContentHash& h) {
+  return entities_impl(from, h, /*want_entities=*/true);
+}
+
+NodewiseAnswer QueryEngine::entities_impl(NodeId from, const ContentHash& h,
+                                          bool want_entities) {
+  sim::Simulation& simu = cluster_.sim();
+  net::Fabric& fabric = cluster_.fabric();
+  const NodeId owner = cluster_.placement().owner(h);
+  const std::uint64_t req_id = next_req_id_++;
+
+  NodewiseAnswer answer;
+  bool done = false;
+  const sim::Time t0 = simu.now();
+
+  // Install one-shot handlers: owner computes, requester collects.
+  cluster_.daemon(owner).set_handler(
+      net::MsgType::kNodeQuery, [&](core::ServiceDaemon& d, const net::Message& m) {
+        const auto& q = m.as<NodeQueryMsg>();
+        NodeQueryReplyMsg reply{q.req_id, 0, {}, 0};
+        reply.compute_time = timed([&] {
+          reply.num_copies = d.store().num_entities(q.hash);
+          if (q.want_entities) reply.entities = d.store().entities(q.hash);
+        });
+        const std::size_t body = 8 + 8 + reply.entities.size() * sizeof(EntityId) + 8;
+        // Charge the local computation before the reply leaves the node.
+        simu.after(reply.compute_time, [&d, m, reply = std::move(reply), body]() mutable {
+          d.fabric().send_reliable(
+              net::make_message(d.id(), m.src, net::MsgType::kNodeQueryReply,
+                                std::move(reply), body));
+        });
+      });
+  cluster_.daemon(from).set_handler(
+      net::MsgType::kNodeQueryReply, [&](core::ServiceDaemon&, const net::Message& m) {
+        const auto& r = m.as<NodeQueryReplyMsg>();
+        if (r.req_id != req_id) return;
+        answer.num_copies = r.num_copies;
+        answer.entities = r.entities;
+        answer.compute_time = r.compute_time;
+        answer.latency = simu.now() - t0;
+        done = true;
+      });
+
+  fabric.send_reliable(net::make_message(from, owner, net::MsgType::kNodeQuery,
+                                         NodeQueryMsg{req_id, h, want_entities},
+                                         kNodeQueryBytes));
+  simu.run();
+  if (!done) answer.latency = simu.now() - t0;  // reply lost beyond retries
+  return answer;
+}
+
+QueryEngine::CollectivePartial QueryEngine::run_collective(NodeId from,
+                                                           std::span<const EntityId> set,
+                                                           std::size_t k, bool collect_hashes,
+                                                           sim::Time& latency) {
+  sim::Simulation& simu = cluster_.sim();
+  net::Fabric& fabric = cluster_.fabric();
+  const std::uint64_t req_id = next_req_id_++;
+
+  auto query_set = std::make_shared<Bitmap>(cluster_.params().max_entities);
+  for (const EntityId e : set) query_set->set(raw(e));
+
+  // The DHT spans placement().num_nodes() shards (1 in the Fig. 9 "single"
+  // configuration); only shard holders participate.
+  std::vector<NodeId> shard_nodes;
+  for (std::uint32_t n = 0; n < cluster_.placement().num_nodes(); ++n) {
+    shard_nodes.push_back(node_id(n));
+  }
+
+  CollectivePartial aggregate;
+  std::size_t replies = 0;
+  const sim::Time t0 = simu.now();
+  sim::Time done_at = t0;
+
+  for (const NodeId n : shard_nodes) {
+    cluster_.daemon(n).set_handler(
+        net::MsgType::kCollectiveRequest, [&](core::ServiceDaemon& d, const net::Message& m) {
+          const auto& req = m.as<CollectiveReqMsg>();
+          CollectiveReplyMsg reply{req.req_id, {}};
+          reply.partial = compute_partial(d, *req.set, req.k, req.collect_hashes);
+          // Charged via the calibrated per-entry scan cost so the shard
+          // computation is deterministic (see core/cost_model.hpp).
+          const sim::Time cost =
+              core::CostModel::instance().scan_cost(d.store().unique_hashes());
+          const std::size_t body = 8 + 5 * 8 + reply.partial.k_hashes.size() * sizeof(ContentHash);
+          simu.after(cost, [&d, m, reply = std::move(reply), body]() mutable {
+            d.fabric().send_reliable(net::make_message(
+                d.id(), m.src, net::MsgType::kCollectiveReply, std::move(reply), body));
+          });
+        });
+  }
+  cluster_.daemon(from).set_handler(
+      net::MsgType::kCollectiveReply, [&](core::ServiceDaemon&, const net::Message& m) {
+        const auto& r = m.as<CollectiveReplyMsg>();
+        if (r.req_id != req_id) return;
+        aggregate.total += r.partial.total;
+        aggregate.unique += r.partial.unique;
+        aggregate.intra += r.partial.intra;
+        aggregate.inter += r.partial.inter;
+        aggregate.k_count += r.partial.k_count;
+        aggregate.k_hashes.insert(aggregate.k_hashes.end(), r.partial.k_hashes.begin(),
+                                  r.partial.k_hashes.end());
+        ++replies;
+        done_at = simu.now();
+      });
+
+  const std::size_t set_bytes = (cluster_.params().max_entities + 7) / 8;
+  fabric.broadcast_reliable(from, net::MsgType::kCollectiveRequest,
+                            std::any(CollectiveReqMsg{req_id, query_set, k, collect_hashes}),
+                            8 + set_bytes + 8 + 1, shard_nodes);
+  simu.run();
+  (void)replies;
+  latency = done_at - t0;
+  return aggregate;
+}
+
+SharingAnswer QueryEngine::sharing(NodeId from, std::span<const EntityId> set) {
+  SharingAnswer ans;
+  const CollectivePartial p =
+      run_collective(from, set, /*k=*/~std::size_t{0}, /*collect=*/false, ans.latency);
+  ans.total_copies = p.total;
+  ans.unique_hashes = p.unique;
+  ans.sharing = p.total - p.unique;
+  ans.intra_sharing = p.intra;
+  ans.inter_sharing = p.inter;
+  return ans;
+}
+
+KCopyAnswer QueryEngine::num_shared_content(NodeId from, std::span<const EntityId> set,
+                                            std::size_t k) {
+  KCopyAnswer ans;
+  const CollectivePartial p = run_collective(from, set, k, /*collect=*/false, ans.latency);
+  ans.num_hashes = p.k_count;
+  return ans;
+}
+
+KCopyAnswer QueryEngine::shared_content(NodeId from, std::span<const EntityId> set,
+                                        std::size_t k) {
+  KCopyAnswer ans;
+  CollectivePartial p = run_collective(from, set, k, /*collect=*/true, ans.latency);
+  ans.num_hashes = p.k_count;
+  ans.hashes = std::move(p.k_hashes);
+  return ans;
+}
+
+}  // namespace concord::query

@@ -1,0 +1,123 @@
+#include "services/checkpoint_format.hpp"
+
+#include <cstring>
+
+namespace concord::services {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint32_t>(in[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+std::uint64_t get_u64(std::span<const std::byte> in, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(in[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+void append_header(fs::SimFs& fsys, const std::string& path, const CheckpointHeader& h) {
+  std::vector<std::byte> buf;
+  buf.reserve(kHeaderBytes);
+  put_u32(buf, h.magic);
+  put_u32(buf, h.entity);
+  put_u64(buf, h.num_blocks);
+  put_u64(buf, h.block_size);
+  fsys.append(path, buf);
+}
+
+void append_record(fs::SimFs& fsys, const std::string& path, const BlockRecord& r,
+                   std::span<const std::byte> content) {
+  std::vector<std::byte> buf;
+  buf.reserve(kRecordBytes + content.size());
+  buf.push_back(static_cast<std::byte>(r.kind));
+  put_u64(buf, r.block);
+  put_u64(buf, r.hash.hi);
+  put_u64(buf, r.hash.lo);
+  put_u64(buf, r.location);
+  buf.insert(buf.end(), content.begin(), content.end());
+  fsys.append(path, buf);
+}
+
+Result<CheckpointHeader> read_header(const fs::SimFs& fsys, const std::string& path) {
+  std::vector<std::byte> buf(kHeaderBytes);
+  const Status s = fsys.pread(path, 0, buf);
+  if (!ok(s)) return s;
+  CheckpointHeader h;
+  h.magic = get_u32(buf, 0);
+  if (h.magic != CheckpointHeader::kMagic) return Status::kInvalidArgument;
+  h.entity = get_u32(buf, 4);
+  h.num_blocks = get_u64(buf, 8);
+  h.block_size = get_u64(buf, 16);
+  return h;
+}
+
+Result<BlockRecord> read_record(const fs::SimFs& fsys, const std::string& path,
+                                std::uint64_t block_size, FileOffset& offset,
+                                std::vector<std::byte>& content_out) {
+  std::vector<std::byte> buf(kRecordBytes);
+  Status s = fsys.pread(path, offset, buf);
+  if (!ok(s)) return s;
+  BlockRecord r;
+  const auto kind = static_cast<RecordKind>(buf[0]);
+  if (kind != RecordKind::kPointer && kind != RecordKind::kContent) {
+    return Status::kInvalidArgument;
+  }
+  r.kind = kind;
+  r.block = get_u64(buf, 1);
+  r.hash.hi = get_u64(buf, 9);
+  r.hash.lo = get_u64(buf, 17);
+  r.location = get_u64(buf, 25);
+  offset += kRecordBytes;
+
+  content_out.clear();
+  if (r.kind == RecordKind::kContent) {
+    content_out.resize(block_size);
+    s = fsys.pread(path, offset, content_out);
+    if (!ok(s)) return s;
+    offset += block_size;
+  }
+  return r;
+}
+
+Result<std::vector<std::byte>> restore_entity(const fs::SimFs& fsys, const std::string& se_path,
+                                              const std::string& shared_path) {
+  const Result<CheckpointHeader> hr = read_header(fsys, se_path);
+  if (!hr.has_value()) return hr.status();
+  const CheckpointHeader& h = hr.value();
+
+  std::vector<std::byte> memory(h.num_blocks * h.block_size);
+  std::vector<std::byte> content;
+  FileOffset off = kHeaderBytes;
+  for (std::uint64_t i = 0; i < h.num_blocks; ++i) {
+    const Result<BlockRecord> rr = read_record(fsys, se_path, h.block_size, off, content);
+    if (!rr.has_value()) return rr.status();
+    const BlockRecord& r = rr.value();
+    if (r.block >= h.num_blocks) return Status::kInvalidArgument;
+    std::byte* dst = memory.data() + r.block * h.block_size;
+    if (r.kind == RecordKind::kContent) {
+      std::memcpy(dst, content.data(), h.block_size);
+    } else {
+      const Status s =
+          fsys.pread(shared_path, r.location, std::span<std::byte>(dst, h.block_size));
+      if (!ok(s)) return s;
+    }
+  }
+  return memory;
+}
+
+}  // namespace concord::services

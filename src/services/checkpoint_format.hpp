@@ -1,0 +1,75 @@
+// Collective checkpoint on-disk format (Fig. 13).
+//
+// A checkpoint of a set of SEs consists of:
+//   * one *shared content file* holding, ideally, exactly one copy of every
+//     distinct memory block found across the SEs, and
+//   * one *per-SE checkpoint file* with a record per memory block that is
+//     either a pointer into the shared content file ("1:E:3" in the paper's
+//     syntax — block 1 holds content E stored at shared block 3) or the
+//     content itself (when ConCORD was unaware of the block's content —
+//     the best-effort escape hatch).
+//
+// Records are fixed-header + optional payload so a reader can walk the file
+// without an index. All integers little-endian.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "fs/simfs.hpp"
+
+namespace concord::services {
+
+/// Per-SE checkpoint file header.
+struct CheckpointHeader {
+  static constexpr std::uint32_t kMagic = 0x434b5031;  // "CKP1"
+  std::uint32_t magic = kMagic;
+  std::uint32_t entity = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t block_size = 0;
+};
+
+enum class RecordKind : std::uint8_t {
+  kPointer = 'P',  // content lives in the shared content file
+  kContent = 'C',  // content embedded (unknown to ConCORD at command time)
+};
+
+/// Fixed part of every record. For kPointer, `location` is the byte offset
+/// of the content within the shared content file; for kContent, the block's
+/// bytes follow the header immediately and `location` is unused.
+struct BlockRecord {
+  RecordKind kind = RecordKind::kContent;
+  std::uint64_t block = 0;
+  ContentHash hash;
+  std::uint64_t location = 0;
+};
+
+/// Serialized sizes (the SimFs stores byte streams, so we define an exact
+/// wire layout rather than dumping structs).
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+inline constexpr std::size_t kRecordBytes = 1 + 8 + 16 + 8;
+
+void append_header(fs::SimFs& fsys, const std::string& path, const CheckpointHeader& h);
+void append_record(fs::SimFs& fsys, const std::string& path, const BlockRecord& r,
+                   std::span<const std::byte> content = {});
+
+[[nodiscard]] Result<CheckpointHeader> read_header(const fs::SimFs& fsys,
+                                                   const std::string& path);
+
+/// Reads the record at `offset`; advances `offset` past it (including any
+/// embedded content). `content_out` receives embedded content for kContent.
+[[nodiscard]] Result<BlockRecord> read_record(const fs::SimFs& fsys, const std::string& path,
+                                              std::uint64_t block_size, FileOffset& offset,
+                                              std::vector<std::byte>& content_out);
+
+/// Restores one SE's full memory image from its checkpoint file plus the
+/// shared content file. Returns the reconstructed memory.
+[[nodiscard]] Result<std::vector<std::byte>> restore_entity(const fs::SimFs& fsys,
+                                                            const std::string& se_path,
+                                                            const std::string& shared_path);
+
+}  // namespace concord::services

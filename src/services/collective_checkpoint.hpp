@@ -1,0 +1,77 @@
+// Collective checkpointing as a content-aware service command (§6).
+//
+// The goal: checkpoint the memory of a set of SEs such that each replicated
+// block is stored exactly once. The implementation is deliberately small —
+// the paper's version is 230 lines of C — because the service command
+// engine supplies all the parallelism, scheduling, replica retry, and
+// correctness machinery; the service only says what to do with one block at
+// a time:
+//   * collective_command(): append the verified block to the shared content
+//     file, return the offset as the private value;
+//   * local_command(): write a pointer record when the block's hash was
+//     handled collectively, otherwise embed the content (the block was
+//     unknown to ConCORD — staleness, loss, or a never-scanned page).
+//
+// Config keys: "ckpt.dir" (default "ckpt") — file name prefix in the SimFs.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "fs/simfs.hpp"
+#include "svc/app_service.hpp"
+
+namespace concord::services {
+
+class CollectiveCheckpointService final : public svc::ApplicationService {
+ public:
+  /// The cluster reference stands in for NSM-local knowledge: callbacks use
+  /// it only to learn the geometry (block count/size) of entities hosted on
+  /// the node they run on.
+  explicit CollectiveCheckpointService(core::Cluster& cluster)
+      : cluster_(cluster), fs_(cluster.fs()) {}
+
+  Status service_init(NodeId node, svc::Mode mode, const Config& config) override;
+  Status collective_start(NodeId node, svc::Role role, EntityId entity,
+                          std::span<const ContentHash> partial) override;
+  Result<std::uint64_t> collective_command(NodeId node, EntityId entity,
+                                           const ContentHash& hash,
+                                           std::span<const std::byte> data) override;
+  Status collective_finalize(NodeId node, svc::Role role, EntityId entity) override;
+  Status local_start(NodeId node, EntityId entity) override;
+  Status local_command(NodeId node, EntityId entity, BlockIndex block, const ContentHash& hash,
+                       std::span<const std::byte> data, const std::uint64_t* handled) override;
+  Status local_finalize(NodeId node, EntityId entity) override;
+  Status service_deinit(NodeId node) override;
+
+  [[nodiscard]] std::string shared_path() const { return dir_ + "/shared"; }
+  [[nodiscard]] std::string se_path(EntityId e) const {
+    return dir_ + "/se_" + std::to_string(raw(e));
+  }
+
+  /// Total checkpoint bytes (shared content file + every SE file written).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  [[nodiscard]] const std::vector<EntityId>& checkpointed() const { return checkpointed_; }
+
+ private:
+  core::Cluster& cluster_;
+  fs::SimFs& fs_;
+  std::string dir_ = "ckpt";
+  svc::Mode mode_ = svc::Mode::kInteractive;
+  std::vector<EntityId> checkpointed_;
+
+  // Batch-mode plan: records deferred until local_finalize().
+  struct PlanEntry {
+    BlockIndex block = 0;
+    ContentHash hash;
+    bool pointer = false;
+    std::uint64_t location = 0;
+    std::vector<std::byte> content;  // embedded-content records only
+  };
+  std::unordered_map<std::uint32_t, std::vector<PlanEntry>> plan_;  // by entity
+};
+
+}  // namespace concord::services

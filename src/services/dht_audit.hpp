@@ -1,0 +1,47 @@
+// DhtAudit: reconcile the best-effort distributed database with ground
+// truth.
+//
+// ConCORD's DHT drifts from reality: update datagrams are lost, entities
+// mutate between scans, departures may not scrub every entry. The paper's
+// design tolerates this (every consumer re-verifies), but drift costs
+// efficiency — stale entries cause replica retries, missing entries shrink
+// the exploitable redundancy. This platform-maintenance service walks each
+// node's ground truth (the NSM block map) and the DHT shards, then issues
+// repair updates over the normal update interface (§3.3 insert/remove):
+//
+//   * missing — content a local entity really holds whose (hash, entity)
+//     pair is absent from the owner shard: re-insert;
+//   * stale   — (hash, entity) pairs in a shard that the entity's host can
+//     no longer substantiate: remove.
+//
+// Repairs ride the same unreliable datagram class as monitor updates, so an
+// audit is itself best-effort; repeated audits converge (tested).
+#pragma once
+
+#include "core/cluster.hpp"
+
+namespace concord::services {
+
+struct AuditReport {
+  std::uint64_t entries_checked = 0;   // (hash, entity) pairs examined
+  std::uint64_t missing_repaired = 0;  // inserts issued
+  std::uint64_t stale_removed = 0;     // removes issued
+  sim::Time latency = 0;
+};
+
+class DhtAudit {
+ public:
+  explicit DhtAudit(core::Cluster& cluster) : cluster_(cluster) {}
+
+  /// One full audit pass over every node. Returns what was repaired.
+  AuditReport run();
+
+  /// Runs audit passes until a pass finds nothing to repair (or
+  /// `max_passes` is hit — datagram loss can make one pass insufficient).
+  AuditReport run_to_convergence(int max_passes = 8);
+
+ private:
+  core::Cluster& cluster_;
+};
+
+}  // namespace concord::services

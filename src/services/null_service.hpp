@@ -1,0 +1,83 @@
+// The "null" service command (§5.4): every callback fires, the data is
+// touched, nothing is transformed. It isolates the baseline cost of the
+// content-aware service command architecture itself — what Figs. 10-12
+// measure in interactive and batch modes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svc/app_service.hpp"
+
+namespace concord::services {
+
+class NullService final : public svc::ApplicationService {
+ public:
+  Status service_init(NodeId node, svc::Mode mode, const Config& config) override {
+    (void)node;
+    (void)config;
+    mode_ = mode;
+    return Status::kOk;
+  }
+
+  Status collective_start(NodeId, svc::Role, EntityId,
+                          std::span<const ContentHash> partial) override {
+    partial_hashes_seen_ += partial.size();
+    return Status::kOk;
+  }
+
+  Result<std::uint64_t> collective_command(NodeId, EntityId, const ContentHash&,
+                                           std::span<const std::byte> data) override {
+    if (mode_ == svc::Mode::kInteractive) {
+      touch(data);
+    } else {
+      plan_.push_back(data);  // batch: record, touch later as a whole
+    }
+    return std::uint64_t{1};
+  }
+
+  Status collective_finalize(NodeId, svc::Role, EntityId) override {
+    if (mode_ == svc::Mode::kBatch) {
+      for (const auto span : plan_) touch(span);
+      plan_.clear();
+    }
+    return Status::kOk;
+  }
+
+  Status local_start(NodeId, EntityId) override { return Status::kOk; }
+
+  Status local_command(NodeId, EntityId, BlockIndex, const ContentHash&,
+                       std::span<const std::byte> data, const std::uint64_t*) override {
+    touch(data);
+    return Status::kOk;
+  }
+
+  Status local_finalize(NodeId, EntityId) override { return Status::kOk; }
+  Status service_deinit(NodeId) override { return Status::kOk; }
+
+  [[nodiscard]] std::uint64_t bytes_touched() const noexcept { return bytes_touched_; }
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+  [[nodiscard]] std::uint64_t partial_hashes_seen() const noexcept {
+    return partial_hashes_seen_;
+  }
+
+ private:
+  void touch(std::span<const std::byte> data) noexcept {
+    // Read every cache line so the memory really is touched; fold into a
+    // checksum so the compiler cannot elide the loop.
+    std::uint64_t acc = checksum_;
+    for (std::size_t i = 0; i < data.size(); i += 64) {
+      acc += static_cast<std::uint64_t>(data[i]);
+    }
+    checksum_ = acc;
+    bytes_touched_ += data.size();
+  }
+
+  svc::Mode mode_ = svc::Mode::kInteractive;
+  std::uint64_t bytes_touched_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::uint64_t partial_hashes_seen_ = 0;
+  std::vector<std::span<const std::byte>> plan_;
+};
+
+}  // namespace concord::services

@@ -1,0 +1,65 @@
+#include "services/raw_checkpoint.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "compress/cgz.hpp"
+#include "core/cost_model.hpp"
+
+namespace concord::services {
+
+RawCheckpointResult raw_checkpoint(core::Cluster& cluster, std::span<const EntityId> ses,
+                                   const std::string& dir, bool with_gzip) {
+  RawCheckpointResult result;
+  fs::SimFs& fsys = cluster.fs();
+
+  // Group SEs by host: nodes work concurrently, blocks within a node
+  // sequentially.
+  std::unordered_map<std::uint32_t, std::vector<EntityId>> by_node;
+  for (const EntityId e : ses) {
+    by_node[raw(cluster.registry().host_of(e))].push_back(e);
+  }
+
+  sim::Time slowest = 0;
+  for (const auto& [node, list] : by_node) {
+    (void)node;
+    // Raw checkpointing is pure memcpy-class work: charged via the
+    // calibrated touch cost (read the page + write it to the RAM disk).
+    sim::Time cost = 0;
+    for (const EntityId e : list) {
+      const mem::MemoryEntity& ent = cluster.entity(e);
+      const std::string path = dir + "/raw_" + std::to_string(raw(e));
+      for (BlockIndex b = 0; b < ent.num_blocks(); ++b) {
+        fsys.append(path, ent.block(b));
+      }
+      result.total_bytes += fsys.size(path).value_or(0);
+      cost += core::CostModel::instance().touch_cost(2 * ent.memory_bytes());
+    }
+    slowest = std::max(slowest, cost);
+  }
+
+  if (with_gzip) {
+    // Concatenate per-SE files and compress the stream, as "Raw-gzip" does.
+    // Compression is also embarrassingly parallel per node; cost is charged
+    // via the calibrated cgz unit (deterministic — see core/cost_model.hpp).
+    sim::Time slowest_gzip = 0;
+    for (const auto& [node, list] : by_node) {
+      std::vector<std::byte> concat;
+      for (const EntityId e : list) {
+        const auto data = fsys.read_all(dir + "/raw_" + std::to_string(raw(e)));
+        if (data.has_value()) {
+          concat.insert(concat.end(), data.value().begin(), data.value().end());
+        }
+      }
+      result.compressed_bytes += compress::compressed_size(concat);
+      slowest_gzip = std::max(slowest_gzip,
+                              core::CostModel::instance().compress_cost(concat.size()));
+    }
+    slowest += slowest_gzip;
+  }
+
+  result.response_time = slowest;
+  return result;
+}
+
+}  // namespace concord::services

@@ -1,0 +1,32 @@
+// Baseline checkpoint strategies (§6.2).
+//
+//   Raw          — every SE saves its memory independently; embarrassingly
+//                  parallel, no ConCORD involved.
+//   Raw-gzip     — the per-SE files are concatenated and compressed with
+//                  the cgz stream compressor (the paper uses gzip).
+//
+// Both report *virtual* response times consistent with the emulation: the
+// per-node work is measured on the host clock and the nodes run
+// concurrently, so the response time is the slowest node's time — exactly
+// how the paper's embarrassingly parallel raw checkpoint behaves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace concord::services {
+
+struct RawCheckpointResult {
+  std::uint64_t total_bytes = 0;       // checkpoint size on the SimFs
+  std::uint64_t compressed_bytes = 0;  // cgz size (gzip variant only)
+  sim::Time response_time = 0;         // slowest node, virtual
+};
+
+/// Writes each SE's memory verbatim to `<dir>/raw_<id>`.
+RawCheckpointResult raw_checkpoint(core::Cluster& cluster, std::span<const EntityId> ses,
+                                   const std::string& dir, bool with_gzip = false);
+
+}  // namespace concord::services

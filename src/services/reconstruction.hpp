@@ -1,0 +1,46 @@
+// Collective VM reconstruction (§6, second application service; [22] §7.2).
+//
+// Recreates the memory image of a *stored* entity (e.g. a checkpointed VM)
+// on a destination node, preferring the memory content of currently-active
+// entities (the participants) over storage: each distinct required block
+// that some live entity still holds is fetched from that replica — once,
+// however many blocks need it — and only the remainder is read from the
+// checkpoint. On clusters running many similar VMs this turns a cold
+// restore into mostly intra-site memory traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "services/checkpoint_format.hpp"
+#include "sim/simulation.hpp"
+
+namespace concord::services {
+
+struct ReconstructionStats {
+  Status status = Status::kOk;
+  std::uint64_t blocks_total = 0;
+  std::uint64_t distinct_hashes = 0;
+  std::uint64_t from_live_replicas = 0;  // distinct blocks served by PEs
+  std::uint64_t from_storage = 0;        // distinct blocks read from the checkpoint
+  std::uint64_t wire_bytes = 0;
+  sim::Time latency = 0;
+};
+
+class VmReconstruction {
+ public:
+  explicit VmReconstruction(core::Cluster& cluster) : cluster_(cluster) {}
+
+  /// Rebuilds the entity checkpointed at `se_path` (+`shared_path`) as a new
+  /// entity on `destination`. Live replicas are found through the DHT and
+  /// verified by rehash before use; storage is the fallback for everything
+  /// else, so the result is always byte-identical to the checkpoint.
+  Result<EntityId> reconstruct(const std::string& se_path, const std::string& shared_path,
+                               NodeId destination, ReconstructionStats& stats);
+
+ private:
+  core::Cluster& cluster_;
+};
+
+}  // namespace concord::services

@@ -1,0 +1,100 @@
+#include "services/replication_guard.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace concord::services {
+
+ReplicationGuard::ReplicaStore* ReplicationGuard::store_on(NodeId node,
+                                                           std::size_t block_size) {
+  auto it = replicas_.find(raw(node));
+  if (it == replicas_.end()) {
+    mem::MemoryEntity& e =
+        cluster_.create_entity(node, EntityKind::kOther, capacity_, block_size);
+    it = replicas_.emplace(raw(node), ReplicaStore{e.id(), 0}).first;
+  }
+  ReplicaStore& store = it->second;
+  if (store.next_free >= cluster_.entity(store.id).num_blocks()) return nullptr;
+  return &store;
+}
+
+ReplicationReport ReplicationGuard::ensure(std::span<const EntityId> scope, std::size_t k) {
+  ReplicationReport report;
+  sim::Simulation& simu = cluster_.sim();
+  const sim::Time t0 = simu.now();
+  query::QueryEngine queries(cluster_);
+
+  // Sink for the bulk replica transfers (the payload is the block content;
+  // the copy itself happens through the replica store below).
+  for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
+    cluster_.daemon(node_id(n)).set_handler(net::MsgType::kData,
+                                            [](core::ServiceDaemon&, const net::Message&) {});
+  }
+
+  // The *protected set* is the scope's content only; copies the guard
+  // placed earlier still count toward redundancy because replica entities
+  // are ordinary tracked entities the entities() query reports.
+  const query::KCopyAnswer all = queries.shared_content(node_id(0), scope, /*k=*/1);
+  report.hashes_checked = all.hashes.size();
+
+  for (const ContentHash& h : all.hashes) {
+    const query::NodewiseAnswer who = queries.entities(node_id(0), h);
+
+    // Count replicas on *distinct nodes* and remember one verified source.
+    std::set<std::uint32_t> nodes_holding;
+    std::optional<mem::BlockLocation> source;
+    NodeId source_node{};
+    for (const EntityId e : who.entities) {
+      if (!cluster_.registry().alive(e)) continue;
+      const NodeId host = cluster_.registry().host_of(e);
+      const auto* locs = cluster_.daemon(host).block_map().find(h);
+      if (locs == nullptr) continue;
+      for (const mem::BlockLocation& loc : *locs) {
+        if (loc.entity != e) continue;
+        nodes_holding.insert(raw(host));
+        if (!source.has_value()) {
+          source = loc;
+          source_node = host;
+        }
+        break;
+      }
+    }
+    if (nodes_holding.size() >= k) {
+      ++report.replicas_leveraged;
+      continue;
+    }
+    if (!source.has_value()) continue;  // stale DHT entry; nothing to copy
+    ++report.under_replicated;
+
+    const mem::MemoryEntity& src = cluster_.entity(source->entity);
+    const auto data = src.block(source->block);
+
+    // Place copies on nodes that don't hold the content yet.
+    for (std::uint32_t n = 0; n < cluster_.num_nodes() && nodes_holding.size() < k; ++n) {
+      if (nodes_holding.contains(n)) continue;
+      ReplicaStore* store = store_on(node_id(n), src.block_size());
+      if (store == nullptr) {
+        report.status = Status::kExhausted;  // replica store full on this node
+        continue;
+      }
+      cluster_.entity(store->id).write_block(store->next_free++, data);
+      nodes_holding.insert(n);
+      ++report.replicas_created;
+      if (node_id(n) != source_node) {
+        // Bulk transfer from the source replica's host.
+        cluster_.fabric().send_reliable(
+            net::make_message(source_node, node_id(n), net::MsgType::kData, std::uint8_t{0},
+                              sizeof(ContentHash) + data.size()));
+        report.wire_bytes += data.size();
+      }
+    }
+  }
+
+  // Bring the DHT up to date so the new redundancy is visible to everyone.
+  simu.run();
+  (void)cluster_.scan_all();
+  report.latency = simu.now() - t0;
+  return report;
+}
+
+}  // namespace concord::services

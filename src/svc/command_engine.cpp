@@ -1,0 +1,503 @@
+#include "svc/command_engine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "core/cost_model.hpp"
+
+namespace concord::svc {
+
+
+using namespace wire;  // NOLINT(google-build-using-namespace) — protocol payloads
+
+struct CommandEngine::Execution {
+  std::uint64_t cmd_id = 0;
+  ApplicationService* service = nullptr;
+  const CommandSpec* spec = nullptr;
+  CommandStats stats;
+  bool done = false;
+
+  Bitmap se_set;     // service entities
+  Bitmap scope_set;  // SEs ∪ PEs
+  std::vector<NodeId> scope_nodes;
+  std::vector<NodeId> se_nodes;
+  std::vector<NodeId> shard_nodes;
+
+  // Controller barrier.
+  std::size_t barrier_pending = 0;
+
+  // Shard-driving state (lives at the respective shard owners; kept here
+  // because the emulation shares one address space — traffic is modeled).
+  struct PendingHash {
+    ContentHash hash;
+    std::vector<EntityId> candidates;
+    std::size_t next = 0;
+    NodeId shard{};
+    std::shared_ptr<const std::vector<NodeId>> notify;  // SE hosts believed to hold it
+  };
+  std::unordered_map<std::uint64_t, PendingHash> pending;
+  std::unordered_map<std::uint32_t, std::size_t> outstanding;  // shard node -> in flight
+  std::unordered_map<std::uint32_t, bool> enumerated;          // shard node -> done
+  std::uint64_t next_seq = 1;
+
+  // Per-node handled tables: hash -> private value (SE hosts only).
+  std::vector<std::unordered_map<ContentHash, std::uint64_t>> handled;
+
+  [[nodiscard]] Role role_of(EntityId e) const {
+    return se_set.test(raw(e)) ? Role::kService : Role::kParticipant;
+  }
+};
+
+CommandEngine::CommandEngine(core::Cluster& cluster) : cluster_(cluster) {
+  install_handlers();
+}
+
+void CommandEngine::install_handlers() {
+  for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
+    core::ServiceDaemon& d = cluster_.daemon(node_id(n));
+
+    d.set_handler(net::MsgType::kCommandControl,
+                  [this](core::ServiceDaemon& daemon, const net::Message& m) {
+                    handle_control(daemon, m);
+                  });
+    d.set_handler(net::MsgType::kCommandHashExchange,
+                  [this](core::ServiceDaemon& daemon, const net::Message& m) {
+                    handle_exchange(daemon, m);
+                  });
+    d.set_handler(net::MsgType::kCommandAck,
+                  [this](core::ServiceDaemon& daemon, const net::Message& m) {
+                    handle_ack(daemon, m);
+                  });
+  }
+}
+
+// ---------------------------------------------------------------- barriers
+
+void CommandEngine::start_phase(CtlPhase phase, const std::vector<NodeId>& targets) {
+  Execution& ex = *active_;
+  if (targets.empty()) {
+    // Nothing to do in this phase; advance immediately from the event loop.
+    cluster_.sim().after(0, [this, phase]() { advance_after(phase); });
+    return;
+  }
+  ex.barrier_pending = targets.size();
+  cluster_.fabric().broadcast_reliable(ex.spec->controller, net::MsgType::kCommandControl,
+                                       std::any(CtlMsg{ex.cmd_id, phase}), kCtlBytes, targets);
+}
+
+void CommandEngine::handle_ack(core::ServiceDaemon& d, const net::Message& m) {
+  (void)d;
+  Execution& ex = *active_;
+  const auto& ack = m.as<AckMsg>();
+  if (ack.cmd_id != ex.cmd_id) return;
+  if (!ok(ack.status) && ok(ex.stats.status)) ex.stats.status = ack.status;
+  if (--ex.barrier_pending == 0) advance_after(ack.phase);
+}
+
+void CommandEngine::advance_after(CtlPhase finished) {
+  Execution& ex = *active_;
+  log::debug("command %llu: phase %d done at %.3f ms",
+             static_cast<unsigned long long>(ex.cmd_id), static_cast<int>(finished),
+             static_cast<double>(cluster_.sim().now()) / 1e6);
+  switch (finished) {
+    case CtlPhase::kInit:
+      start_phase(CtlPhase::kCollStart, ex.scope_nodes);
+      break;
+    case CtlPhase::kCollStart:
+      start_phase(CtlPhase::kDrive, ex.shard_nodes);
+      break;
+    case CtlPhase::kDrive:
+      start_phase(CtlPhase::kCollFin, ex.scope_nodes);
+      break;
+    case CtlPhase::kCollFin:
+      start_phase(CtlPhase::kLocal, ex.se_nodes);
+      break;
+    case CtlPhase::kLocal:
+      start_phase(CtlPhase::kDeinit, ex.scope_nodes);
+      break;
+    case CtlPhase::kDeinit:
+      ex.stats.end = cluster_.sim().now();
+      ex.done = true;
+      break;
+  }
+}
+
+void CommandEngine::send_ack(core::ServiceDaemon& d, CtlPhase phase, Status status) {
+  Execution& ex = *active_;
+  d.fabric().send_reliable(net::make_message(d.id(), ex.spec->controller,
+                                             net::MsgType::kCommandAck,
+                                             AckMsg{ex.cmd_id, phase, status}, kAckBytes));
+}
+
+// ----------------------------------------------------------- phase handlers
+
+void CommandEngine::handle_control(core::ServiceDaemon& d, const net::Message& m) {
+  Execution& ex = *active_;
+  const auto& ctl = m.as<CtlMsg>();
+  if (ctl.cmd_id != ex.cmd_id) return;
+  const NodeId n = d.id();
+
+  switch (ctl.phase) {
+    case CtlPhase::kInit: {
+      const Status st = ex.service->service_init(n, ex.spec->mode, ex.spec->config);
+      cluster_.sim().after(core::CostModel::instance().callback_cost(),
+                           [this, &d, st]() { send_ack(d, CtlPhase::kInit, st); });
+      return;
+    }
+
+    case CtlPhase::kCollStart: {
+      const core::CostModel& cm = core::CostModel::instance();
+      Status st = Status::kOk;
+      sim::Time cost = 0;
+      for (const EntityId e : cluster_.registry().on_node(n)) {
+        if (!ex.scope_set.test(raw(e))) continue;
+        // Advisory partial set: hashes in *this* shard believed to belong
+        // to e — a "slice of life" of the whole machine (§3.3).
+        std::vector<ContentHash> partial;
+        d.store().for_each_entry(
+            [&](const ContentHash& h, const std::uint64_t* words, std::size_t nwords) {
+              const std::uint32_t bit = raw(e);
+              if ((bit >> 6) < nwords && ((words[bit >> 6] >> (bit & 63)) & 1u)) {
+                partial.push_back(h);
+              }
+            });
+        const Status s = ex.service->collective_start(n, ex.role_of(e), e, partial);
+        if (!ok(s)) st = s;
+        cost += cm.scan_cost(d.store().unique_hashes()) + cm.callback_cost();
+      }
+      cluster_.sim().after(cost, [this, &d, st]() { send_ack(d, CtlPhase::kCollStart, st); });
+      return;
+    }
+
+    case CtlPhase::kDrive:
+      drive_shard(d);
+      return;
+
+    case CtlPhase::kCollFin: {
+      Status st = Status::kOk;
+      sim::Time cost = 0;
+      for (const EntityId e : cluster_.registry().on_node(n)) {
+        if (!ex.scope_set.test(raw(e))) continue;
+        const Status s = ex.service->collective_finalize(n, ex.role_of(e), e);
+        if (!ok(s)) st = s;
+        cost += core::CostModel::instance().callback_cost();
+      }
+      cluster_.sim().after(cost, [this, &d, st]() { send_ack(d, CtlPhase::kCollFin, st); });
+      return;
+    }
+
+    case CtlPhase::kLocal: {
+      sim::Time cost = 0;
+      const Status st = run_local_phase(d, cost);
+      cluster_.sim().after(cost, [this, &d, st]() { send_ack(d, CtlPhase::kLocal, st); });
+      return;
+    }
+
+    case CtlPhase::kDeinit: {
+      const Status st = ex.service->service_deinit(n);
+      cluster_.sim().after(core::CostModel::instance().callback_cost(),
+                           [this, &d, st]() { send_ack(d, CtlPhase::kDeinit, st); });
+      return;
+    }
+  }
+}
+
+// -------------------------------------------------------- collective phase
+
+void CommandEngine::drive_shard(core::ServiceDaemon& d) {
+  Execution& ex = *active_;
+  const NodeId n = d.id();
+  ex.outstanding[raw(n)] = 0;
+  ex.enumerated[raw(n)] = false;
+
+  std::vector<std::uint64_t> seqs;
+  d.store().for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
+                               std::size_t nwords) {
+      // Only hashes believed to exist in at least one SE are driven.
+      bool in_se = false;
+      for (std::size_t w = 0; w < nwords && !in_se; ++w) {
+        if ((words[w] & ex.se_set.word(w)) != 0) in_se = true;
+      }
+      if (!in_se) return;
+
+      Execution::PendingHash p;
+      p.hash = h;
+      p.shard = n;
+      auto notify = std::make_shared<std::vector<NodeId>>();
+      for (std::size_t w = 0; w < nwords; ++w) {
+        std::uint64_t inter = words[w] & ex.scope_set.word(w);
+        while (inter != 0) {
+          const auto idx = static_cast<std::uint32_t>(
+              w * 64 + static_cast<std::size_t>(std::countr_zero(inter)));
+          inter &= inter - 1;
+          const auto e = entity_id(idx);
+          p.candidates.push_back(e);
+          // Handled notifications fan out only to SE hosts the DHT
+          // associates with this hash (replica-count many, not N).
+          if (ex.se_set.test(idx)) {
+            const NodeId host = cluster_.registry().host_of(e);
+            if (std::find(notify->begin(), notify->end(), host) == notify->end()) {
+              notify->push_back(host);
+            }
+          }
+        }
+      }
+      if (p.candidates.empty()) return;
+      p.notify = std::move(notify);
+
+      // Replica choice: the service's collective_select() if it has an
+      // opinion (invoked here, on "some node" — the shard owner), otherwise
+      // uniform random; the remaining candidates form the retry order.
+      std::size_t first = 0;
+      const auto pick = ex.service->collective_select(n, h, p.candidates);
+      if (pick.has_value()) {
+        for (std::size_t i = 0; i < p.candidates.size(); ++i) {
+          if (p.candidates[i] == *pick) {
+            first = i;
+            break;
+          }
+        }
+      } else {
+        first = cluster_.sim().rng().below(p.candidates.size());
+      }
+      std::swap(p.candidates[0], p.candidates[first]);
+
+      const std::uint64_t seq = ex.next_seq++;
+      ex.pending.emplace(seq, std::move(p));
+      seqs.push_back(seq);
+      ++ex.stats.distinct_hashes;
+  });
+  const core::CostModel& cm = core::CostModel::instance();
+  const sim::Time cost = cm.scan_cost(d.store().unique_hashes()) +
+                         static_cast<sim::Time>(seqs.size()) * cm.callback_cost();
+
+  ex.outstanding[raw(n)] = seqs.size();
+  ex.enumerated[raw(n)] = true;
+  cluster_.sim().after(cost, [this, &d, seqs = std::move(seqs)]() {
+    for (const std::uint64_t seq : seqs) dispatch_hash(d, seq);
+    check_shard_drained(d);
+  });
+}
+
+void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
+  Execution& ex = *active_;
+  const auto it = ex.pending.find(seq);
+  if (it == ex.pending.end()) return;
+  Execution::PendingHash& p = it->second;
+  const EntityId chosen = p.candidates[p.next];
+  const NodeId host = cluster_.registry().host_of(chosen);
+  d.fabric().send_reliable(net::make_message(
+      d.id(), host, net::MsgType::kCommandHashExchange,
+      DispatchMsg{ex.cmd_id, seq, p.hash, chosen, p.notify},
+      kDispatchBytes + p.notify->size() * sizeof(NodeId)));
+}
+
+void CommandEngine::handle_exchange(core::ServiceDaemon& d, const net::Message& m) {
+  Execution& ex = *active_;
+  if (m.payload.type() == typeid(DispatchMsg)) {
+    const auto dm = m.as<DispatchMsg>();  // copy: handler may run after map churn
+    if (dm.cmd_id != ex.cmd_id) return;
+    handle_dispatch(d, dm, m.src);
+    return;
+  }
+  if (m.payload.type() == typeid(DispatchReplyMsg)) {
+    const auto r = m.as<DispatchReplyMsg>();
+    if (r.cmd_id != ex.cmd_id) return;
+    handle_dispatch_reply(d, r);
+    return;
+  }
+  if (m.payload.type() == typeid(HandledMsg)) {
+    const auto h = m.as<HandledMsg>();
+    if (h.cmd_id != ex.cmd_id) return;
+    ex.handled[raw(d.id())][h.hash] = h.private_value;
+    return;
+  }
+  log::warn("command engine: unexpected exchange payload");
+}
+
+void CommandEngine::handle_dispatch(core::ServiceDaemon& d, const DispatchMsg& dm,
+                                    NodeId reply_to) {
+  Execution& ex = *active_;
+  const NodeId n = d.id();
+
+  bool success = false;
+  std::uint64_t private_value = 0;
+  const core::CostModel& cm = core::CostModel::instance();
+  const hash::Algorithm algo = cluster_.params().hash_algorithm;
+  sim::Time cost = cm.callback_cost();  // lookup + dispatch bookkeeping
+  // Ground truth check: does the chosen entity still hold content with this
+  // hash? The block map may itself be stale (content mutated after the last
+  // scan), so verify by rehashing before handing the pointer to the service
+  // — this is what makes "handled" trustworthy.
+  [&] {
+    if (!cluster_.registry().alive(dm.chosen)) return;
+    const auto* locs = d.block_map().find(dm.hash);
+    if (locs == nullptr) return;
+    for (const mem::BlockLocation& loc : *locs) {
+      if (loc.entity != dm.chosen) continue;
+      const mem::MemoryEntity& e = cluster_.entity(loc.entity);
+      const auto data = e.block(loc.block);
+      cost += cm.hash_cost(algo, data.size());  // verification rehash
+      if (d.monitor().hasher()(data) != dm.hash) continue;  // stale map entry
+      const Result<std::uint64_t> r =
+          ex.service->collective_command(n, dm.chosen, dm.hash, data);
+      // The service callback's work is charged as memcpy-class access to
+      // the block (all bundled services are in that class).
+      cost += cm.callback_cost() + cm.touch_cost(data.size());
+      if (r.has_value()) {
+        success = true;
+        private_value = r.value();
+      }
+      break;
+    }
+  }();
+
+  cluster_.sim().after(cost, [this, &d, dm, reply_to, success, private_value]() {
+    Execution& exr = *active_;
+    if (success) {
+      // Redistribute the handled information to the SE hosts the DHT
+      // associates with the hash (best effort): a lost datagram only means
+      // that host covers the hash itself in the local phase.
+      for (const NodeId se_host : *dm.notify) {
+        if (se_host == d.id()) {
+          exr.handled[raw(se_host)][dm.hash] = private_value;
+        } else {
+          d.fabric().send_unreliable(net::make_message(
+              d.id(), se_host, net::MsgType::kCommandHashExchange,
+              HandledMsg{exr.cmd_id, dm.hash, private_value}, kHandledBytes));
+        }
+      }
+    }
+    d.fabric().send_reliable(net::make_message(
+        d.id(), reply_to, net::MsgType::kCommandHashExchange,
+        DispatchReplyMsg{exr.cmd_id, dm.seq, success, private_value}, kDispatchReplyBytes));
+  });
+}
+
+void CommandEngine::handle_dispatch_reply(core::ServiceDaemon& d, const DispatchReplyMsg& r) {
+  Execution& ex = *active_;
+  const auto it = ex.pending.find(r.seq);
+  if (it == ex.pending.end()) return;
+  Execution::PendingHash& p = it->second;
+
+  if (r.success) {
+    ++ex.stats.collective_handled;
+  } else {
+    ++p.next;
+    if (p.next < p.candidates.size()) {
+      ++ex.stats.collective_retries;
+      dispatch_hash(d, r.seq);
+      return;
+    }
+    ++ex.stats.collective_stale;  // every believed replica was stale
+  }
+  const NodeId shard = p.shard;
+  ex.pending.erase(it);
+  --ex.outstanding[raw(shard)];
+  check_shard_drained(d);
+}
+
+void CommandEngine::check_shard_drained(core::ServiceDaemon& d) {
+  Execution& ex = *active_;
+  const std::uint32_t n = raw(d.id());
+  if (ex.enumerated[n] && ex.outstanding[n] == 0) {
+    ex.enumerated[n] = false;  // ack exactly once
+    send_ack(d, CtlPhase::kDrive, Status::kOk);
+  }
+}
+
+// ------------------------------------------------------------- local phase
+
+Status CommandEngine::run_local_phase(core::ServiceDaemon& d, sim::Time& cost) {
+  Execution& ex = *active_;
+  const NodeId n = d.id();
+  const auto& handled = ex.handled[raw(n)];
+  const core::CostModel& cm = core::CostModel::instance();
+  const hash::Algorithm algo = cluster_.params().hash_algorithm;
+  Status st = Status::kOk;
+  cost = 0;
+
+  for (const EntityId eid : cluster_.registry().on_node(n)) {
+    if (!ex.se_set.test(raw(eid))) continue;
+    Status s = ex.service->local_start(n, eid);
+    if (!ok(s)) st = s;
+    cost += cm.callback_cost();
+
+    const mem::MemoryEntity& e = cluster_.entity(eid);
+    const hash::BlockHasher& hasher = d.monitor().hasher();
+    for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+      const auto data = e.block(b);
+      const ContentHash h = hasher(data);  // ground truth, freshly hashed
+      const auto hit = handled.find(h);
+      const std::uint64_t* priv = hit == handled.end() ? nullptr : &hit->second;
+      ++ex.stats.local_blocks;
+      if (priv != nullptr) {
+        ++ex.stats.local_covered;
+      } else {
+        ++ex.stats.local_uncovered;
+      }
+      s = ex.service->local_command(n, eid, b, h, data, priv);
+      if (!ok(s)) st = s;
+      // Ground-truth rehash plus the service's memcpy-class block work.
+      cost += cm.hash_cost(algo, data.size()) + cm.callback_cost() + cm.touch_cost(data.size());
+    }
+
+    s = ex.service->local_finalize(n, eid);
+    if (!ok(s)) st = s;
+    cost += cm.callback_cost();
+  }
+  return st;
+}
+
+// ------------------------------------------------------------------ driver
+
+CommandStats CommandEngine::execute(ApplicationService& service, const CommandSpec& spec) {
+  Execution ex;
+  ex.cmd_id = next_cmd_id_++;
+  ex.service = &service;
+  ex.spec = &spec;
+  ex.handled.resize(cluster_.num_nodes());
+
+  ex.se_set = Bitmap(cluster_.params().max_entities);
+  ex.scope_set = Bitmap(cluster_.params().max_entities);
+  for (const EntityId e : spec.service_entities) {
+    ex.se_set.set(raw(e));
+    ex.scope_set.set(raw(e));
+  }
+  for (const EntityId e : spec.participants) ex.scope_set.set(raw(e));
+
+  // Node sets. scope_nodes host at least one scope entity; se_nodes host at
+  // least one SE; shard_nodes hold DHT slices (all placement nodes).
+  std::vector<bool> is_scope(cluster_.num_nodes(), false);
+  std::vector<bool> is_se(cluster_.num_nodes(), false);
+  for (const EntityId e : spec.service_entities) {
+    if (!cluster_.registry().alive(e)) continue;
+    is_scope[raw(cluster_.registry().host_of(e))] = true;
+    is_se[raw(cluster_.registry().host_of(e))] = true;
+  }
+  for (const EntityId e : spec.participants) {
+    if (!cluster_.registry().alive(e)) continue;
+    is_scope[raw(cluster_.registry().host_of(e))] = true;
+  }
+  for (std::uint32_t i = 0; i < cluster_.num_nodes(); ++i) {
+    if (is_scope[i]) ex.scope_nodes.push_back(node_id(i));
+    if (is_se[i]) ex.se_nodes.push_back(node_id(i));
+  }
+  for (std::uint32_t i = 0; i < cluster_.placement().num_nodes(); ++i) {
+    ex.shard_nodes.push_back(node_id(i));
+  }
+
+  active_ = &ex;
+  ex.stats.start = cluster_.sim().now();
+  start_phase(CtlPhase::kInit, ex.scope_nodes);
+  cluster_.sim().run();
+  active_ = nullptr;
+
+  if (!ex.done && ok(ex.stats.status)) {
+    ex.stats.status = Status::kInternal;  // protocol stalled
+    ex.stats.end = cluster_.sim().now();
+  }
+  return ex.stats;
+}
+
+}  // namespace concord::svc

@@ -1,0 +1,107 @@
+// The distributed collective command execution engine (§3.1, §4.3).
+//
+// "At a high level, it can be viewed as a purpose-specific map-reduce
+// engine that operates over the data in the tracing engine."
+//
+// Execution protocol for one content-aware service command:
+//
+//   init        controller ─reliable bcast→ scope nodes: service_init();
+//               barrier on acks.
+//   coll-start  controller ─bcast→ scope nodes: collective_start() per local
+//               scope entity, with the advisory hash set from the local DHT
+//               shard; barrier.
+//   drive       controller ─bcast→ all shard nodes. Each shard owner
+//               enumerates its slice of distinct hashes intersecting the
+//               SEs, selects a replica among SEs∪PEs (collective_select()
+//               or random), and dispatches collective_command() to the
+//               replica's host — pipelined, with retry on a different
+//               replica when the host reports the content stale/gone
+//               (verified by rehashing before use). Successful handling is
+//               redistributed to SE hosts as best-effort "handled(hash,
+//               private)" datagrams — the content-hash-exchange traffic of
+//               §3.4; losing one only costs efficiency, never correctness.
+//               Barrier when every shard drains.
+//   coll-fin    collective_finalize() per scope entity; barrier.
+//   local       local_start(); then for each SE block: rehash the *current*
+//               content and invoke local_command() with the handled private
+//               value if this node received one for that hash;
+//               local_finalize(); barrier.
+//   deinit      service_deinit() on scope nodes; barrier; command completes.
+//
+// All computation is charged to virtual time by measuring the real cost on
+// the host clock; all messages ride the Fabric with its latency/bandwidth/
+// loss model.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "svc/app_service.hpp"
+#include "svc/wire.hpp"
+
+namespace concord::svc {
+
+struct CommandSpec {
+  std::vector<EntityId> service_entities;
+  std::vector<EntityId> participants;
+  Mode mode = Mode::kInteractive;
+  Config config;
+  NodeId controller = node_id(0);
+};
+
+struct CommandStats {
+  Status status = Status::kOk;
+  sim::Time start = 0;
+  sim::Time end = 0;
+
+  std::uint64_t distinct_hashes = 0;     // driven during the collective phase
+  std::uint64_t collective_handled = 0;  // collective_command() successes
+  std::uint64_t collective_retries = 0;  // replica retries after staleness
+  std::uint64_t collective_stale = 0;    // hashes with every replica stale
+  std::uint64_t local_blocks = 0;        // local_command() invocations
+  std::uint64_t local_covered = 0;       // blocks resolved via handled info
+  std::uint64_t local_uncovered = 0;     // blocks the service covered itself
+
+  [[nodiscard]] sim::Time latency() const noexcept { return end - start; }
+};
+
+class CommandEngine {
+ public:
+  explicit CommandEngine(core::Cluster& cluster);
+
+  /// Synchronously executes one service command (pumps the simulation until
+  /// the command completes). Commands execute one at a time.
+  CommandStats execute(ApplicationService& service, const CommandSpec& spec);
+
+ private:
+  struct Execution;  // per-command state, defined in the .cpp
+
+  void install_handlers();
+
+  // Controller side.
+  void start_phase(wire::CtlPhase phase, const std::vector<NodeId>& targets);
+  void advance_after(wire::CtlPhase finished);
+  void handle_ack(core::ServiceDaemon& d, const net::Message& m);
+
+  // Per-node side.
+  void handle_control(core::ServiceDaemon& d, const net::Message& m);
+  void handle_exchange(core::ServiceDaemon& d, const net::Message& m);
+  void send_ack(core::ServiceDaemon& d, wire::CtlPhase phase, Status status);
+
+  // Collective phase at a shard owner.
+  void drive_shard(core::ServiceDaemon& d);
+  void dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq);
+  void handle_dispatch(core::ServiceDaemon& d, const wire::DispatchMsg& dm, NodeId reply_to);
+  void handle_dispatch_reply(core::ServiceDaemon& d, const wire::DispatchReplyMsg& r);
+  void check_shard_drained(core::ServiceDaemon& d);
+
+  // Local phase at an SE host.
+  Status run_local_phase(core::ServiceDaemon& d, sim::Time& cost);
+
+  core::Cluster& cluster_;
+  std::uint64_t next_cmd_id_ = 1;
+  Execution* active_ = nullptr;  // non-owning; valid only inside execute()
+};
+
+}  // namespace concord::svc

@@ -1,0 +1,61 @@
+// Wire payloads of the service-command protocol (internal).
+//
+// These are the concrete messages behind §4.3's execution description:
+// reliable phase control + acks, reliable per-hash dispatch/reply, and the
+// best-effort handled(hash, private) redistribution that forms the
+// "content hash exchange among service daemons" traffic of §3.4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace concord::svc::wire {
+
+enum class CtlPhase : std::uint8_t { kInit, kCollStart, kDrive, kCollFin, kLocal, kDeinit };
+
+struct CtlMsg {
+  std::uint64_t cmd_id;
+  CtlPhase phase;
+};
+inline constexpr std::size_t kCtlBytes = 9;
+
+struct AckMsg {
+  std::uint64_t cmd_id;
+  CtlPhase phase;
+  Status status;
+};
+inline constexpr std::size_t kAckBytes = 10;
+
+struct DispatchMsg {
+  std::uint64_t cmd_id;
+  std::uint64_t seq;
+  ContentHash hash;
+  EntityId chosen{};
+  /// SE-hosting nodes the DHT believes contain this hash — the executor
+  /// sends handled(hash, private) to exactly these. Keeping the fan-out
+  /// proportional to the replica count (not the machine size) is what makes
+  /// per-node command traffic constant as the system scales (§5.4).
+  std::shared_ptr<const std::vector<NodeId>> notify;
+};
+inline constexpr std::size_t kDispatchBytes = 8 + 8 + sizeof(ContentHash) + sizeof(EntityId);
+
+struct DispatchReplyMsg {
+  std::uint64_t cmd_id;
+  std::uint64_t seq;
+  bool success;
+  std::uint64_t private_value;
+};
+inline constexpr std::size_t kDispatchReplyBytes = 8 + 8 + 1 + 8;
+
+struct HandledMsg {
+  std::uint64_t cmd_id;
+  ContentHash hash;
+  std::uint64_t private_value;
+};
+inline constexpr std::size_t kHandledBytes = 8 + sizeof(ContentHash) + 8;
+
+}  // namespace concord::svc::wire

@@ -1,0 +1,140 @@
+#include "workload/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace concord::workload {
+
+namespace {
+
+/// Fills a block with pseudo-random bytes derived from `key` — page content
+/// that looks like packed floating-point state (incompressible within the
+/// page), as Moldy's particle arrays do.
+void fill_noise(std::span<std::byte> block, std::uint64_t key) {
+  std::uint64_t s = key;
+  for (std::size_t i = 0; i + 8 <= block.size(); i += 8) {
+    const std::uint64_t v = splitmix64(s);
+    std::memcpy(block.data() + i, &v, 8);
+  }
+}
+
+/// "Not completely random": half structured repetitive filler (gzip can
+/// squeeze it), half a unique noise stripe so no two pages are ever equal.
+void fill_nasty(std::span<std::byte> block, std::uint64_t key) {
+  const std::size_t half = block.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    block[i] = static_cast<std::byte>(i & 0x0f);  // repeating ramp
+  }
+  fill_noise(block.subspan(half), key);
+}
+
+void fill_zero(std::span<std::byte> block) {
+  std::fill(block.begin(), block.end(), std::byte{0});
+}
+
+}  // namespace
+
+Params defaults_for(Kind kind, std::uint64_t seed) {
+  Params p;
+  p.kind = kind;
+  p.seed = seed;
+  switch (kind) {
+    case Kind::kMoldy:
+      // "Considerable redundancy ... both within SEs and across SEs".
+      p.zero_fraction = 0.10;
+      p.shared_fraction = 0.45;
+      p.intra_fraction = 0.10;
+      p.pool_pages = 512;
+      break;
+    case Kind::kHpccg:
+      p.zero_fraction = 0.05;
+      p.shared_fraction = 0.20;
+      p.intra_fraction = 0.05;
+      p.pool_pages = 2048;
+      break;
+    case Kind::kNasty:
+    case Kind::kRandom:
+      // No page-level redundancy at all.
+      break;
+  }
+  return p;
+}
+
+void fill(mem::MemoryEntity& e, const Params& p) {
+  Rng rng(p.seed ^ (0x9e3779b97f4a7c15ULL * (raw(e.id()) + 1)));
+
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+    auto block = e.write_block(b);
+    if (p.kind == Kind::kNasty) {
+      fill_nasty(block, p.seed * 0x1000003 + raw(e.id()) * 0x10001 + b);
+      continue;
+    }
+    if (p.kind == Kind::kRandom) {
+      fill_noise(block, rng());
+      continue;
+    }
+
+    const double r = rng.uniform();
+    if (r < p.zero_fraction) {
+      fill_zero(block);
+    } else if (r < p.zero_fraction + p.shared_fraction) {
+      // Site-shared pool page: content depends only on (seed, pool index).
+      const std::uint64_t pool_idx = rng.below(p.pool_pages);
+      fill_noise(block, p.seed * 0x51ed2701 + pool_idx);
+    } else if (r < p.zero_fraction + p.shared_fraction + p.intra_fraction && b > 0) {
+      // Intra-entity duplicate of an earlier local block.
+      const BlockIndex src = rng.below(b);
+      const auto src_copy =
+          std::vector<std::byte>(e.block(src).begin(), e.block(src).end());
+      e.write_block(b, src_copy);
+    } else {
+      // Unique page: salted with the entity id so it exists nowhere else.
+      fill_noise(block, p.seed * 0xdeadbeef + (std::uint64_t{raw(e.id())} << 32) + b);
+    }
+  }
+}
+
+void mutate(mem::MemoryEntity& e, double fraction, std::uint64_t seed) {
+  // Seed and entity id combine multiplicatively: an XOR here makes distinct
+  // (seed, id) pairs collide (e.g. 100^4 == 101^5) and collided streams
+  // write byte-identical "fresh" content into different entities.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + raw(e.id()) + 1);
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+    if (!rng.chance(fraction)) continue;
+    auto block = e.write_block(b);
+    fill_noise(block, rng() | 1);  // fresh unique content
+  }
+}
+
+double expected_degree_of_sharing(const Params& p, std::size_t num_entities,
+                                  std::size_t blocks_per_entity) {
+  if (p.kind == Kind::kNasty || p.kind == Kind::kRandom) return 0.0;
+  // Matches the semantics of the sharing() query: the DHT stores *entity
+  // bitmaps*, so multiple copies of the same content within one entity
+  // count once. Per entity:
+  //   unique blocks  -> one hash in exactly one entity;
+  //   the zero page  -> one hash in (almost surely) every entity;
+  //   pool page j    -> present in an entity with probability
+  //                     q = 1 - (1 - 1/P)^(B * shared_fraction);
+  //   intra duplicates -> no new hash, no new bitmap bit.
+  const double entities = static_cast<double>(num_entities);
+  const double blocks = static_cast<double>(blocks_per_entity);
+  const double pool = static_cast<double>(p.pool_pages);
+  const double unique_frac =
+      1.0 - p.zero_fraction - p.shared_fraction - p.intra_fraction;
+
+  const double draws = blocks * p.shared_fraction;
+  const double q = 1.0 - std::pow(1.0 - 1.0 / pool, draws);
+  const double pool_present = pool * (1.0 - std::pow(1.0 - q, entities));
+
+  const double total = entities * blocks * unique_frac + (p.zero_fraction > 0 ? entities : 0) +
+                       pool * entities * q;
+  const double unique = entities * blocks * unique_frac +
+                        (p.zero_fraction > 0 ? 1.0 : 0.0) + pool_present;
+  return total <= 0 ? 0.0 : std::max(0.0, (total - unique) / total);
+}
+
+}  // namespace concord::workload

@@ -1,0 +1,62 @@
+// Synthetic workload content generators (§6.2).
+//
+// The paper evaluates collective checkpointing on two memory-content
+// extremes, measured on real MPI applications in its predecessor paper [23]:
+//   * Moldy  — a molecular dynamics package "exhibiting considerable
+//              redundancy at the page granularity, both within SEs and
+//              across SEs";
+//   * Nasty  — "a synthetic workload with no page-level redundancy,
+//              although its memory content is not completely random".
+// We also provide an HPCCG-like middle ground and a pure-random control.
+//
+// The generators reproduce the *content statistics* these workloads induce:
+// for each block the generator draws among { zero page, site-shared pool
+// page (inter-node redundancy), duplicate of an earlier local page
+// (intra-entity redundancy), unique page }. Shared pool pages are generated
+// from (seed, pool index) only, so they are byte-identical across entities
+// and nodes without any coordination — the property the DHT detects.
+// Everything is deterministic in (seed, entity id).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory_entity.hpp"
+
+namespace concord::workload {
+
+enum class Kind : std::uint8_t { kMoldy, kHpccg, kNasty, kRandom };
+
+struct Params {
+  Kind kind = Kind::kMoldy;
+  std::uint64_t seed = 1;
+
+  // Per-block category probabilities (remainder = unique pages). Defaults
+  // are overridden per kind by defaults_for(); set them explicitly for
+  // parameter sweeps.
+  double zero_fraction = 0.0;
+  double shared_fraction = 0.0;  // site-wide pool pages (inter-node)
+  double intra_fraction = 0.0;   // duplicates of earlier local pages
+
+  /// Number of distinct pages in the site-wide shared pool; smaller pools
+  /// mean more copies of each shared page.
+  std::size_t pool_pages = 512;
+};
+
+/// The per-kind content statistics used throughout the benchmarks.
+[[nodiscard]] Params defaults_for(Kind kind, std::uint64_t seed = 1);
+
+/// Fills every block of `e` according to `p`. Deterministic in
+/// (p.seed, e.id()).
+void fill(mem::MemoryEntity& e, const Params& p);
+
+/// Rewrites ~`fraction` of the blocks with fresh unique content, through the
+/// dirty-tracking write path — the churn that makes the DHT's view stale.
+void mutate(mem::MemoryEntity& e, double fraction, std::uint64_t seed);
+
+/// Expected fraction of redundant copies for entities filled with `p`
+/// across `num_entities` entities (an analytic check for tests; exact in
+/// the limit, approximate for small entities).
+[[nodiscard]] double expected_degree_of_sharing(const Params& p, std::size_t num_entities,
+                                                std::size_t blocks_per_entity);
+
+}  // namespace concord::workload

@@ -1,0 +1,112 @@
+// Direct unit tests for the shared collective-scan kernel
+// (dht/collective_scan.hpp) — the per-shard reduce both query substrates
+// run.
+#include <gtest/gtest.h>
+
+#include "dht/collective_scan.hpp"
+
+namespace concord::dht {
+namespace {
+
+ContentHash h(std::uint64_t v) { return ContentHash{v, v * 3 + 1}; }
+
+Bitmap all_of(std::size_t n) {
+  Bitmap b(n);
+  for (std::size_t i = 0; i < n; ++i) b.set(i);
+  return b;
+}
+
+TEST(CollectiveScan, EmptyStoreYieldsZeros) {
+  const DhtStore store(8);
+  const std::vector<std::uint32_t> hosts = {0, 0, 1, 1};
+  const ScanPartial p = collective_scan(store, all_of(4), hosts, 2, true);
+  EXPECT_EQ(p.total, 0u);
+  EXPECT_EQ(p.unique, 0u);
+  EXPECT_TRUE(p.k_hashes.empty());
+}
+
+TEST(CollectiveScan, SplitsIntraAndInterCorrectly) {
+  DhtStore store(8);
+  const std::vector<std::uint32_t> hosts = {0, 0, 1, 1};
+
+  // h(1): entities 0,1 (same node) -> 1 intra.
+  store.insert(h(1), entity_id(0));
+  store.insert(h(1), entity_id(1));
+  // h(2): entities 0,2 (different nodes) -> 1 inter.
+  store.insert(h(2), entity_id(0));
+  store.insert(h(2), entity_id(2));
+  // h(3): entities 0,1,2,3 -> intra 2 (one per node), inter 1.
+  for (std::uint32_t i = 0; i < 4; ++i) store.insert(h(3), entity_id(i));
+  // h(4): entity 3 alone -> nothing redundant.
+  store.insert(h(4), entity_id(3));
+
+  const ScanPartial p = collective_scan(store, all_of(4), hosts, 3, true);
+  EXPECT_EQ(p.total, 2u + 2u + 4u + 1u);
+  EXPECT_EQ(p.unique, 4u);
+  EXPECT_EQ(p.intra, 1u + 0u + 2u + 0u);
+  EXPECT_EQ(p.inter, 0u + 1u + 1u + 0u);
+  // Redundancy identity: total - unique == intra + inter.
+  EXPECT_EQ(p.total - p.unique, p.intra + p.inter);
+  // k=3: only h(3) qualifies.
+  EXPECT_EQ(p.k_count, 1u);
+  ASSERT_EQ(p.k_hashes.size(), 1u);
+  EXPECT_EQ(p.k_hashes[0], h(3));
+}
+
+TEST(CollectiveScan, ScopeFiltersEntities) {
+  DhtStore store(8);
+  const std::vector<std::uint32_t> hosts = {0, 1};
+  store.insert(h(1), entity_id(0));
+  store.insert(h(1), entity_id(1));
+
+  Bitmap only0(2);
+  only0.set(0);
+  const ScanPartial p = collective_scan(store, only0, hosts, 2, false);
+  EXPECT_EQ(p.total, 1u);   // entity 1 is outside the scope
+  EXPECT_EQ(p.unique, 1u);
+  EXPECT_EQ(p.inter, 0u);
+  EXPECT_EQ(p.k_count, 0u);
+}
+
+TEST(CollectiveScan, EntitiesBeyondHostTableAreSkipped) {
+  DhtStore store(8);
+  const std::vector<std::uint32_t> hosts = {0};  // membership knows entity 0 only
+  store.insert(h(1), entity_id(0));
+  store.insert(h(1), entity_id(5));  // straggler bit with no known host
+
+  const ScanPartial p = collective_scan(store, all_of(8), hosts, 1, false);
+  EXPECT_EQ(p.total, 1u);
+  EXPECT_EQ(p.unique, 1u);
+}
+
+TEST(CollectiveScan, PartialsMergeByAddition) {
+  const std::vector<std::uint32_t> hosts = {0, 1};
+  DhtStore a(8), b(8);
+  a.insert(h(1), entity_id(0));
+  a.insert(h(1), entity_id(1));
+  b.insert(h(2), entity_id(0));
+
+  ScanPartial sum = collective_scan(a, all_of(2), hosts, 2, true);
+  sum += collective_scan(b, all_of(2), hosts, 2, true);
+  EXPECT_EQ(sum.total, 3u);
+  EXPECT_EQ(sum.unique, 2u);
+  EXPECT_EQ(sum.inter, 1u);
+  EXPECT_EQ(sum.k_count, 1u);
+}
+
+TEST(CollectiveScan, CollectFlagControlsHashMaterialization) {
+  DhtStore store(8);
+  const std::vector<std::uint32_t> hosts = {0, 1};
+  store.insert(h(1), entity_id(0));
+  store.insert(h(1), entity_id(1));
+
+  const ScanPartial counted = collective_scan(store, all_of(2), hosts, 2, false);
+  EXPECT_EQ(counted.k_count, 1u);
+  EXPECT_TRUE(counted.k_hashes.empty());
+
+  const ScanPartial collected = collective_scan(store, all_of(2), hosts, 2, true);
+  EXPECT_EQ(collected.k_hashes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace concord::dht

@@ -1,0 +1,248 @@
+// Unit tests for src/common: Bitmap, PoolAllocator, Rng, Config, ContentHash.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bitmap.hpp"
+#include "common/config.hpp"
+#include "common/pool_allocator.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace concord {
+namespace {
+
+TEST(Bitmap, SetTestReset) {
+  Bitmap b(100);
+  EXPECT_FALSE(b.test(5));
+  b.set(5);
+  EXPECT_TRUE(b.test(5));
+  EXPECT_EQ(b.count(), 1u);
+  b.reset(5);
+  EXPECT_FALSE(b.test(5));
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, GrowsOnSet) {
+  Bitmap b;
+  b.set(1000);
+  EXPECT_TRUE(b.test(1000));
+  EXPECT_GE(b.size(), 1001u);
+  EXPECT_FALSE(b.test(999));
+}
+
+TEST(Bitmap, TestPastEndIsFalse) {
+  const Bitmap b(10);
+  EXPECT_FALSE(b.test(1000000));
+}
+
+TEST(Bitmap, UnionIntersectionDifference) {
+  Bitmap a(128), b(128);
+  a.set(1);
+  a.set(64);
+  a.set(100);
+  b.set(64);
+  b.set(127);
+
+  Bitmap u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 4u);
+  EXPECT_TRUE(u.test(1) && u.test(64) && u.test(100) && u.test(127));
+
+  Bitmap i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(64));
+
+  Bitmap d = a;
+  d -= b;
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_FALSE(d.test(64));
+}
+
+TEST(Bitmap, IntersectsDifferentSizes) {
+  Bitmap small(10), big(1000);
+  small.set(3);
+  big.set(900);
+  EXPECT_FALSE(small.intersects(big));
+  big.set(3);
+  EXPECT_TRUE(small.intersects(big));
+}
+
+TEST(Bitmap, EqualityIgnoresTrailingZeros) {
+  Bitmap a(10), b(500);
+  a.set(2);
+  b.set(2);
+  EXPECT_EQ(a, b);
+  b.set(400);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitmap, ForEachVisitsAscending) {
+  Bitmap b(300);
+  const std::vector<std::size_t> want = {0, 63, 64, 65, 128, 299};
+  for (const std::size_t i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bitmap, FindNext) {
+  Bitmap b(200);
+  b.set(5);
+  b.set(70);
+  b.set(199);
+  EXPECT_EQ(b.find_next(0), 5u);
+  EXPECT_EQ(b.find_next(5), 5u);
+  EXPECT_EQ(b.find_next(6), 70u);
+  EXPECT_EQ(b.find_next(71), 199u);
+  EXPECT_EQ(b.find_next(200), 200u);  // nothing past the end
+}
+
+TEST(Bitmap, WordAccessor) {
+  Bitmap b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.word(0), 1u);
+  EXPECT_EQ(b.word(1), 1u);
+  EXPECT_EQ(b.word(2), std::uint64_t{1} << 1);
+  EXPECT_EQ(b.word(99), 0u);  // past the end
+}
+
+TEST(PoolAllocator, ReusesFreedObjects) {
+  PoolAllocatorBase pool(64, 8);
+  void* a = pool.allocate();
+  void* b = pool.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.live_objects(), 2u);
+  pool.deallocate(a);
+  EXPECT_EQ(pool.live_objects(), 1u);
+  void* c = pool.allocate();
+  EXPECT_EQ(c, a);  // LIFO freelist hands back the last freed
+}
+
+TEST(PoolAllocator, ReservedBytesGrowInSlabs) {
+  PoolAllocatorBase pool(32, 4);
+  EXPECT_EQ(pool.reserved_bytes(), 0u);
+  (void)pool.allocate();
+  EXPECT_EQ(pool.reserved_bytes(), 4u * 32u);
+  for (int i = 0; i < 4; ++i) (void)pool.allocate();  // forces a second slab
+  EXPECT_EQ(pool.reserved_bytes(), 8u * 32u);
+}
+
+TEST(PoolAllocator, TypedPoolConstructsAndDestroys) {
+  struct Obj {
+    int x;
+    explicit Obj(int v) : x(v) {}
+  };
+  Pool<Obj> pool(16);
+  Obj* o = pool.create(42);
+  EXPECT_EQ(o->x, 42);
+  EXPECT_EQ(pool.live_objects(), 1u);
+  pool.destroy(o);
+  EXPECT_EQ(pool.live_objects(), 0u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a(), b());
+  EXPECT_NE(a(), c());  // overwhelmingly likely
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(ContentHash, OrderingAndEquality) {
+  const ContentHash a{1, 2}, b{1, 3}, c{1, 2};
+  EXPECT_EQ(a, c);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ContentHash, ToStringIsHex) {
+  const ContentHash h{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(h.to_string(), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(ContentHash, WellMixedSpreadsBits) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(ContentHash{0, i}.well_mixed());
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // sequential inputs must not collide
+}
+
+TEST(Config, ParsesKeyValues) {
+  const auto cfg = Config::parse("a = 1\n# comment\nb= hello world \n\nc =-5");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int_or("a", 0), 1);
+  EXPECT_EQ(cfg->get_or("b", ""), "hello world");
+  EXPECT_EQ(cfg->get_int_or("c", 0), -5);
+  EXPECT_FALSE(cfg->get("missing").has_value());
+}
+
+TEST(Config, RejectsMalformedLine) {
+  EXPECT_FALSE(Config::parse("this has no equals sign").has_value());
+  EXPECT_FALSE(Config::parse("= value without key").has_value());
+}
+
+TEST(Config, TypedAccessors) {
+  Config cfg;
+  cfg.set("n", "42");
+  cfg.set("d", "2.5");
+  cfg.set("flag", "true");
+  cfg.set("junk", "xyz");
+  EXPECT_EQ(cfg.get_int("n").value(), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d").value(), 2.5);
+  EXPECT_TRUE(cfg.get_bool_or("flag", false));
+  EXPECT_FALSE(cfg.get_int("junk").has_value());
+  EXPECT_EQ(cfg.get_int_or("junk", 7), 7);
+}
+
+TEST(Result, CarriesValueOrStatus) {
+  const Result<int> good(5);
+  EXPECT_TRUE(good.has_value());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(good.status(), Status::kOk);
+
+  const Result<int> bad(Status::kNotFound);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status(), Status::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Status, ToStringCoversAll) {
+  EXPECT_EQ(to_string(Status::kOk), "ok");
+  EXPECT_EQ(to_string(Status::kStale), "stale");
+  EXPECT_EQ(to_string(Status::kExhausted), "exhausted");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,127 @@
+// Unit + property tests for src/compress (cgz).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "compress/cgz.hpp"
+
+namespace concord::compress {
+namespace {
+
+std::vector<std::byte> make_bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (const int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+void expect_roundtrip(const std::vector<std::byte>& input) {
+  const auto packed = compress(input);
+  const auto unpacked = decompress(packed);
+  ASSERT_TRUE(unpacked.has_value()) << "size=" << input.size();
+  EXPECT_EQ(unpacked.value(), input);
+}
+
+TEST(Cgz, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Cgz, SingleByte) { expect_roundtrip(make_bytes({42})); }
+
+TEST(Cgz, AllSameByte) { expect_roundtrip(std::vector<std::byte>(100000, std::byte{7})); }
+
+TEST(Cgz, ShortInputsBelowMinMatch) {
+  expect_roundtrip(make_bytes({1, 2}));
+  expect_roundtrip(make_bytes({1, 2, 3}));
+  expect_roundtrip(make_bytes({1, 1, 1}));
+}
+
+TEST(Cgz, RepeatedPagesCompressWhenAdjacent) {
+  // Two identical 4 KB pages back to back: LZ77's window catches the second.
+  std::vector<std::byte> page(4096);
+  Rng rng(3);
+  for (auto& b : page) b = static_cast<std::byte>(rng() & 0xff);
+  std::vector<std::byte> two;
+  two.insert(two.end(), page.begin(), page.end());
+  two.insert(two.end(), page.begin(), page.end());
+
+  const auto packed = compress(two);
+  EXPECT_LT(packed.size(), page.size() + 1024);  // second copy nearly free
+  expect_roundtrip(two);
+}
+
+TEST(Cgz, DistantDuplicatesAreNotCaught) {
+  // The same page separated by >32 KB of unique data: outside the window,
+  // so — like gzip — cgz cannot deduplicate it. This locality limitation is
+  // exactly why ConCORD beats stream compression in Fig. 14.
+  Rng rng(4);
+  std::vector<std::byte> page(4096);
+  for (auto& b : page) b = static_cast<std::byte>(rng() & 0xff);
+  std::vector<std::byte> filler(128 * 1024);
+  for (auto& b : filler) b = static_cast<std::byte>(rng() & 0xff);
+
+  std::vector<std::byte> data;
+  data.insert(data.end(), page.begin(), page.end());
+  data.insert(data.end(), filler.begin(), filler.end());
+  data.insert(data.end(), page.begin(), page.end());
+
+  const auto packed = compress(data);
+  // Incompressible filler + two full copies of the page: no dedup possible.
+  EXPECT_GT(packed.size(), data.size() * 9 / 10);
+  expect_roundtrip(data);
+}
+
+TEST(Cgz, StructuredTextCompressesWell) {
+  std::string text;
+  for (int i = 0; i < 2000; ++i) text += "the quick brown fox jumps over the lazy dog. ";
+  std::vector<std::byte> data(text.size());
+  std::memcpy(data.data(), text.data(), text.size());
+  const auto packed = compress(data);
+  EXPECT_LT(packed.size(), data.size() / 10);
+  expect_roundtrip(data);
+}
+
+TEST(Cgz, RejectsGarbage) {
+  EXPECT_FALSE(decompress(make_bytes({1, 2, 3})).has_value());
+  EXPECT_FALSE(decompress(make_bytes({'C', 'G', 'Z', '1'})).has_value());  // truncated header
+  // Valid magic + size but truncated stream.
+  auto packed = compress(std::vector<std::byte>(1000, std::byte{5}));
+  packed.resize(packed.size() / 2);
+  EXPECT_FALSE(decompress(packed).has_value());
+}
+
+TEST(Cgz, CompressedSizeMatchesCompress) {
+  std::vector<std::byte> data(5000, std::byte{1});
+  EXPECT_EQ(compressed_size(data), compress(data).size());
+}
+
+// Property: random buffers of many sizes and entropy levels round-trip.
+class CgzRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CgzRoundtrip, RandomBuffers) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t size = rng.below(60000);
+    // Mix entropy: runs of a single byte, short repeats, and noise.
+    std::vector<std::byte> data;
+    data.reserve(size);
+    while (data.size() < size) {
+      const std::uint64_t mode = rng.below(3);
+      const std::size_t n = std::min<std::size_t>(rng.below(500) + 1, size - data.size());
+      if (mode == 0) {
+        data.insert(data.end(), n, static_cast<std::byte>(rng() & 0xff));
+      } else if (mode == 1 && !data.empty()) {
+        const std::size_t start = rng.below(data.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          data.push_back(data[start + (i % (data.size() - start))]);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) data.push_back(static_cast<std::byte>(rng() & 0xff));
+      }
+    }
+    expect_roundtrip(data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgzRoundtrip, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace concord::compress

@@ -1,0 +1,152 @@
+// Tests for the cluster core: daemons, update routing, registry, departures.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/cluster.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord::core {
+namespace {
+
+constexpr std::size_t kBlk = 256;
+
+ClusterParams small_params(std::uint32_t nodes = 4) {
+  ClusterParams p;
+  p.num_nodes = nodes;
+  p.max_entities = 32;
+  return p;
+}
+
+TEST(Cluster, CreateEntityRegistersAndTracks) {
+  Cluster c(small_params());
+  mem::MemoryEntity& e = c.create_entity(node_id(2), EntityKind::kProcess, 10, kBlk);
+  EXPECT_EQ(raw(e.id()), 0u);
+  EXPECT_EQ(raw(e.host()), 2u);
+  EXPECT_EQ(c.registry().host_of(e.id()), node_id(2));
+  EXPECT_TRUE(c.registry().alive(e.id()));
+  EXPECT_EQ(c.daemon(node_id(2)).monitor().tracked_entities(), 1u);
+}
+
+TEST(Cluster, ScanPopulatesShardsByPlacement) {
+  Cluster c(small_params());
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& e = c.create_entity(node_id(n), EntityKind::kProcess, 32, kBlk);
+    workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 7 + n));
+  }
+  const mem::ScanStats st = c.scan_all();
+  EXPECT_EQ(st.blocks_hashed, 4u * 32u);
+  EXPECT_EQ(st.inserts_emitted, 4u * 32u);
+
+  // Every hash in every shard must be placed correctly.
+  std::size_t total = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    c.daemon(node_id(n)).store().for_each_entry(
+        [&](const ContentHash& h, const std::uint64_t*, std::size_t) {
+          EXPECT_EQ(c.placement().owner(h), node_id(n));
+          ++total;
+        });
+  }
+  EXPECT_EQ(total, c.total_unique_hashes());
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Cluster, DuplicateContentMergesIntoOneEntry) {
+  Cluster c(small_params(2));
+  mem::MemoryEntity& a = c.create_entity(node_id(0), EntityKind::kProcess, 1, kBlk);
+  mem::MemoryEntity& b = c.create_entity(node_id(1), EntityKind::kProcess, 1, kBlk);
+  const std::vector<std::byte> same(kBlk, std::byte{42});
+  a.write_block(0, same);
+  b.write_block(0, same);
+  (void)c.scan_all();
+
+  EXPECT_EQ(c.total_unique_hashes(), 1u);
+  const hash::BlockHasher hasher;
+  const ContentHash h = hasher(std::span<const std::byte>(same));
+  const NodeId owner = c.placement().owner(h);
+  EXPECT_EQ(c.daemon(owner).store().num_entities(h), 2u);
+}
+
+TEST(Cluster, RescanAfterMutationMovesHashes) {
+  Cluster c(small_params(2));
+  mem::MemoryEntity& e = c.create_entity(node_id(0), EntityKind::kProcess, 8, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 3));
+  (void)c.scan_all();
+  const std::size_t before = c.total_unique_hashes();
+
+  workload::mutate(e, 1.0, 99);  // rewrite everything
+  const mem::ScanStats st = c.scan_all();
+  EXPECT_EQ(st.removes_emitted, 8u);
+  EXPECT_EQ(st.inserts_emitted, 8u);
+  EXPECT_EQ(c.total_unique_hashes(), before);  // old gone, new present
+}
+
+TEST(Cluster, DepartureScrubsDhtBestEffort) {
+  Cluster c(small_params(2));
+  mem::MemoryEntity& e = c.create_entity(node_id(0), EntityKind::kProcess, 16, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 5));
+  (void)c.scan_all();
+  EXPECT_GT(c.total_unique_hashes(), 0u);
+
+  c.depart_entity(e.id());
+  EXPECT_FALSE(c.registry().alive(e.id()));
+  EXPECT_EQ(c.total_unique_hashes(), 0u);  // no loss configured -> full scrub
+}
+
+TEST(Cluster, SingleNodeDhtPutsEverythingOnNodeZero) {
+  ClusterParams p = small_params(4);
+  p.single_node_dht = true;
+  Cluster c(p);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& e = c.create_entity(node_id(n), EntityKind::kProcess, 8, kBlk);
+    workload::fill(e, workload::defaults_for(workload::Kind::kRandom, n + 1));
+  }
+  (void)c.scan_all();
+  EXPECT_GT(c.daemon(node_id(0)).store().unique_hashes(), 0u);
+  for (std::uint32_t n = 1; n < 4; ++n) {
+    EXPECT_EQ(c.daemon(node_id(n)).store().unique_hashes(), 0u);
+  }
+}
+
+TEST(Cluster, UpdateLossLeavesDhtIncomplete) {
+  ClusterParams p = small_params(4);
+  p.fabric.loss_rate = 0.5;
+  p.seed = 11;
+  Cluster c(p);
+  // Host entities away from their shard owners so updates cross the wire.
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& e = c.create_entity(node_id(n), EntityKind::kProcess, 64, kBlk);
+    workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 21 + n));
+  }
+  (void)c.scan_all();
+  const std::size_t tracked = c.total_unique_hashes();
+  EXPECT_GT(tracked, 0u);
+  EXPECT_LT(tracked, 4u * 64u);  // some updates were lost — best effort
+  EXPECT_GT(c.fabric().total_traffic().msgs_dropped, 0u);
+}
+
+TEST(Cluster, SuperFastHasherWorksEndToEnd) {
+  ClusterParams p = small_params(2);
+  p.hash_algorithm = hash::Algorithm::kSuperFast;
+  Cluster c(p);
+  mem::MemoryEntity& e = c.create_entity(node_id(0), EntityKind::kProcess, 8, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 2));
+  (void)c.scan_all();
+  EXPECT_EQ(c.total_unique_hashes(), 8u);
+}
+
+TEST(EntityRegistry, OnNodeFiltersDeparted) {
+  EntityRegistry reg(16);
+  const EntityId a = reg.register_entity(node_id(1), EntityKind::kProcess);
+  const EntityId b = reg.register_entity(node_id(1), EntityKind::kVirtualMachine);
+  (void)reg.register_entity(node_id(2), EntityKind::kProcess);
+  EXPECT_EQ(reg.on_node(node_id(1)).size(), 2u);
+  reg.deregister(a);
+  const auto rest = reg.on_node(node_id(1));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], b);
+  EXPECT_EQ(reg.info(b).kind, EntityKind::kVirtualMachine);
+}
+
+}  // namespace
+}  // namespace concord::core

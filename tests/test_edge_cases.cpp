@@ -1,0 +1,304 @@
+// Edge-case and failure-injection tests across the stack: degenerate
+// geometries, corrupted checkpoint files, alternative hashers and detect
+// modes end-to-end, and best-effort query semantics under loss.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "query/queries.hpp"
+#include "services/checkpoint_format.hpp"
+#include "services/collective_checkpoint.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord {
+namespace {
+
+constexpr std::size_t kBlk = 256;
+
+std::unique_ptr<core::Cluster> make_cluster(core::ClusterParams p) {
+  return std::make_unique<core::Cluster>(p);
+}
+
+TEST(EdgeCases, SingleNodeClusterWorksEndToEnd) {
+  core::ClusterParams p;
+  p.num_nodes = 1;
+  p.max_entities = 4;
+  auto c = make_cluster(p);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 16, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kMoldy, 1));
+  (void)c->scan_all();
+  EXPECT_GT(c->total_unique_hashes(), 0u);
+
+  query::QueryEngine q(*c);
+  const std::vector<EntityId> set{e.id()};
+  EXPECT_GT(q.sharing(node_id(0), set).unique_hashes, 0u);
+
+  services::CollectiveCheckpointService ckpt(*c);
+  svc::CommandEngine engine(*c);
+  svc::CommandSpec spec;
+  spec.service_entities = set;
+  const svc::CommandStats stats = engine.execute(ckpt, spec);
+  EXPECT_TRUE(ok(stats.status));
+  const auto mem = services::restore_entity(c->fs(), ckpt.se_path(e.id()), ckpt.shared_path());
+  ASSERT_TRUE(mem.has_value());
+}
+
+TEST(EdgeCases, ZeroBlockEntityIsHarmless) {
+  core::ClusterParams p;
+  p.num_nodes = 2;
+  p.max_entities = 4;
+  auto c = make_cluster(p);
+  mem::MemoryEntity& empty = c->create_entity(node_id(0), EntityKind::kProcess, 0, kBlk);
+  const mem::ScanStats st = c->scan_all();
+  EXPECT_EQ(st.blocks_hashed, 0u);
+
+  services::CollectiveCheckpointService ckpt(*c);
+  svc::CommandEngine engine(*c);
+  svc::CommandSpec spec;
+  spec.service_entities = {empty.id()};
+  const svc::CommandStats stats = engine.execute(ckpt, spec);
+  EXPECT_TRUE(ok(stats.status));
+  EXPECT_EQ(stats.local_blocks, 0u);
+  const auto mem = services::restore_entity(c->fs(), ckpt.se_path(empty.id()),
+                                            ckpt.shared_path());
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_TRUE(mem.value().empty());
+}
+
+TEST(EdgeCases, NonDefaultBlockSizeRoundTrips) {
+  for (const std::size_t bs : {std::size_t{64}, std::size_t{1024}, std::size_t{4096}}) {
+    core::ClusterParams p;
+    p.num_nodes = 2;
+    p.max_entities = 4;
+    auto c = make_cluster(p);
+    mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 8, bs);
+    workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 3));
+    (void)c->scan_all();
+
+    services::CollectiveCheckpointService ckpt(*c);
+    svc::CommandEngine engine(*c);
+    svc::CommandSpec spec;
+    spec.service_entities = {e.id()};
+    ASSERT_TRUE(ok(engine.execute(ckpt, spec).status));
+    const auto mem =
+        services::restore_entity(c->fs(), ckpt.se_path(e.id()), ckpt.shared_path());
+    ASSERT_TRUE(mem.has_value()) << "block size " << bs;
+    for (BlockIndex b = 0; b < 8; ++b) {
+      ASSERT_EQ(std::memcmp(mem.value().data() + b * bs, e.block(b).data(), bs), 0);
+    }
+  }
+}
+
+class HasherSweep : public ::testing::TestWithParam<hash::Algorithm> {};
+
+TEST_P(HasherSweep, CheckpointCorrectWithEitherHasher) {
+  core::ClusterParams p;
+  p.num_nodes = 4;
+  p.max_entities = 8;
+  p.hash_algorithm = GetParam();
+  auto c = make_cluster(p);
+  std::vector<EntityId> ses;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& e = c->create_entity(node_id(n), EntityKind::kProcess, 16, kBlk);
+    workload::fill(e, workload::defaults_for(workload::Kind::kMoldy, n + 1));
+    ses.push_back(e.id());
+  }
+  (void)c->scan_all();
+
+  services::CollectiveCheckpointService ckpt(*c);
+  svc::CommandEngine engine(*c);
+  svc::CommandSpec spec;
+  spec.service_entities = ses;
+  ASSERT_TRUE(ok(engine.execute(ckpt, spec).status));
+  for (const EntityId id : ses) {
+    const auto mem =
+        services::restore_entity(c->fs(), ckpt.se_path(id), ckpt.shared_path());
+    ASSERT_TRUE(mem.has_value());
+    const mem::MemoryEntity& e = c->entity(id);
+    for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+      ASSERT_EQ(std::memcmp(mem.value().data() + b * kBlk, e.block(b).data(), kBlk), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, HasherSweep,
+                         ::testing::Values(hash::Algorithm::kMd5,
+                                           hash::Algorithm::kSuperFast));
+
+class DetectModeSweep : public ::testing::TestWithParam<mem::DetectMode> {};
+
+TEST_P(DetectModeSweep, IncrementalTrackingConvergesToSameDht) {
+  core::ClusterParams p;
+  p.num_nodes = 2;
+  p.max_entities = 4;
+  p.detect_mode = GetParam();
+  auto c = make_cluster(p);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 32, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 4));
+  (void)c->scan_all();
+  const std::size_t after_first = c->total_unique_hashes();
+  EXPECT_EQ(after_first, 32u);
+
+  // Mutate half, rescan twice (second is a no-op), verify the DHT matches a
+  // fresh ground-truth hash of memory.
+  workload::mutate(e, 0.5, 99);
+  (void)c->scan_all();
+  const mem::ScanStats idle = c->scan_all();
+  EXPECT_EQ(idle.inserts_emitted, 0u);
+
+  const hash::BlockHasher hasher(p.hash_algorithm);
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+    const ContentHash h = hasher(e.block(b));
+    const NodeId owner = c->placement().owner(h);
+    EXPECT_TRUE(c->daemon(owner).store().contains(h, e.id())) << "block " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DetectModeSweep,
+                         ::testing::Values(mem::DetectMode::kFullScan,
+                                           mem::DetectMode::kDirtyBit,
+                                           mem::DetectMode::kCopyOnWrite));
+
+TEST(FailureInjection, CorruptedCheckpointRecordIsRejected) {
+  core::ClusterParams p;
+  p.num_nodes = 2;
+  p.max_entities = 4;
+  auto c = make_cluster(p);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 4, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 5));
+  (void)c->scan_all();
+
+  services::CollectiveCheckpointService ckpt(*c);
+  svc::CommandEngine engine(*c);
+  svc::CommandSpec spec;
+  spec.service_entities = {e.id()};
+  ASSERT_TRUE(ok(engine.execute(ckpt, spec).status));
+
+  // Corrupt the record kind byte of the first record.
+  const std::string se_path = ckpt.se_path(e.id());
+  const auto data = c->fs().read_all(se_path);
+  ASSERT_TRUE(data.has_value());
+  auto bad = data.value();
+  bad[services::kHeaderBytes] = std::byte{0xff};
+  (void)c->fs().remove(se_path);
+  c->fs().append(se_path, bad);
+
+  const auto mem = services::restore_entity(c->fs(), se_path, ckpt.shared_path());
+  EXPECT_FALSE(mem.has_value());
+  EXPECT_EQ(mem.status(), Status::kInvalidArgument);
+}
+
+TEST(FailureInjection, TruncatedCheckpointIsRejected) {
+  core::ClusterParams p;
+  p.num_nodes = 2;
+  p.max_entities = 4;
+  auto c = make_cluster(p);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 4, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 6));
+  (void)c->scan_all();
+
+  services::CollectiveCheckpointService ckpt(*c);
+  svc::CommandEngine engine(*c);
+  svc::CommandSpec spec;
+  spec.service_entities = {e.id()};
+  ASSERT_TRUE(ok(engine.execute(ckpt, spec).status));
+
+  const std::string se_path = ckpt.se_path(e.id());
+  const auto data = c->fs().read_all(se_path);
+  ASSERT_TRUE(data.has_value());
+  auto truncated = data.value();
+  truncated.resize(truncated.size() / 2);
+  (void)c->fs().remove(se_path);
+  c->fs().append(se_path, truncated);
+
+  EXPECT_FALSE(services::restore_entity(c->fs(), se_path, ckpt.shared_path()).has_value());
+}
+
+TEST(FailureInjection, QueriesAreBestEffortUnderLoss) {
+  // With lossy updates the DHT undercounts — queries must never overcount.
+  core::ClusterParams p;
+  p.num_nodes = 4;
+  p.max_entities = 8;
+  p.fabric.loss_rate = 0.3;
+  p.seed = 77;
+  auto c = make_cluster(p);
+  std::vector<EntityId> ids;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& e = c->create_entity(node_id(n), EntityKind::kProcess, 32, kBlk);
+    auto wp = workload::defaults_for(workload::Kind::kMoldy, 2);
+    wp.pool_pages = 16;
+    workload::fill(e, wp);
+    ids.push_back(e.id());
+  }
+  (void)c->scan_all();
+
+  // Oracle from ground truth.
+  const hash::BlockHasher hasher;
+  std::uint64_t truth_total = 0;
+  std::map<ContentHash, std::set<std::uint32_t>> holders;
+  for (const EntityId id : ids) {
+    const mem::MemoryEntity& e = c->entity(id);
+    for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+      holders[hasher(e.block(b))].insert(raw(id));
+    }
+  }
+  for (const auto& [h, s] : holders) truth_total += s.size();
+
+  query::QueryEngine q(*c);
+  const query::SharingAnswer ans = q.sharing(node_id(0), ids);
+  EXPECT_LE(ans.total_copies, truth_total);
+  EXPECT_LE(ans.unique_hashes, holders.size());
+  EXPECT_GT(ans.unique_hashes, 0u);
+
+  for (const auto& [h, s] : holders) {
+    EXPECT_LE(q.num_copies(node_id(1), h).num_copies, s.size());
+  }
+}
+
+TEST(FailureInjection, CommandSucceedsWhenDhtIsCompletelyEmpty) {
+  // Monitors never ran: the collective phase has nothing to drive and the
+  // local phase does all the work.
+  core::ClusterParams p;
+  p.num_nodes = 2;
+  p.max_entities = 4;
+  auto c = make_cluster(p);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 8, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 8));
+  // No scan_all() on purpose.
+
+  services::CollectiveCheckpointService ckpt(*c);
+  svc::CommandEngine engine(*c);
+  svc::CommandSpec spec;
+  spec.service_entities = {e.id()};
+  const svc::CommandStats stats = engine.execute(ckpt, spec);
+  ASSERT_TRUE(ok(stats.status));
+  EXPECT_EQ(stats.distinct_hashes, 0u);
+  EXPECT_EQ(stats.local_uncovered, 8u);
+
+  const auto mem =
+      services::restore_entity(c->fs(), ckpt.se_path(e.id()), ckpt.shared_path());
+  ASSERT_TRUE(mem.has_value());
+  for (BlockIndex b = 0; b < 8; ++b) {
+    ASSERT_EQ(std::memcmp(mem.value().data() + b * kBlk, e.block(b).data(), kBlk), 0);
+  }
+}
+
+TEST(EdgeCases, LoopbackMessagesBypassTheNic) {
+  sim::Simulation simu;
+  net::Fabric fabric(simu, net::FabricParams{});
+  int received = 0;
+  fabric.register_node(node_id(0), [&](const net::Message&) { ++received; });
+  fabric.send_reliable(
+      net::make_message(node_id(0), node_id(0), net::MsgType::kControl, 1, 8));
+  fabric.send_unreliable(
+      net::make_message(node_id(0), node_id(0), net::MsgType::kControl, 2, 8));
+  simu.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(fabric.traffic(node_id(0)).bytes_sent, 0u);  // never touched the NIC
+  EXPECT_LE(simu.now(), 2 * net::kLoopbackLatency);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,147 @@
+// Unit tests for src/hash: MD5 against the RFC 1321 vectors, SuperFastHash
+// behaviour, and the BlockHasher facade.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "hash/block_hasher.hpp"
+#include "hash/md5.hpp"
+#include "hash/superfast.hpp"
+
+namespace concord::hash {
+namespace {
+
+std::string hex(const std::array<std::uint8_t, 16>& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+std::span<const std::byte> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+// The complete RFC 1321 appendix A.5 test suite.
+struct Rfc1321Case {
+  const char* input;
+  const char* digest;
+};
+
+class Md5Rfc : public ::testing::TestWithParam<Rfc1321Case> {};
+
+TEST_P(Md5Rfc, MatchesReferenceDigest) {
+  const auto& [input, want] = GetParam();
+  const std::string s(input);
+  EXPECT_EQ(hex(Md5::digest(bytes(s))), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc1321, Md5Rfc,
+    ::testing::Values(
+        Rfc1321Case{"", "d41d8cd98f00b204e9800998ecf8427e"},
+        Rfc1321Case{"a", "0cc175b9c0f1b6a831c399e269772661"},
+        Rfc1321Case{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+        Rfc1321Case{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+        Rfc1321Case{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+        Rfc1321Case{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                    "d174ab98d277d9f5a5611c2c9f419d9f"},
+        Rfc1321Case{"1234567890123456789012345678901234567890123456789012345678901234567890123456"
+                    "7890",
+                    "57edf4a22be3c955ac49da2e2107b67a"}));
+
+TEST(Md5, IncrementalEqualsOneShotAtAllSplitPoints) {
+  // Feeding the same bytes in two chunks must give the same digest no matter
+  // where the split falls relative to the 64-byte block boundary.
+  std::string data(300, '\0');
+  Rng rng(11);
+  for (auto& c : data) c = static_cast<char>(rng() & 0xff);
+  const auto want = Md5::digest(bytes(data));
+
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+                            std::size_t{65}, std::size_t{128}, std::size_t{299}}) {
+    Md5 md5;
+    md5.update(bytes(data).subspan(0, split));
+    md5.update(bytes(data).subspan(split));
+    EXPECT_EQ(md5.final_digest(), want) << "split=" << split;
+  }
+}
+
+TEST(Md5, ContentHashUsesFullDigestBigEndian) {
+  const ContentHash h = Md5::content_hash(bytes(std::string("abc")));
+  EXPECT_EQ(h.to_string(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, DistinctInputsDistinctHashes) {
+  std::unordered_set<ContentHash> seen;
+  std::vector<std::byte> page(4096, std::byte{0});
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    std::memcpy(page.data(), &i, sizeof(i));
+    seen.insert(Md5::content_hash(page));
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(SuperFast, DeterministicAndSeedSensitive) {
+  const std::string s = "hello superfast";
+  EXPECT_EQ(superfast32(bytes(s)), superfast32(bytes(s)));
+  EXPECT_NE(superfast32(bytes(s), 1), superfast32(bytes(s), 2));
+}
+
+TEST(SuperFast, TailLengthsAllCovered) {
+  // Lengths 0..7 exercise every switch arm.
+  for (std::size_t len = 0; len < 8; ++len) {
+    const std::string s(len, 'x');
+    const std::string t = s + "y";
+    if (len > 0) {
+      EXPECT_NE(superfast32(bytes(s)), superfast32(bytes(s.substr(0, len - 1))));
+    }
+    EXPECT_NE(superfast32(bytes(s)), superfast32(bytes(t)));
+  }
+}
+
+TEST(SuperFast, ContentHashHasNoTrivialCollisions) {
+  std::unordered_set<ContentHash> seen;
+  std::vector<std::byte> page(4096, std::byte{0});
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    std::memcpy(page.data() + 100, &i, sizeof(i));
+    seen.insert(superfast_content_hash(page));
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Fnv1a, MatchesKnownVector) {
+  // FNV-1a("a") = 0xaf63dc4c8601ec8c
+  const std::string s = "a";
+  EXPECT_EQ(fnv1a64(bytes(s)), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(BlockHasher, AlgorithmsDiffer) {
+  std::vector<std::byte> page(4096, std::byte{7});
+  const BlockHasher md5(Algorithm::kMd5);
+  const BlockHasher sf(Algorithm::kSuperFast);
+  EXPECT_NE(md5(page), sf(page));
+  EXPECT_EQ(md5(page), Md5::content_hash(page));
+  EXPECT_EQ(sf(page), superfast_content_hash(page));
+}
+
+TEST(BlockHasher, EqualContentEqualHash) {
+  std::vector<std::byte> a(4096, std::byte{1});
+  std::vector<std::byte> b(4096, std::byte{1});
+  for (const Algorithm algo : {Algorithm::kMd5, Algorithm::kSuperFast}) {
+    const BlockHasher h(algo);
+    EXPECT_EQ(h(a), h(b)) << to_string(algo);
+    b[100] = std::byte{2};
+    EXPECT_NE(h(a), h(b)) << to_string(algo);
+    b[100] = std::byte{1};
+  }
+}
+
+}  // namespace
+}  // namespace concord::hash

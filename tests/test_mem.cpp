@@ -1,0 +1,213 @@
+// Tests for the memory substrate: entity dirty tracking, the update monitor
+// in all three detection modes, throttling, and the local block map.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "mem/memory_entity.hpp"
+#include "mem/update_monitor.hpp"
+
+namespace concord::mem {
+namespace {
+
+constexpr std::size_t kBlk = 256;  // small blocks keep tests fast
+
+void stamp(MemoryEntity& e, BlockIndex b, std::uint64_t value) {
+  auto blk = e.write_block(b);
+  std::memcpy(blk.data(), &value, sizeof(value));
+}
+
+TEST(MemoryEntity, GeometryAndAccess) {
+  MemoryEntity e(entity_id(3), node_id(1), EntityKind::kProcess, 10, kBlk);
+  EXPECT_EQ(raw(e.id()), 3u);
+  EXPECT_EQ(raw(e.host()), 1u);
+  EXPECT_EQ(e.num_blocks(), 10u);
+  EXPECT_EQ(e.block_size(), kBlk);
+  EXPECT_EQ(e.memory_bytes(), 10 * kBlk);
+  EXPECT_EQ(e.block(0).size(), kBlk);
+}
+
+TEST(MemoryEntity, FreshEntityIsAllDirty) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 5, kBlk);
+  EXPECT_EQ(e.dirty().count(), 5u);
+}
+
+TEST(MemoryEntity, WriteMarksDirtyAndConsumeClears) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 5, kBlk);
+  (void)e.consume_dirty();
+  EXPECT_EQ(e.dirty().count(), 0u);
+  stamp(e, 2, 99);
+  EXPECT_TRUE(e.dirty().test(2));
+  EXPECT_EQ(e.dirty().count(), 1u);
+  const Bitmap taken = e.consume_dirty();
+  EXPECT_TRUE(taken.test(2));
+  EXPECT_EQ(e.dirty().count(), 0u);
+}
+
+struct Collected {
+  std::vector<ContentUpdate> updates;
+  MemoryUpdateMonitor::EmitFn emit() {
+    return [this](const ContentUpdate& u) { updates.push_back(u); };
+  }
+  [[nodiscard]] std::size_t inserts() const {
+    std::size_t n = 0;
+    for (const auto& u : updates) n += u.op == ContentUpdate::Op::kInsert ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] std::size_t removes() const { return updates.size() - inserts(); }
+};
+
+class MonitorModes : public ::testing::TestWithParam<DetectMode> {};
+
+TEST_P(MonitorModes, FirstScanInsertsEveryBlock) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 8, kBlk);
+  for (BlockIndex b = 0; b < 8; ++b) stamp(e, b, b);
+  MemoryUpdateMonitor mon(hash::BlockHasher{}, GetParam());
+  mon.attach(e);
+  Collected c;
+  const ScanStats st = mon.scan(c.emit());
+  EXPECT_EQ(st.inserts_emitted, 8u);
+  EXPECT_EQ(st.removes_emitted, 0u);
+  EXPECT_EQ(c.inserts(), 8u);
+  EXPECT_EQ(mon.block_map().unique_hashes(), 8u);
+}
+
+TEST_P(MonitorModes, UnchangedRescanEmitsNothing) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 8, kBlk);
+  MemoryUpdateMonitor mon(hash::BlockHasher{}, GetParam());
+  mon.attach(e);
+  Collected c;
+  (void)mon.scan(c.emit());
+  c.updates.clear();
+  const ScanStats st = mon.scan(c.emit());
+  EXPECT_EQ(st.inserts_emitted, 0u);
+  EXPECT_EQ(st.removes_emitted, 0u);
+  EXPECT_TRUE(c.updates.empty());
+}
+
+TEST_P(MonitorModes, ChangeEmitsRemoveTheInsert) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 8, kBlk);
+  MemoryUpdateMonitor mon(hash::BlockHasher{}, GetParam());
+  mon.attach(e);
+  Collected c;
+  (void)mon.scan(c.emit());
+  const ContentHash old_hash = (*mon.known_hashes(entity_id(0)))[3];
+  c.updates.clear();
+
+  stamp(e, 3, 0xdeadbeef);
+  const ScanStats st = mon.scan(c.emit());
+  EXPECT_EQ(st.removes_emitted, 1u);
+  EXPECT_EQ(st.inserts_emitted, 1u);
+  ASSERT_EQ(c.updates.size(), 2u);
+  EXPECT_EQ(c.updates[0].op, ContentUpdate::Op::kRemove);
+  EXPECT_EQ(c.updates[0].hash, old_hash);
+  EXPECT_EQ(c.updates[1].op, ContentUpdate::Op::kInsert);
+  EXPECT_NE(c.updates[1].hash, old_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MonitorModes,
+                         ::testing::Values(DetectMode::kFullScan, DetectMode::kDirtyBit,
+                                           DetectMode::kCopyOnWrite));
+
+TEST(Monitor, DirtyModeOnlyHashesDirtyBlocks) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 100, kBlk);
+  MemoryUpdateMonitor mon(hash::BlockHasher{}, DetectMode::kDirtyBit);
+  mon.attach(e);
+  Collected c;
+  (void)mon.scan(c.emit());
+
+  stamp(e, 7, 1);
+  stamp(e, 42, 2);
+  const ScanStats st = mon.scan(c.emit());
+  EXPECT_EQ(st.blocks_hashed, 2u);  // scan mode would hash all 100
+
+  MemoryEntity e2(entity_id(1), node_id(0), EntityKind::kProcess, 100, kBlk);
+  MemoryUpdateMonitor full(hash::BlockHasher{}, DetectMode::kFullScan);
+  full.attach(e2);
+  (void)full.scan(c.emit());
+  stamp(e2, 7, 1);
+  const ScanStats st2 = full.scan(c.emit());
+  EXPECT_EQ(st2.blocks_hashed, 100u);
+}
+
+TEST(Monitor, ThrottleCarriesOverAndEventuallyCatchesUp) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 50, kBlk);
+  for (BlockIndex b = 0; b < 50; ++b) stamp(e, b, b + 1000);
+  MemoryUpdateMonitor mon(hash::BlockHasher{}, DetectMode::kDirtyBit);
+  mon.attach(e);
+  mon.set_update_budget(10);
+
+  Collected c;
+  std::size_t total_inserts = 0;
+  int epochs = 0;
+  while (total_inserts < 50 && epochs < 20) {
+    const ScanStats st = mon.scan(c.emit());
+    EXPECT_LE(st.inserts_emitted + st.removes_emitted, 10u);
+    total_inserts += st.inserts_emitted;
+    ++epochs;
+  }
+  EXPECT_EQ(total_inserts, 50u);
+  EXPECT_EQ(epochs, 5);  // 50 blocks at 10 updates per epoch
+}
+
+TEST(Monitor, BlockMapTracksDuplicateContent) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 4, kBlk);
+  stamp(e, 0, 7);
+  stamp(e, 1, 7);  // same content as block 0
+  stamp(e, 2, 8);
+  stamp(e, 3, 9);
+  MemoryUpdateMonitor mon;
+  mon.attach(e);
+  Collected c;
+  (void)mon.scan(c.emit());
+
+  EXPECT_EQ(mon.block_map().unique_hashes(), 3u);
+  const ContentHash dup = (*mon.known_hashes(entity_id(0)))[0];
+  EXPECT_EQ(mon.block_map().copies(dup), 2u);
+  const auto* locs = mon.block_map().find(dup);
+  ASSERT_NE(locs, nullptr);
+  EXPECT_EQ(locs->size(), 2u);
+}
+
+TEST(Monitor, DetachDropsGroundTruth) {
+  MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 4, kBlk);
+  MemoryUpdateMonitor mon;
+  mon.attach(e);
+  Collected c;
+  (void)mon.scan(c.emit());
+  EXPECT_EQ(mon.tracked_entities(), 1u);
+  mon.detach(entity_id(0));
+  EXPECT_EQ(mon.tracked_entities(), 0u);
+  EXPECT_EQ(mon.block_map().unique_hashes(), 0u);
+  EXPECT_EQ(mon.known_hashes(entity_id(0)), nullptr);
+}
+
+TEST(Monitor, MultipleEntitiesShareTheMap) {
+  MemoryEntity a(entity_id(0), node_id(0), EntityKind::kProcess, 2, kBlk);
+  MemoryEntity b(entity_id(1), node_id(0), EntityKind::kVirtualMachine, 2, kBlk);
+  stamp(a, 0, 5);
+  stamp(b, 1, 5);  // same content across entities
+  MemoryUpdateMonitor mon;
+  mon.attach(a);
+  mon.attach(b);
+  Collected c;
+  (void)mon.scan(c.emit());
+  const ContentHash h = (*mon.known_hashes(entity_id(0)))[0];
+  EXPECT_EQ(mon.block_map().copies(h), 2u);
+}
+
+TEST(LocalBlockMap, RemoveSpecificLocation) {
+  LocalBlockMap map;
+  const ContentHash h{1, 2};
+  map.add(h, {entity_id(0), 5});
+  map.add(h, {entity_id(1), 9});
+  EXPECT_TRUE(map.remove(h, {entity_id(0), 5}));
+  EXPECT_FALSE(map.remove(h, {entity_id(0), 5}));  // already gone
+  EXPECT_EQ(map.copies(h), 1u);
+  EXPECT_TRUE(map.remove(h, {entity_id(1), 9}));
+  EXPECT_EQ(map.find(h), nullptr);  // entry erased when drained
+}
+
+}  // namespace
+}  // namespace concord::mem

@@ -1,0 +1,205 @@
+// Cross-cutting property tests: model-based bitmap checking, long-input
+// hash vectors, network reordering tolerance, and simulation determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/bitmap.hpp"
+#include "common/rng.hpp"
+#include "hash/md5.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+namespace concord {
+namespace {
+
+std::string hex(const std::array<std::uint8_t, 16>& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+TEST(Md5Property, MegabyteInputMatchesReference) {
+  // Reference digests computed with Python's hashlib.
+  std::vector<std::byte> data(1000000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i * 7 + 3) % 256);
+  }
+  EXPECT_EQ(hex(hash::Md5::digest(data)), "4e8560dbecc9d8178fccd03632c646cb");
+
+  std::vector<std::byte> data2(65 * 1024 + 17);
+  for (std::size_t i = 0; i < data2.size(); ++i) {
+    data2[i] = static_cast<std::byte>(i % 251);
+  }
+  EXPECT_EQ(hex(hash::Md5::digest(data2)), "457c51cb00f45c9fd56dbf8048c97e81");
+}
+
+TEST(Md5Property, ChunkedFeedingMatchesForRandomSplits) {
+  Rng rng(77);
+  std::vector<std::byte> data(10000);
+  for (auto& b : data) b = static_cast<std::byte>(rng() & 0xff);
+  const auto want = hash::Md5::digest(data);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    hash::Md5 md5;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t n = std::min(data.size() - pos, rng.below(777) + 1);
+      md5.update(std::span(data).subspan(pos, n));
+      pos += n;
+    }
+    ASSERT_EQ(md5.final_digest(), want) << "trial " << trial;
+  }
+}
+
+class BitmapModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitmapModel, RandomOpsMatchStdSet) {
+  Rng rng(GetParam());
+  Bitmap bm(256);
+  std::set<std::size_t> model;
+
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t i = rng.below(256);
+    switch (rng.below(3)) {
+      case 0:
+        bm.set(i);
+        model.insert(i);
+        break;
+      case 1:
+        bm.reset(i);
+        model.erase(i);
+        break;
+      default:
+        ASSERT_EQ(bm.test(i), model.contains(i)) << "step " << step;
+    }
+    if (step % 500 == 0) {
+      ASSERT_EQ(bm.count(), model.size());
+      // find_next agrees with the model's lower_bound.
+      const std::size_t from = rng.below(256);
+      const auto it = model.lower_bound(from);
+      const std::size_t want = it == model.end() ? bm.size() : *it;
+      ASSERT_EQ(bm.find_next(from), want);
+    }
+  }
+  const auto indices = bm.to_indices();
+  ASSERT_EQ(indices.size(), model.size());
+  auto mit = model.begin();
+  for (const std::uint32_t idx : indices) ASSERT_EQ(idx, *mit++);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapModel, ::testing::Values(11, 22, 33, 44));
+
+TEST(BitmapModel, SetAlgebraRandomized) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bitmap a(128), b(128);
+    std::set<std::size_t> ma, mb;
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t x = rng.below(128);
+      const std::size_t y = rng.below(128);
+      a.set(x);
+      ma.insert(x);
+      b.set(y);
+      mb.insert(y);
+    }
+    Bitmap u = a;
+    u |= b;
+    Bitmap n = a;
+    n &= b;
+    Bitmap d = a;
+    d -= b;
+    std::size_t wu = 0, wn = 0, wd = 0;
+    for (std::size_t i = 0; i < 128; ++i) {
+      wu += (ma.contains(i) || mb.contains(i)) ? 1u : 0u;
+      wn += (ma.contains(i) && mb.contains(i)) ? 1u : 0u;
+      wd += (ma.contains(i) && !mb.contains(i)) ? 1u : 0u;
+    }
+    ASSERT_EQ(u.count(), wu);
+    ASSERT_EQ(n.count(), wn);
+    ASSERT_EQ(d.count(), wd);
+    ASSERT_EQ(a.intersects(b), wn > 0);
+  }
+}
+
+TEST(FabricProperty, JitterReordersUnreliableDatagrams) {
+  // Large jitter must reorder some back-to-back datagrams — and the fabric
+  // delivers all of them regardless (out-of-order tolerance is the
+  // receiver's job, per §3.4).
+  sim::Simulation simu(3);
+  net::FabricParams params;
+  params.jitter = 500 * sim::kMicrosecond;
+  net::Fabric fabric(simu, params);
+
+  std::vector<int> arrivals;
+  fabric.register_node(node_id(0), [](const net::Message&) {});
+  fabric.register_node(node_id(1), [&](const net::Message& m) {
+    arrivals.push_back(m.as<int>());
+  });
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) {
+    fabric.send_unreliable(net::make_message(node_id(0), node_id(1),
+                                             net::MsgType::kControl, i, 8));
+  }
+  simu.run();
+  ASSERT_EQ(arrivals.size(), static_cast<std::size_t>(kN));
+  int inversions = 0;
+  for (int i = 1; i < kN; ++i) inversions += arrivals[static_cast<std::size_t>(i)] <
+                                             arrivals[static_cast<std::size_t>(i) - 1];
+  EXPECT_GT(inversions, 10);  // reordering definitely happened
+  std::set<int> unique(arrivals.begin(), arrivals.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kN));  // no duplication
+}
+
+TEST(FabricProperty, IdenticalSeedsIdenticalTimelines) {
+  const auto run = [] {
+    sim::Simulation simu(99);
+    net::FabricParams params;
+    params.loss_rate = 0.2;
+    params.jitter = 100 * sim::kMicrosecond;
+    net::Fabric fabric(simu, params);
+    std::vector<sim::Time> arrivals;
+    fabric.register_node(node_id(0), [](const net::Message&) {});
+    fabric.register_node(node_id(1),
+                         [&](const net::Message&) { arrivals.push_back(simu.now()); });
+    for (int i = 0; i < 300; ++i) {
+      fabric.send_unreliable(
+          net::make_message(node_id(0), node_id(1), net::MsgType::kControl, i, 64));
+      fabric.send_reliable(
+          net::make_message(node_id(0), node_id(1), net::MsgType::kData, i, 128));
+    }
+    simu.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimulationProperty, InterleavedSchedulingIsStable) {
+  // Events scheduled from within events, at mixed times, fire in global
+  // timestamp order with FIFO tie-breaking.
+  sim::Simulation simu;
+  std::vector<std::pair<sim::Time, int>> fired;
+  int counter = 0;
+  const std::function<void(int)> spawn = [&](int depth) {
+    fired.emplace_back(simu.now(), counter++);
+    if (depth < 3) {
+      simu.after(10, [&, depth] { spawn(depth + 1); });
+      simu.after(5, [&, depth] { spawn(depth + 1); });
+    }
+  };
+  simu.after(0, [&] { spawn(0); });
+  simu.run();
+
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i].first, fired[i - 1].first);
+  }
+  EXPECT_EQ(fired.size(), 15u);  // 1 + 2 + 4 + 8
+}
+
+}  // namespace
+}  // namespace concord

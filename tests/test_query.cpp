@@ -1,0 +1,206 @@
+// Tests for the query engine (Fig. 3): node-wise and collective queries
+// checked against brute-force oracles computed from ground-truth memory.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "query/queries.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord::query {
+namespace {
+
+constexpr std::size_t kBlk = 256;
+
+struct Oracle {
+  // hash -> set of (entity) and per-node split, from ground-truth memory.
+  std::map<ContentHash, std::set<std::uint32_t>> holders;
+
+  static Oracle build(core::Cluster& c, std::span<const EntityId> set) {
+    Oracle o;
+    const hash::BlockHasher hasher(c.params().hash_algorithm);
+    for (const EntityId id : set) {
+      const mem::MemoryEntity& e = c.entity(id);
+      for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+        o.holders[hasher(e.block(b))].insert(raw(id));
+      }
+    }
+    return o;
+  }
+
+  [[nodiscard]] std::uint64_t total(const core::Cluster&) const {
+    std::uint64_t t = 0;
+    for (const auto& [h, s] : holders) t += s.size();
+    return t;
+  }
+  [[nodiscard]] std::uint64_t unique() const { return holders.size(); }
+  [[nodiscard]] std::uint64_t intra(const core::Cluster& c) const {
+    std::uint64_t v = 0;
+    for (const auto& [h, s] : holders) {
+      std::map<std::uint32_t, std::uint64_t> per_node;
+      for (const std::uint32_t e : s) ++per_node[raw(c.registry().host_of(entity_id(e)))];
+      for (const auto& [n, cnt] : per_node) v += cnt - 1;
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint64_t inter(const core::Cluster& c) const {
+    std::uint64_t v = 0;
+    for (const auto& [h, s] : holders) {
+      std::set<std::uint32_t> nodes;
+      for (const std::uint32_t e : s) nodes.insert(raw(c.registry().host_of(entity_id(e))));
+      v += nodes.size() - 1;
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint64_t at_least(std::size_t k) const {
+    std::uint64_t v = 0;
+    for (const auto& [h, s] : holders) v += (s.size() >= k) ? std::uint64_t{1} : 0;
+    return v;
+  }
+};
+
+std::unique_ptr<core::Cluster> make_cluster(std::uint32_t nodes, std::uint32_t ents_per_node,
+                                            workload::Kind kind, std::uint64_t seed,
+                                            bool single_dht = false) {
+  core::ClusterParams p;
+  p.num_nodes = nodes;
+  p.max_entities = nodes * ents_per_node + 8;
+  p.seed = seed;
+  p.single_node_dht = single_dht;
+  auto cluster = std::make_unique<core::Cluster>(p);
+  core::Cluster& c = *cluster;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (std::uint32_t i = 0; i < ents_per_node; ++i) {
+      mem::MemoryEntity& e =
+          c.create_entity(node_id(n), EntityKind::kProcess, 48, kBlk);
+      auto wp = workload::defaults_for(kind, seed);
+      wp.pool_pages = 64;
+      workload::fill(e, wp);
+    }
+  }
+  (void)c.scan_all();
+  return cluster;
+}
+
+TEST(NodewiseQueries, NumCopiesAndEntitiesMatchGroundTruth) {
+  const auto cl = make_cluster(4, 2, workload::Kind::kMoldy, 5);
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const auto all = c.live_entities();
+  const Oracle oracle = Oracle::build(c, all);
+
+  int checked = 0;
+  for (const auto& [h, holders] : oracle.holders) {
+    if (++checked > 40) break;  // spot-check a sample
+    const NodewiseAnswer nc = q.num_copies(node_id(1), h);
+    EXPECT_EQ(nc.num_copies, holders.size()) << h.to_string();
+    EXPECT_GT(nc.latency, 0);
+
+    const NodewiseAnswer en = q.entities(node_id(2), h);
+    ASSERT_EQ(en.entities.size(), holders.size());
+    for (const EntityId e : en.entities) EXPECT_TRUE(holders.contains(raw(e)));
+  }
+}
+
+TEST(NodewiseQueries, UnknownHashReturnsEmpty) {
+  const auto cl = make_cluster(2, 1, workload::Kind::kRandom, 6);
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const ContentHash bogus{0xdead, 0xbeef};
+  EXPECT_EQ(q.num_copies(node_id(0), bogus).num_copies, 0u);
+  EXPECT_TRUE(q.entities(node_id(0), bogus).entities.empty());
+}
+
+class CollectiveQueryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollectiveQueryProperty, SharingMatchesOracle) {
+  const auto cl = make_cluster(4, 2, workload::Kind::kMoldy, GetParam());
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const auto all = c.live_entities();
+  const Oracle oracle = Oracle::build(c, all);
+
+  const SharingAnswer ans = q.sharing(node_id(0), all);
+  EXPECT_EQ(ans.total_copies, oracle.total(c));
+  EXPECT_EQ(ans.unique_hashes, oracle.unique());
+  EXPECT_EQ(ans.sharing, oracle.total(c) - oracle.unique());
+  EXPECT_EQ(ans.intra_sharing, oracle.intra(c));
+  EXPECT_EQ(ans.inter_sharing, oracle.inter(c));
+  // Identity from the definitions: every redundant copy is intra or inter.
+  EXPECT_EQ(ans.sharing, ans.intra_sharing + ans.inter_sharing);
+  EXPECT_GT(ans.latency, 0);
+}
+
+TEST_P(CollectiveQueryProperty, KCopyQueriesMatchOracle) {
+  const auto cl = make_cluster(4, 2, workload::Kind::kMoldy, GetParam() + 100);
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const auto all = c.live_entities();
+  const Oracle oracle = Oracle::build(c, all);
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const KCopyAnswer num = q.num_shared_content(node_id(0), all, k);
+    EXPECT_EQ(num.num_hashes, oracle.at_least(k)) << "k=" << k;
+
+    const KCopyAnswer hashes = q.shared_content(node_id(0), all, k);
+    EXPECT_EQ(hashes.hashes.size(), oracle.at_least(k));
+    for (const ContentHash& h : hashes.hashes) {
+      ASSERT_GE(oracle.holders.at(h).size(), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveQueryProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(CollectiveQueries, SubsetScopesTheAnswer) {
+  const auto cl = make_cluster(4, 2, workload::Kind::kMoldy, 9);
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const auto all = c.live_entities();
+  const std::vector<EntityId> subset(all.begin(), all.begin() + 3);
+  const Oracle oracle = Oracle::build(c, subset);
+
+  const SharingAnswer ans = q.sharing(node_id(0), subset);
+  EXPECT_EQ(ans.total_copies, oracle.total(c));
+  EXPECT_EQ(ans.unique_hashes, oracle.unique());
+}
+
+TEST(CollectiveQueries, NastyWorkloadHasNoSharing) {
+  const auto cl = make_cluster(4, 2, workload::Kind::kNasty, 10);
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const auto all = c.live_entities();
+  const SharingAnswer ans = q.sharing(node_id(0), all);
+  EXPECT_EQ(ans.sharing, 0u);
+  EXPECT_DOUBLE_EQ(ans.degree_of_sharing(), 0.0);
+}
+
+TEST(CollectiveQueries, SingleAndDistributedDhtAgree) {
+  const auto dist_cl = make_cluster(4, 2, workload::Kind::kMoldy, 12, false);
+  core::Cluster& dist = *dist_cl;
+  const auto single_cl = make_cluster(4, 2, workload::Kind::kMoldy, 12, true);
+  core::Cluster& single = *single_cl;
+  QueryEngine qd(dist), qs(single);
+  const auto all = dist.live_entities();
+
+  const SharingAnswer a = qd.sharing(node_id(0), all);
+  const SharingAnswer b = qs.sharing(node_id(0), all);
+  EXPECT_EQ(a.total_copies, b.total_copies);
+  EXPECT_EQ(a.unique_hashes, b.unique_hashes);
+  EXPECT_EQ(a.intra_sharing, b.intra_sharing);
+  EXPECT_EQ(a.inter_sharing, b.inter_sharing);
+}
+
+TEST(CollectiveQueries, EmptyEntitySetIsZero) {
+  const auto cl = make_cluster(2, 1, workload::Kind::kMoldy, 13);
+  core::Cluster& c = *cl;
+  QueryEngine q(c);
+  const SharingAnswer ans = q.sharing(node_id(0), {});
+  EXPECT_EQ(ans.total_copies, 0u);
+  EXPECT_EQ(ans.unique_hashes, 0u);
+}
+
+}  // namespace
+}  // namespace concord::query

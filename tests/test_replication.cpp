@@ -1,0 +1,131 @@
+// Tests for the ReplicationGuard fault-tolerance service: content ends up
+// with >= k replicas on distinct nodes, existing redundancy is leveraged
+// for free, and the placed copies survive a source-node "failure".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "services/replication_guard.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord::services {
+namespace {
+
+constexpr std::size_t kBlk = 256;
+
+std::unique_ptr<core::Cluster> make_cluster(std::uint32_t nodes, std::uint64_t seed = 21) {
+  core::ClusterParams p;
+  p.num_nodes = nodes;
+  p.max_entities = 32;
+  p.seed = seed;
+  return std::make_unique<core::Cluster>(p);
+}
+
+/// Distinct nodes verifiably holding `h` (by ground truth, not the DHT).
+std::size_t nodes_holding(core::Cluster& c, const ContentHash& h) {
+  std::set<std::uint32_t> nodes;
+  for (std::uint32_t n = 0; n < c.num_nodes(); ++n) {
+    if (c.daemon(node_id(n)).block_map().find(h) != nullptr) nodes.insert(n);
+  }
+  return nodes.size();
+}
+
+TEST(ReplicationGuard, RaisesEveryHashToK) {
+  auto c = make_cluster(4);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 24, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 3));
+  (void)c->scan_all();
+
+  ReplicationGuard guard(*c);
+  const std::vector<EntityId> scope{e.id()};
+  const ReplicationReport r = guard.ensure(scope, 3);
+  EXPECT_EQ(r.hashes_checked, 24u);
+  EXPECT_EQ(r.under_replicated, 24u);  // unique content: everything was at 1
+  EXPECT_EQ(r.replicas_created, 24u * 2u);
+
+  const hash::BlockHasher hasher;
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+    EXPECT_GE(nodes_holding(*c, hasher(e.block(b))), 3u) << "block " << b;
+  }
+}
+
+TEST(ReplicationGuard, LeveragesNaturalRedundancyForFree) {
+  auto c = make_cluster(3);
+  // Identical twins on two nodes: k=2 is already satisfied everywhere.
+  mem::MemoryEntity& a = c->create_entity(node_id(0), EntityKind::kProcess, 16, kBlk);
+  mem::MemoryEntity& b = c->create_entity(node_id(1), EntityKind::kProcess, 16, kBlk);
+  workload::fill(a, workload::defaults_for(workload::Kind::kRandom, 5));
+  for (BlockIndex i = 0; i < 16; ++i) b.write_block(i, a.block(i));
+  (void)c->scan_all();
+
+  ReplicationGuard guard(*c);
+  const std::vector<EntityId> scope{a.id(), b.id()};
+  const ReplicationReport r = guard.ensure(scope, 2);
+  EXPECT_EQ(r.replicas_created, 0u);
+  EXPECT_EQ(r.replicas_leveraged, 16u);
+  EXPECT_EQ(r.wire_bytes, 0u);
+}
+
+TEST(ReplicationGuard, SecondRunIsFree) {
+  auto c = make_cluster(4);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 16, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 7));
+  (void)c->scan_all();
+
+  ReplicationGuard guard(*c);
+  const std::vector<EntityId> scope{e.id()};
+  (void)guard.ensure(scope, 2);
+  const ReplicationReport second = guard.ensure(scope, 2);
+  EXPECT_EQ(second.replicas_created, 0u);  // placed copies now count
+  EXPECT_EQ(second.under_replicated, 0u);
+}
+
+TEST(ReplicationGuard, CopiesSurviveSourceDeparture) {
+  // The FT scenario: after ensure(2), losing the original still leaves a
+  // live copy that reconstruction-style consumers can find via the DHT.
+  auto c = make_cluster(3);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 8, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 9));
+  (void)c->scan_all();
+  const hash::BlockHasher hasher;
+  std::vector<ContentHash> hashes;
+  for (BlockIndex b = 0; b < 8; ++b) hashes.push_back(hasher(e.block(b)));
+
+  ReplicationGuard guard(*c);
+  const std::vector<EntityId> scope{e.id()};
+  ASSERT_EQ(guard.ensure(scope, 2).replicas_created, 8u);
+
+  c->depart_entity(e.id());
+  for (const ContentHash& h : hashes) {
+    EXPECT_GE(nodes_holding(*c, h), 1u) << h.to_string();
+  }
+}
+
+TEST(ReplicationGuard, ReportsExhaustionWhenReplicaStoreFills) {
+  auto c = make_cluster(2);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 16, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 11));
+  (void)c->scan_all();
+
+  ReplicationGuard guard(*c, /*replica_capacity_blocks=*/4);  // too small for 16
+  const std::vector<EntityId> scope{e.id()};
+  const ReplicationReport r = guard.ensure(scope, 2);
+  EXPECT_EQ(r.status, Status::kExhausted);
+  EXPECT_EQ(r.replicas_created, 4u);  // filled what fit
+}
+
+TEST(ReplicationGuard, KOneIsAlwaysSatisfied) {
+  auto c = make_cluster(2);
+  mem::MemoryEntity& e = c->create_entity(node_id(0), EntityKind::kProcess, 8, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 13));
+  (void)c->scan_all();
+  ReplicationGuard guard(*c);
+  const std::vector<EntityId> scope{e.id()};
+  const ReplicationReport r = guard.ensure(scope, 1);
+  EXPECT_EQ(r.replicas_created, 0u);
+  EXPECT_EQ(r.replicas_leveraged, 8u);
+}
+
+}  // namespace
+}  // namespace concord::services

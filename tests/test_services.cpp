@@ -1,0 +1,250 @@
+// Tests for the remaining application services: collective migration and
+// VM reconstruction, plus the workload generators they run on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "query/queries.hpp"
+#include "services/collective_checkpoint.hpp"
+#include "services/migration.hpp"
+#include "services/reconstruction.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord::services {
+namespace {
+
+constexpr std::size_t kBlk = 256;
+
+std::unique_ptr<core::Cluster> make_cluster(std::uint32_t nodes, std::uint64_t seed = 17) {
+  core::ClusterParams p;
+  p.num_nodes = nodes;
+  p.max_entities = 64;
+  p.seed = seed;
+  return std::make_unique<core::Cluster>(p);
+}
+
+std::vector<std::byte> snapshot(const mem::MemoryEntity& e) {
+  std::vector<std::byte> out;
+  out.reserve(e.memory_bytes());
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+    out.insert(out.end(), e.block(b).begin(), e.block(b).end());
+  }
+  return out;
+}
+
+TEST(Workloads, MoldyHasConsiderableSharingNastyHasNone) {
+  auto c = make_cluster(4);
+  std::vector<EntityId> moldy, nasty;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& m = c->create_entity(node_id(n), EntityKind::kProcess, 64, kBlk);
+    auto wp = workload::defaults_for(workload::Kind::kMoldy, 3);
+    wp.pool_pages = 64;
+    workload::fill(m, wp);
+    moldy.push_back(m.id());
+    mem::MemoryEntity& x = c->create_entity(node_id(n), EntityKind::kProcess, 64, kBlk);
+    workload::fill(x, workload::defaults_for(workload::Kind::kNasty, 3));
+    nasty.push_back(x.id());
+  }
+  (void)c->scan_all();
+  query::QueryEngine q(*c);
+  const auto moldy_ans = q.sharing(node_id(0), moldy);
+  const auto nasty_ans = q.sharing(node_id(0), nasty);
+  EXPECT_GT(moldy_ans.degree_of_sharing(), 0.2);
+  EXPECT_DOUBLE_EQ(nasty_ans.degree_of_sharing(), 0.0);
+}
+
+TEST(Workloads, ExpectedDosApproximatesMeasured) {
+  auto c = make_cluster(4);
+  std::vector<EntityId> ids;
+  auto wp = workload::defaults_for(workload::Kind::kMoldy, 4);
+  wp.pool_pages = 64;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    mem::MemoryEntity& e = c->create_entity(node_id(n), EntityKind::kProcess, 256, kBlk);
+    workload::fill(e, wp);
+    ids.push_back(e.id());
+  }
+  (void)c->scan_all();
+  query::QueryEngine q(*c);
+  const double measured = q.sharing(node_id(0), ids).degree_of_sharing();
+  const double expected = workload::expected_degree_of_sharing(wp, 4, 256);
+  EXPECT_NEAR(measured, expected, 0.08);
+}
+
+TEST(Workloads, DeterministicPerSeedAndEntity) {
+  mem::MemoryEntity a(entity_id(0), node_id(0), EntityKind::kProcess, 16, kBlk);
+  mem::MemoryEntity b(entity_id(0), node_id(0), EntityKind::kProcess, 16, kBlk);
+  const auto wp = workload::defaults_for(workload::Kind::kMoldy, 8);
+  workload::fill(a, wp);
+  workload::fill(b, wp);
+  EXPECT_EQ(snapshot(a), snapshot(b));
+
+  mem::MemoryEntity d(entity_id(1), node_id(0), EntityKind::kProcess, 16, kBlk);
+  workload::fill(d, wp);
+  EXPECT_NE(snapshot(a), snapshot(d));  // different entity -> different uniques
+}
+
+TEST(Workloads, MutateDirtiesApproximatelyFraction) {
+  mem::MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 1000, kBlk);
+  workload::fill(e, workload::defaults_for(workload::Kind::kRandom, 2));
+  (void)e.consume_dirty();
+  workload::mutate(e, 0.3, 77);
+  const double dirty = static_cast<double>(e.dirty().count()) / 1000.0;
+  EXPECT_NEAR(dirty, 0.3, 0.05);
+}
+
+TEST(Migration, SharedContentAvoidsTheWire) {
+  auto c = make_cluster(3);
+  // Mover on node 0; a resident twin with identical content on node 2.
+  mem::MemoryEntity& mover = c->create_entity(node_id(0), EntityKind::kVirtualMachine, 32, kBlk);
+  mem::MemoryEntity& twin = c->create_entity(node_id(2), EntityKind::kVirtualMachine, 32, kBlk);
+  workload::fill(mover, workload::defaults_for(workload::Kind::kRandom, 21));
+  for (BlockIndex b = 0; b < 32; ++b) twin.write_block(b, mover.block(b));
+  (void)c->scan_all();
+  const std::vector<std::byte> want = snapshot(mover);
+
+  CollectiveMigration mig(*c);
+  const MigrationPlanItem item{mover.id(), node_id(2)};
+  const MigrationStats stats = mig.migrate(std::span(&item, 1));
+  ASSERT_TRUE(ok(stats.status));
+  EXPECT_EQ(stats.blocks_total, 32u);
+  EXPECT_EQ(stats.blocks_reconstructed, 32u);  // twin served everything
+  EXPECT_EQ(stats.blocks_shipped, 0u);
+  EXPECT_EQ(stats.wire_bytes, 0u);
+
+  ASSERT_EQ(stats.new_ids.size(), 1u);
+  EXPECT_EQ(snapshot(c->entity(stats.new_ids[0])), want);
+  EXPECT_FALSE(c->registry().alive(mover.id()));
+}
+
+TEST(Migration, UniqueContentMustShip) {
+  auto c = make_cluster(3);
+  mem::MemoryEntity& mover = c->create_entity(node_id(0), EntityKind::kVirtualMachine, 32, kBlk);
+  workload::fill(mover, workload::defaults_for(workload::Kind::kRandom, 22));
+  (void)c->scan_all();
+  const std::vector<std::byte> want = snapshot(mover);
+
+  CollectiveMigration mig(*c);
+  const MigrationPlanItem item{mover.id(), node_id(1)};
+  const MigrationStats stats = mig.migrate(std::span(&item, 1));
+  ASSERT_TRUE(ok(stats.status));
+  EXPECT_EQ(stats.blocks_shipped, 32u);
+  EXPECT_EQ(stats.blocks_reconstructed, 0u);
+  EXPECT_EQ(stats.wire_bytes, 32u * kBlk);
+  EXPECT_EQ(snapshot(c->entity(stats.new_ids[0])), want);
+}
+
+TEST(Migration, StaleDhtClaimsFallBackToShipping) {
+  auto c = make_cluster(3);
+  mem::MemoryEntity& mover = c->create_entity(node_id(0), EntityKind::kVirtualMachine, 16, kBlk);
+  mem::MemoryEntity& twin = c->create_entity(node_id(1), EntityKind::kVirtualMachine, 16, kBlk);
+  workload::fill(mover, workload::defaults_for(workload::Kind::kRandom, 23));
+  for (BlockIndex b = 0; b < 16; ++b) twin.write_block(b, mover.block(b));
+  (void)c->scan_all();
+  const std::vector<std::byte> want = snapshot(mover);
+  // Invalidate the twin after the scan: the DHT still claims residency.
+  workload::mutate(twin, 1.0, 555);
+
+  CollectiveMigration mig(*c);
+  const MigrationPlanItem item{mover.id(), node_id(1)};
+  const MigrationStats stats = mig.migrate(std::span(&item, 1));
+  ASSERT_TRUE(ok(stats.status));
+  EXPECT_GT(stats.stale_claims, 0u);
+  EXPECT_EQ(stats.blocks_shipped, 16u);  // verification rejected every claim
+  EXPECT_EQ(snapshot(c->entity(stats.new_ids[0])), want);
+}
+
+TEST(Migration, GroupMigrationMovesEveryEntity) {
+  auto c = make_cluster(4);
+  std::vector<MigrationPlanItem> plan;
+  std::vector<std::vector<std::byte>> want;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    mem::MemoryEntity& e = c->create_entity(node_id(i), EntityKind::kVirtualMachine, 16, kBlk);
+    auto wp = workload::defaults_for(workload::Kind::kMoldy, 30 + i);
+    workload::fill(e, wp);
+    plan.push_back({e.id(), node_id(3)});
+    want.push_back(snapshot(e));
+  }
+  (void)c->scan_all();
+
+  CollectiveMigration mig(*c);
+  const MigrationStats stats = mig.migrate(plan);
+  ASSERT_TRUE(ok(stats.status));
+  ASSERT_EQ(stats.new_ids.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(snapshot(c->entity(stats.new_ids[i])), want[i]);
+    EXPECT_EQ(c->registry().host_of(stats.new_ids[i]), node_id(3));
+  }
+}
+
+struct ReconRig {
+  std::unique_ptr<core::Cluster> cluster;
+  std::vector<EntityId> ses;
+  std::unique_ptr<CollectiveCheckpointService> ckpt;
+  std::vector<std::byte> original;
+
+  static ReconRig make(bool keep_live_twin, std::uint64_t seed) {
+    ReconRig r;
+    r.cluster = make_cluster(3, seed);
+    mem::MemoryEntity& vm =
+        r.cluster->create_entity(node_id(0), EntityKind::kVirtualMachine, 24, kBlk);
+    auto wp = workload::defaults_for(workload::Kind::kMoldy, seed);
+    wp.pool_pages = 16;
+    workload::fill(vm, wp);
+    r.original = snapshot(vm);
+    if (keep_live_twin) {
+      mem::MemoryEntity& twin =
+          r.cluster->create_entity(node_id(1), EntityKind::kVirtualMachine, 24, kBlk);
+      for (BlockIndex b = 0; b < 24; ++b) twin.write_block(b, vm.block(b));
+    }
+    (void)r.cluster->scan_all();
+
+    r.ckpt = std::make_unique<CollectiveCheckpointService>(*r.cluster);
+    svc::CommandEngine engine(*r.cluster);
+    svc::CommandSpec spec;
+    spec.service_entities = {vm.id()};
+    const svc::CommandStats stats = engine.execute(*r.ckpt, spec);
+    EXPECT_TRUE(ok(stats.status));
+    r.ses = {vm.id()};
+    // The original VM departs; its image lives only in the checkpoint (and,
+    // if present, the twin's live memory).
+    r.cluster->depart_entity(vm.id());
+    return r;
+  }
+};
+
+TEST(Reconstruction, FromStorageWhenNoLiveReplicas) {
+  ReconRig r = ReconRig::make(/*keep_live_twin=*/false, 41);
+  ReconstructionStats stats;
+  VmReconstruction recon(*r.cluster);
+  const auto id =
+      recon.reconstruct(r.ckpt->se_path(r.ses[0]), r.ckpt->shared_path(), node_id(2), stats);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(stats.from_live_replicas, 0u);
+  EXPECT_GT(stats.from_storage, 0u);
+  EXPECT_EQ(snapshot(r.cluster->entity(id.value())), r.original);
+}
+
+TEST(Reconstruction, PrefersLiveReplicas) {
+  ReconRig r = ReconRig::make(/*keep_live_twin=*/true, 42);
+  ReconstructionStats stats;
+  VmReconstruction recon(*r.cluster);
+  const auto id =
+      recon.reconstruct(r.ckpt->se_path(r.ses[0]), r.ckpt->shared_path(), node_id(2), stats);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_GT(stats.from_live_replicas, 0u);  // the twin served content
+  EXPECT_EQ(snapshot(r.cluster->entity(id.value())), r.original);
+}
+
+TEST(Reconstruction, MissingCheckpointFails) {
+  auto c = make_cluster(2);
+  ReconstructionStats stats;
+  VmReconstruction recon(*c);
+  const auto id = recon.reconstruct("nope", "also-nope", node_id(0), stats);
+  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(id.status(), Status::kNotFound);
+}
+
+}  // namespace
+}  // namespace concord::services

@@ -1,0 +1,124 @@
+// Soak test: the platform in steady state. An application computes
+// (mutates memory) for many epochs on a lossy site while ConCORD scans,
+// answers queries, checkpoints, audits, migrates, and recovers — with the
+// core invariants checked continuously. This is the "runs for a week"
+// test at minutes-scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "query/queries.hpp"
+#include "services/checkpoint_format.hpp"
+#include "services/collective_checkpoint.hpp"
+#include "services/dht_audit.hpp"
+#include "services/migration.hpp"
+#include "svc/command_engine.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord {
+namespace {
+
+constexpr std::size_t kBlk = 512;
+
+std::vector<std::byte> snapshot(const mem::MemoryEntity& e) {
+  std::vector<std::byte> out;
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+    out.insert(out.end(), e.block(b).begin(), e.block(b).end());
+  }
+  return out;
+}
+
+TEST(Soak, TwentyEpochsOfChurnOnALossySite) {
+  core::ClusterParams p;
+  p.num_nodes = 6;
+  p.max_entities = 64;
+  p.seed = 20140623;
+  p.fabric.loss_rate = 0.08;
+  p.detect_mode = mem::DetectMode::kDirtyBit;
+  core::Cluster cluster(p);
+
+  std::vector<EntityId> app;
+  for (std::uint32_t n = 0; n < 6; ++n) {
+    mem::MemoryEntity& e = cluster.create_entity(node_id(n), EntityKind::kProcess, 32, kBlk);
+    auto wp = workload::defaults_for(workload::Kind::kMoldy, 500 + n);
+    wp.pool_pages = 48;
+    workload::fill(e, wp);
+    app.push_back(e.id());
+  }
+  (void)cluster.scan_all();
+
+  query::QueryEngine queries(cluster);
+  svc::CommandEngine engine(cluster);
+  services::DhtAudit audit(cluster);
+  sim::Time last_time = cluster.sim().now();
+
+  for (int epoch = 1; epoch <= 20; ++epoch) {
+    // The application computes.
+    for (const EntityId id : app) {
+      workload::mutate(cluster.entity(id), 0.15, 1000u + static_cast<std::uint64_t>(epoch));
+    }
+    (void)cluster.scan_all();
+
+    // Invariant: virtual time is monotone.
+    ASSERT_GE(cluster.sim().now(), last_time);
+    last_time = cluster.sim().now();
+
+    // Invariant: the sharing decomposition always holds. (Counts themselves
+    // are best-effort in both directions under loss: dropped inserts
+    // undercount, dropped removes leave stale entries that overcount.)
+    const auto live = cluster.live_entities();
+    const query::SharingAnswer sharing = queries.sharing(node_id(0), live);
+    ASSERT_EQ(sharing.sharing, sharing.intra_sharing + sharing.inter_sharing);
+    ASSERT_GT(sharing.unique_hashes, 0u);
+
+    // Every 5th epoch: checkpoint everything and verify restores.
+    if (epoch % 5 == 0) {
+      services::CollectiveCheckpointService ckpt(cluster);
+      svc::CommandSpec spec;
+      spec.service_entities = live;
+      spec.config.set("ckpt.dir", "soak-" + std::to_string(epoch));
+      const svc::CommandStats stats = engine.execute(ckpt, spec);
+      ASSERT_TRUE(ok(stats.status)) << "epoch " << epoch;
+      for (const EntityId id : live) {
+        const auto mem =
+            services::restore_entity(cluster.fs(), ckpt.se_path(id), ckpt.shared_path());
+        ASSERT_TRUE(mem.has_value()) << "epoch " << epoch << " entity " << raw(id);
+        ASSERT_EQ(mem.value(), snapshot(cluster.entity(id)));
+      }
+    }
+
+    // Every 7th epoch: audit converges the lossy database.
+    if (epoch % 7 == 0) {
+      const services::AuditReport r = audit.run_to_convergence(12);
+      EXPECT_GT(r.entries_checked, 0u);
+    }
+
+    // Epoch 10: migrate one process and keep using its replacement.
+    if (epoch == 10) {
+      const std::vector<std::byte> before = snapshot(cluster.entity(app[2]));
+      services::CollectiveMigration mig(cluster);
+      const services::MigrationPlanItem item{app[2], node_id(5)};
+      const services::MigrationStats ms = mig.migrate(std::span(&item, 1));
+      ASSERT_TRUE(ok(ms.status));
+      ASSERT_EQ(snapshot(cluster.entity(ms.new_ids[0])), before);
+      app[2] = ms.new_ids[0];
+    }
+  }
+
+  // End state: one audit pass with the network healed leaves the database
+  // matching ground truth for every live entity.
+  cluster.fabric().set_loss_rate(0.0);
+  (void)audit.run_to_convergence(12);
+  const hash::BlockHasher hasher;
+  for (const EntityId id : cluster.live_entities()) {
+    const mem::MemoryEntity& e = cluster.entity(id);
+    for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+      const ContentHash h = hasher(e.block(b));
+      ASSERT_TRUE(cluster.daemon(cluster.placement().owner(h)).store().contains(h, id))
+          << "entity " << raw(id) << " block " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace concord

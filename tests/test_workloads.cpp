@@ -1,0 +1,178 @@
+// Dedicated tests for the workload generators: the content statistics the
+// Fig. 14 experiments depend on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hash/block_hasher.hpp"
+#include "workload/workloads.hpp"
+
+namespace concord::workload {
+namespace {
+
+constexpr std::size_t kBlk = 512;
+
+std::map<ContentHash, int> content_histogram(const mem::MemoryEntity& e) {
+  std::map<ContentHash, int> hist;
+  const hash::BlockHasher hasher;
+  for (BlockIndex b = 0; b < e.num_blocks(); ++b) ++hist[hasher(e.block(b))];
+  return hist;
+}
+
+TEST(Workloads, NastyHasNoDuplicatePagesAnywhere) {
+  // Across two entities and 500 blocks each: every page distinct.
+  mem::MemoryEntity a(entity_id(0), node_id(0), EntityKind::kProcess, 500, kBlk);
+  mem::MemoryEntity b(entity_id(1), node_id(0), EntityKind::kProcess, 500, kBlk);
+  fill(a, defaults_for(Kind::kNasty, 4));
+  fill(b, defaults_for(Kind::kNasty, 4));
+  std::set<ContentHash> seen;
+  const hash::BlockHasher hasher;
+  for (const auto* e : {&a, &b}) {
+    for (BlockIndex i = 0; i < e->num_blocks(); ++i) {
+      ASSERT_TRUE(seen.insert(hasher(e->block(i))).second);
+    }
+  }
+}
+
+TEST(Workloads, NastyIsNotCompletelyRandom) {
+  // Half of each page is a structured ramp — check the bytes directly.
+  mem::MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 4, kBlk);
+  fill(e, defaults_for(Kind::kNasty, 1));
+  const auto block = e.block(0);
+  for (std::size_t i = 0; i < kBlk / 2; ++i) {
+    ASSERT_EQ(block[i], static_cast<std::byte>(i & 0x0f));
+  }
+}
+
+TEST(Workloads, MoldyContainsZeroSharedAndUniquePages) {
+  mem::MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 400, kBlk);
+  auto p = defaults_for(Kind::kMoldy, 9);
+  p.pool_pages = 32;
+  fill(e, p);
+
+  const auto hist = content_histogram(e);
+  // The zero page exists and is the most-duplicated content.
+  const std::vector<std::byte> zeros(kBlk, std::byte{0});
+  const hash::BlockHasher hasher;
+  const ContentHash zero_hash = hasher(std::span<const std::byte>(zeros));
+  ASSERT_TRUE(hist.contains(zero_hash));
+  EXPECT_GT(hist.at(zero_hash), 10);  // ~10% of 400 blocks
+
+  // Unique pages exist too (histogram has singletons).
+  int singletons = 0;
+  for (const auto& [h, count] : hist) singletons += count == 1 ? 1 : 0;
+  EXPECT_GT(singletons, 100);  // ~35% of 400
+}
+
+TEST(Workloads, SharedPoolPagesMatchAcrossEntitiesAndSeedsDiffer) {
+  // Same workload seed: entities share pool content. Different seed: the
+  // pools are disjoint.
+  auto p1 = defaults_for(Kind::kMoldy, 5);
+  p1.pool_pages = 16;
+  auto p2 = defaults_for(Kind::kMoldy, 6);
+  p2.pool_pages = 16;
+
+  mem::MemoryEntity a(entity_id(0), node_id(0), EntityKind::kProcess, 300, kBlk);
+  mem::MemoryEntity b(entity_id(1), node_id(1), EntityKind::kProcess, 300, kBlk);
+  mem::MemoryEntity c(entity_id(2), node_id(2), EntityKind::kProcess, 300, kBlk);
+  fill(a, p1);
+  fill(b, p1);
+  fill(c, p2);
+
+  const auto ha = content_histogram(a);
+  const auto hb = content_histogram(b);
+  const auto hc = content_histogram(c);
+
+  int ab_shared = 0, ac_shared = 0;
+  for (const auto& [h, n] : ha) {
+    ab_shared += hb.contains(h) ? 1 : 0;
+    ac_shared += hc.contains(h) ? 1 : 0;
+  }
+  EXPECT_GT(ab_shared, 10);  // pool + zero page overlap
+  EXPECT_LE(ac_shared, 1);   // only the zero page can match across seeds
+}
+
+TEST(Workloads, IntraFractionCreatesWithinEntityDuplicates) {
+  Params p = defaults_for(Kind::kMoldy, 7);
+  p.zero_fraction = 0.0;
+  p.shared_fraction = 0.0;
+  p.intra_fraction = 0.5;
+  mem::MemoryEntity e(entity_id(0), node_id(0), EntityKind::kProcess, 500, kBlk);
+  fill(e, p);
+  const auto hist = content_histogram(e);
+  EXPECT_LT(hist.size(), 400u);  // ~50% of blocks duplicate earlier ones
+  EXPECT_GT(hist.size(), 200u);
+}
+
+class ExpectedDosSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpectedDosSweep, AnalyticMatchesMeasuredAcrossSharedFractions) {
+  Params p = defaults_for(Kind::kMoldy, 11);
+  p.zero_fraction = 0.05;
+  p.shared_fraction = GetParam();
+  p.intra_fraction = 0.05;
+  p.pool_pages = 64;
+
+  constexpr std::size_t kEnts = 4, kBlocks = 512;
+  std::vector<std::unique_ptr<mem::MemoryEntity>> ents;
+  std::map<ContentHash, std::set<std::uint32_t>> holders;
+  const hash::BlockHasher hasher;
+  for (std::uint32_t i = 0; i < kEnts; ++i) {
+    ents.push_back(std::make_unique<mem::MemoryEntity>(entity_id(i), node_id(0),
+                                                       EntityKind::kProcess, kBlocks, kBlk));
+    fill(*ents.back(), p);
+    for (BlockIndex b = 0; b < kBlocks; ++b) {
+      holders[hasher(ents.back()->block(b))].insert(i);
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& [h, s] : holders) total += s.size();
+  const double measured =
+      static_cast<double>(total - holders.size()) / static_cast<double>(total);
+  const double expected = expected_degree_of_sharing(p, kEnts, kBlocks);
+  EXPECT_NEAR(measured, expected, 0.05) << "shared_fraction=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedFractions, ExpectedDosSweep,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.6, 0.8));
+
+TEST(Workloads, MutateIsDeterministicPerSeed) {
+  mem::MemoryEntity a(entity_id(0), node_id(0), EntityKind::kProcess, 64, kBlk);
+  mem::MemoryEntity b(entity_id(0), node_id(0), EntityKind::kProcess, 64, kBlk);
+  fill(a, defaults_for(Kind::kRandom, 2));
+  fill(b, defaults_for(Kind::kRandom, 2));
+  mutate(a, 0.4, 99);
+  mutate(b, 0.4, 99);
+  const hash::BlockHasher hasher;
+  for (BlockIndex i = 0; i < 64; ++i) {
+    ASSERT_EQ(hasher(a.block(i)), hasher(b.block(i)));
+  }
+}
+
+TEST(Workloads, MutateSeedsDoNotCollideAcrossEntitiesAndEpochs) {
+  // Regression: (seed, entity) used to combine by XOR, so (100, e4) and
+  // (101, e5) produced identical "fresh" content.
+  mem::MemoryEntity e4(entity_id(4), node_id(0), EntityKind::kProcess, 128, kBlk);
+  mem::MemoryEntity e5(entity_id(5), node_id(0), EntityKind::kProcess, 128, kBlk);
+  fill(e4, defaults_for(Kind::kRandom, 1));
+  fill(e5, defaults_for(Kind::kRandom, 1));
+  mutate(e4, 1.0, 100);
+  mutate(e5, 1.0, 101);
+  const hash::BlockHasher hasher;
+  for (BlockIndex i = 0; i < 128; ++i) {
+    ASSERT_NE(hasher(e4.block(i)), hasher(e5.block(i))) << "block " << i;
+  }
+}
+
+TEST(Workloads, DefaultsMatchTheirKinds) {
+  EXPECT_GT(defaults_for(Kind::kMoldy).shared_fraction,
+            defaults_for(Kind::kHpccg).shared_fraction);
+  EXPECT_EQ(defaults_for(Kind::kNasty).shared_fraction, 0.0);
+  EXPECT_EQ(defaults_for(Kind::kRandom).zero_fraction, 0.0);
+  EXPECT_EQ(defaults_for(Kind::kMoldy, 42).seed, 42u);
+  EXPECT_EQ(expected_degree_of_sharing(defaults_for(Kind::kNasty), 8, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace concord::workload
