@@ -8,9 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace concord::bench {
@@ -34,6 +38,56 @@ std::int64_t wall_ns(Fn&& fn) {
 
 inline double to_ms(sim::Time t) { return static_cast<double>(t) / 1e6; }
 inline double to_us(sim::Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Collects a metrics-registry snapshot per bench run and writes them all as
+/// one sidecar file, `<bench>.metrics.json`, next to the binary:
+///
+///   {"bench":"fig11","runs":[{"label":"nodes=4","metrics":{...}},...]}
+///
+/// The inner objects are Registry::to_json() verbatim, so the same tooling
+/// that reads shell `metrics` output reads bench sidecars. Figure numbers can
+/// then be re-derived from the counters instead of re-running the harness
+/// (see EXPERIMENTS.md).
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  MetricsSidecar(const MetricsSidecar&) = delete;
+  MetricsSidecar& operator=(const MetricsSidecar&) = delete;
+
+  ~MetricsSidecar() { write(); }
+
+  void add(const std::string& run_label, const obs::Registry& registry) {
+    runs_.emplace_back(run_label, registry.to_json());
+  }
+
+  /// Writes the sidecar now (idempotent; also invoked by the destructor).
+  /// Returns false on I/O failure or when no runs were recorded.
+  bool write() {
+    if (written_ || runs_.empty()) return false;
+    const std::string path = bench_ + ".metrics.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "metrics sidecar: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"runs\":[", bench_.c_str());
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      std::fprintf(f, "%s{\"label\":\"%s\",\"metrics\":%s}", i == 0 ? "" : ",",
+                   runs_[i].first.c_str(), runs_[i].second.c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    written_ = true;
+    std::printf("  [metrics sidecar: %s, %zu runs]\n", path.c_str(), runs_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> runs_;  // label -> registry JSON
+  bool written_ = false;
+};
 
 /// Deterministic synthetic content hash (for preloading stores without
 /// hashing real memory).

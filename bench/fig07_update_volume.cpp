@@ -29,7 +29,7 @@ struct Row {
   double loss_pct;
 };
 
-Row run(std::uint32_t nodes, double loss_rate) {
+Row run(std::uint32_t nodes, double loss_rate, bench::MetricsSidecar& sidecar) {
   core::ClusterParams p;
   p.num_nodes = nodes;
   p.max_entities = nodes + 1;
@@ -52,6 +52,7 @@ Row run(std::uint32_t nodes, double loss_rate) {
   r.loss_pct = t.msgs_sent == 0
                    ? 0.0
                    : 100.0 * static_cast<double>(t.msgs_dropped) / static_cast<double>(t.msgs_sent);
+  sidecar.add("nodes=" + std::to_string(nodes), cluster->metrics());
   return r;
 }
 
@@ -67,8 +68,9 @@ int main() {
 
   std::printf("%8s %14s %16s %14s %10s\n", "nodes", "total msgs", "msgs/node", "MB/node",
               "loss %");
+  bench::MetricsSidecar sidecar("fig07_update_volume");
   for (const std::uint32_t nodes : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-    const Row r = run(nodes, 0.01);
+    const Row r = run(nodes, 0.01, sidecar);
     std::printf("%8u %14llu %16.0f %14.2f %10.2f\n", r.nodes,
                 static_cast<unsigned long long>(r.total_msgs), r.per_node_msgs, r.per_node_mb,
                 r.loss_pct);

@@ -17,7 +17,7 @@ namespace {
 
 constexpr std::uint32_t kNodes = 8;
 
-double run(std::size_t blocks_per_se, svc::Mode mode) {
+double run(std::size_t blocks_per_se, svc::Mode mode, bench::MetricsSidecar* sidecar = nullptr) {
   core::ClusterParams p;
   p.num_nodes = kNodes;
   p.max_entities = kNodes + 1;
@@ -38,6 +38,11 @@ double run(std::size_t blocks_per_se, svc::Mode mode) {
   spec.service_entities = ses;
   spec.mode = mode;
   const svc::CommandStats stats = engine.execute(null, spec);
+  if (sidecar != nullptr) {
+    sidecar->add("blocks=" + std::to_string(blocks_per_se) +
+                     (mode == svc::Mode::kInteractive ? ",mode=interactive" : ",mode=batch"),
+                 cluster->metrics());
+  }
   return ok(stats.status) ? bench::to_ms(stats.latency()) : -1.0;
 }
 
@@ -53,9 +58,10 @@ int main() {
   (void)run(64, svc::Mode::kInteractive);  // warmup: exclude cold-start noise
 
   std::printf("%14s %10s %18s %14s\n", "KB/process", "blocks", "interactive ms", "batch ms");
+  bench::MetricsSidecar sidecar("fig10_null_cmd_memory");
   for (const std::size_t blocks : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    const double inter = run(blocks, svc::Mode::kInteractive);
-    const double batch = run(blocks, svc::Mode::kBatch);
+    const double inter = run(blocks, svc::Mode::kInteractive, &sidecar);
+    const double batch = run(blocks, svc::Mode::kBatch, &sidecar);
     std::printf("%14zu %10zu %18.2f %14.2f\n", blocks * kDefaultBlockSize / 1024, blocks,
                 inter, batch);
   }

@@ -24,7 +24,7 @@ struct Row {
   double traffic_mb_per_node = 0;
 };
 
-Row run(std::uint32_t nodes) {
+Row run(std::uint32_t nodes, bench::MetricsSidecar& sidecar) {
   Row row;
   row.nodes = nodes;
   for (const svc::Mode mode : {svc::Mode::kInteractive, svc::Mode::kBatch}) {
@@ -58,6 +58,9 @@ Row run(std::uint32_t nodes) {
     } else {
       row.batch_ms = ms;
     }
+    sidecar.add("nodes=" + std::to_string(nodes) +
+                    (mode == svc::Mode::kInteractive ? ",mode=interactive" : ",mode=batch"),
+                cluster->metrics());
   }
   return row;
 }
@@ -73,8 +76,9 @@ int main() {
 
   std::printf("%8s %18s %14s %22s\n", "nodes", "interactive ms", "batch ms",
               "cmd traffic MB/node");
+  bench::MetricsSidecar sidecar("fig11_null_cmd_scaling");
   for (const std::uint32_t nodes : {1u, 2u, 4u, 8u, 12u}) {
-    const Row r = run(nodes);
+    const Row r = run(nodes, sidecar);
     std::printf("%8u %18.2f %14.2f %22.2f\n", r.nodes, r.interactive_ms, r.batch_ms,
                 r.traffic_mb_per_node);
   }

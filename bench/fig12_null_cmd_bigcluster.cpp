@@ -16,7 +16,7 @@ namespace {
 
 constexpr std::size_t kBlocksPerSe = 256;  // 1 MB/process, so 128 nodes stay host-sized
 
-double run(std::uint32_t nodes) {
+double run(std::uint32_t nodes, bench::MetricsSidecar& sidecar) {
   core::ClusterParams p;
   p.num_nodes = nodes;
   p.max_entities = nodes + 1;
@@ -36,6 +36,7 @@ double run(std::uint32_t nodes) {
   svc::CommandSpec spec;
   spec.service_entities = ses;
   const svc::CommandStats stats = engine.execute(null, spec);
+  sidecar.add("nodes=" + std::to_string(nodes), cluster->metrics());
   return ok(stats.status) ? bench::to_ms(stats.latency()) : -1.0;
 }
 
@@ -48,8 +49,9 @@ int main() {
       "1 MB/process of 4 KB pages (paper: node-sized memories), interactive mode");
 
   std::printf("%8s %16s\n", "nodes", "response ms");
+  bench::MetricsSidecar sidecar("fig12_null_cmd_bigcluster");
   for (const std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-    std::printf("%8u %16.2f\n", nodes, run(nodes));
+    std::printf("%8u %16.2f\n", nodes, run(nodes, sidecar));
   }
   return 0;
 }

@@ -254,6 +254,35 @@ struct Shell {
                 static_cast<double>(cluster->sim().now()) / 1e6);
   }
 
+  void cmd_metrics(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::string format = "json";
+    args >> format;
+    if (format == "csv") {
+      std::fputs(cluster->metrics().to_csv().c_str(), stdout);
+    } else if (format == "json") {
+      std::printf("%s\n", cluster->metrics().to_json().c_str());
+    } else {
+      std::puts("usage: metrics [json|csv]");
+    }
+  }
+
+  void cmd_trace(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::string path;
+    if (!(args >> path)) {
+      std::puts("usage: trace <file.json>");
+      return;
+    }
+    const std::size_t spans = cluster->tracer().span_count();
+    if (!cluster->tracer().write_chrome_json(path)) {
+      std::printf("trace: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::printf("trace: %zu spans written to %s (load in chrome://tracing or Perfetto)\n",
+                spans, path.c_str());
+  }
+
   bool dispatch(const std::string& line) {
     std::istringstream args(line);
     std::string cmd;
@@ -274,6 +303,8 @@ struct Shell {
           "migrate <id> <node>         content-aware migration\n"
           "audit                       reconcile DHT with ground truth\n"
           "stats                       traffic / DHT / fs / clock\n"
+          "metrics [json|csv]          dump the site-wide metrics registry\n"
+          "trace <file>                export phase spans as Chrome trace JSON\n"
           "quit");
       return true;
     }
@@ -290,6 +321,8 @@ struct Shell {
     else if (cmd == "migrate") cmd_migrate(args);
     else if (cmd == "audit") cmd_audit();
     else if (cmd == "stats") cmd_stats();
+    else if (cmd == "metrics") cmd_metrics(args);
+    else if (cmd == "trace") cmd_trace(args);
     else std::printf("unknown command '%s' (try help)\n", cmd.c_str());
     return true;
   }
@@ -311,6 +344,7 @@ constexpr const char* kDemoScript[] = {
     "migrate 1 3",
     "audit",
     "stats",
+    "metrics csv",
 };
 
 }  // namespace

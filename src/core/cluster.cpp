@@ -1,5 +1,7 @@
 #include "core/cluster.hpp"
 
+#include "core/cost_model.hpp"
+
 namespace concord::core {
 
 Cluster::Cluster(ClusterParams params)
@@ -8,11 +10,15 @@ Cluster::Cluster(ClusterParams params)
       fabric_(sim_, params.fabric),
       placement_(params.single_node_dht ? 1 : params.num_nodes),
       registry_(params.max_entities) {
+  // Bind the fabric first so daemon registration resolves cells straight
+  // into the shared registry instead of the fabric's private fallback.
+  fabric_.bind_metrics(metrics_);
   daemons_.reserve(params_.num_nodes);
   for (std::uint32_t n = 0; n < params_.num_nodes; ++n) {
     daemons_.push_back(std::make_unique<ServiceDaemon>(
         node_id(n), params_.max_entities, params_.alloc_mode, placement_, fabric_,
         hash::BlockHasher(params_.hash_algorithm), params_.detect_mode));
+    daemons_.back()->bind_metrics(metrics_);
   }
 }
 
@@ -35,8 +41,22 @@ void Cluster::depart_entity(EntityId id) {
 
 mem::ScanStats Cluster::scan_all() {
   mem::ScanStats total;
+  const CostModel& cost = CostModel::instance();
   for (auto& d : daemons_) {
+    const auto tid = static_cast<std::uint32_t>(raw(d->id()));
+    const obs::Tracer::SpanId span = tracer_.begin_span("scan", "mem", tid, sim_.now());
     const mem::ScanStats s = d->scan_and_publish();
+    // The scan's virtual cost: what hashing this epoch's blocks would have
+    // charged to the node. Spans and the scan_cost_ns histogram stay
+    // deterministic because the cost model is fixed per process.
+    const sim::Time scan_cost = cost.hash_cost(params_.hash_algorithm, s.bytes_hashed);
+    tracer_.add_arg(span, "blocks_hashed", s.blocks_hashed);
+    tracer_.add_arg(span, "inserts", s.inserts_emitted);
+    tracer_.add_arg(span, "removes", s.removes_emitted);
+    tracer_.end_span(span, sim_.now() + scan_cost);
+    metrics_
+        .histogram("mem", "scan_cost_ns", static_cast<std::int32_t>(raw(d->id())))
+        .record(static_cast<std::uint64_t>(scan_cost));
     total.blocks_examined += s.blocks_examined;
     total.blocks_hashed += s.blocks_hashed;
     total.bytes_hashed += s.bytes_hashed;

@@ -12,6 +12,8 @@
 #include "core/entity_registry.hpp"
 #include "core/service_daemon.hpp"
 #include "fs/simfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace concord::core {
@@ -41,6 +43,17 @@ class Cluster {
 
   [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+
+  /// The site-wide metrics registry. Every subsystem (fabric, DHT shards,
+  /// update monitors, command engines via bind) accounts here; snapshot with
+  /// metrics().to_json() / to_csv().
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
+
+  /// The site-wide phase-span tracer, keyed to the virtual clock. Export
+  /// with tracer().write_chrome_json(path).
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
   [[nodiscard]] fs::SimFs& fs() noexcept { return fs_; }
   [[nodiscard]] EntityRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] const EntityRegistry& registry() const noexcept { return registry_; }
@@ -77,6 +90,8 @@ class Cluster {
  private:
   ClusterParams params_;
   sim::Simulation sim_;
+  obs::Registry metrics_;  // declared before fabric/daemons: they hold cell refs
+  obs::Tracer tracer_;
   net::Fabric fabric_;
   fs::SimFs fs_;
   dht::Placement placement_;

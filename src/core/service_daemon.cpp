@@ -15,12 +15,25 @@ ServiceDaemon::ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMo
   fabric_.register_node(id_, [this](const net::Message& m) { handle_message(m); });
 }
 
+void ServiceDaemon::bind_metrics(obs::Registry& registry) {
+  const auto node = static_cast<std::int32_t>(raw(id_));
+  store_.bind_metrics(registry, node);
+  monitor_.bind_metrics(registry, node);
+  obs::Counter* old_local = updates_local_;
+  obs::Counter* old_remote = updates_remote_;
+  updates_local_ = &registry.counter("core", "updates_local", node);
+  updates_remote_ = &registry.counter("core", "updates_remote", node);
+  if (old_local != nullptr) updates_local_->inc(old_local->value());
+  if (old_remote != nullptr) updates_remote_->inc(old_remote->value());
+}
+
 void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
   const NodeId owner = placement_.owner(u.hash);
   const bool insert = u.op == mem::ContentUpdate::Op::kInsert;
   if (owner == id_) {
     // Local shard: apply directly; no network traffic (intra-node updates
     // bypass the NIC in the real system too).
+    if (updates_local_ != nullptr) updates_local_->inc();
     if (insert) {
       store_.insert(u.hash, u.entity);
     } else {
@@ -28,6 +41,7 @@ void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
     }
     return;
   }
+  if (updates_remote_ != nullptr) updates_remote_->inc();
   fabric_.send_unreliable(net::make_message(
       id_, owner, insert ? net::MsgType::kDhtInsert : net::MsgType::kDhtRemove,
       DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes));

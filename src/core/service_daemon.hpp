@@ -40,6 +40,12 @@ class ServiceDaemon {
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
 
+  /// Binds this daemon's DHT shard and update monitor into the shared
+  /// registry (labeled with this node's id) and adds the daemon's own
+  /// update-routing counters (subsystem "core": updates_local applied to the
+  /// co-located shard, updates_remote sent over the fabric).
+  void bind_metrics(obs::Registry& registry);
+
   // --- local entity tracking (NSM surface) ---
   void track(mem::MemoryEntity& entity) { monitor_.attach(entity); }
   void untrack(EntityId id) { monitor_.detach(id); }
@@ -83,6 +89,8 @@ class ServiceDaemon {
   dht::DhtStore store_;
   mem::MemoryUpdateMonitor monitor_;
   std::unordered_map<std::uint16_t, ExtraHandler> handlers_;
+  obs::Counter* updates_local_ = nullptr;   // shard co-located: applied directly
+  obs::Counter* updates_remote_ = nullptr;  // shipped to the owner over the fabric
 };
 
 }  // namespace concord::core

@@ -30,6 +30,33 @@ DhtStore::DhtStore(std::uint32_t max_entities, AllocMode mode)
   if (mode_ == AllocMode::kPool) {
     pool_ = std::make_unique<PoolAllocatorBase>(entry_bytes());
   }
+  own_metrics_ = std::make_unique<obs::Registry>();
+  metrics_ = own_metrics_.get();
+  cells_ = resolve_cells(obs::Registry::kSiteWide);
+}
+
+DhtStore::Cells DhtStore::resolve_cells(std::int32_t node) {
+  obs::Registry& r = *metrics_;
+  return Cells{&r.counter("dht", "inserts", node),       &r.counter("dht", "inserts_new", node),
+               &r.counter("dht", "removes", node),       &r.counter("dht", "removes_stale", node),
+               &r.gauge("dht", "unique_hashes", node),   &r.gauge("dht", "memory_bytes", node)};
+}
+
+void DhtStore::bind_metrics(obs::Registry& registry, std::int32_t node) {
+  const Cells old = cells_;
+  metrics_ = &registry;
+  cells_ = resolve_cells(node);
+  cells_.inserts->inc(old.inserts->value());
+  cells_.inserts_new->inc(old.inserts_new->value());
+  cells_.removes->inc(old.removes->value());
+  cells_.removes_stale->inc(old.removes_stale->value());
+  own_metrics_.reset();
+  update_occupancy();
+}
+
+void DhtStore::update_occupancy() noexcept {
+  cells_.unique_hashes->set(static_cast<std::int64_t>(size_));
+  cells_.memory_bytes->set(static_cast<std::int64_t>(memory_bytes()));
 }
 
 DhtStore::~DhtStore() { clear(); }
@@ -100,6 +127,7 @@ void DhtStore::maybe_grow() {
 
 bool DhtStore::insert(const ContentHash& h, EntityId entity) {
   assert(raw(entity) < max_entities_);
+  cells_.inserts->inc();
   if (Entry* e = find(h)) {
     set_bit(e->words(), raw(entity));
     return false;
@@ -112,15 +140,23 @@ bool DhtStore::insert(const ContentHash& h, EntityId entity) {
   buckets_[b] = e;
   set_bit(e->words(), raw(entity));
   ++size_;
+  cells_.inserts_new->inc();
+  update_occupancy();
   return true;
 }
 
 bool DhtStore::remove(const ContentHash& h, EntityId entity) {
+  cells_.removes->inc();
   const std::size_t b = bucket_of(h);
   Entry** link = &buckets_[b];
   for (Entry* e = *link; e != nullptr; link = &e->next, e = e->next) {
     if (e->hash != h) continue;
-    if (!test_bit(e->words(), raw(entity))) return false;
+    if (!test_bit(e->words(), raw(entity))) {
+      // Stale hit: the DHT was asked to forget a copy it never knew about
+      // (lost insert, or a second remove after churn).
+      cells_.removes_stale->inc();
+      return false;
+    }
     clear_bit(e->words(), raw(entity));
     // Erase the entry when no entity holds the content any more.
     bool any = false;
@@ -134,9 +170,11 @@ bool DhtStore::remove(const ContentHash& h, EntityId entity) {
       *link = e->next;
       free_entry(e);
       --size_;
+      update_occupancy();
     }
     return true;
   }
+  cells_.removes_stale->inc();
   return false;
 }
 
@@ -186,6 +224,7 @@ void DhtStore::clear() {
     }
   }
   size_ = 0;
+  update_occupancy();
 }
 
 }  // namespace concord::dht

@@ -22,6 +22,7 @@
 
 #include "common/pool_allocator.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace concord::dht {
 
@@ -37,6 +38,12 @@ class DhtStore {
   DhtStore& operator=(const DhtStore&) = delete;
   DhtStore(DhtStore&&) noexcept;
   DhtStore& operator=(DhtStore&&) noexcept;
+
+  /// Routes this shard's accounting into `registry` (subsystem "dht",
+  /// labeled with `node`): insert/remove counters, stale-hit counters, and
+  /// occupancy gauges. Counts accumulated before binding carry over. The
+  /// store accounts into a private registry until bound.
+  void bind_metrics(obs::Registry& registry, std::int32_t node);
 
   /// Records that `entity` holds content `h`. Returns true if this created
   /// a new hash entry (first copy site-wide on this shard).
@@ -98,9 +105,22 @@ class DhtStore {
     return h.well_mixed() & (buckets_.size() - 1);
   }
 
+  /// Pre-resolved registry cells; updated on every mutation so the registry
+  /// always reflects shard occupancy without polling.
+  struct Cells {
+    obs::Counter* inserts = nullptr;       // every insert() call
+    obs::Counter* inserts_new = nullptr;   // first copy of a hash on this shard
+    obs::Counter* removes = nullptr;       // every remove() call
+    obs::Counter* removes_stale = nullptr; // remove of an entry/bit not present
+    obs::Gauge* unique_hashes = nullptr;
+    obs::Gauge* memory_bytes = nullptr;
+  };
+
   Entry* allocate_entry();
   void free_entry(Entry* e) noexcept;
   void maybe_grow();
+  Cells resolve_cells(std::int32_t node);
+  void update_occupancy() noexcept;
 
   [[nodiscard]] Entry* find(const ContentHash& h) const;
 
@@ -111,6 +131,9 @@ class DhtStore {
   std::size_t size_ = 0;
   std::unique_ptr<PoolAllocatorBase> pool_;  // kPool mode only
   std::size_t malloc_bytes_ = 0;             // kMalloc mode accounting
+  obs::Registry* metrics_ = nullptr;            // bound registry, if any
+  std::unique_ptr<obs::Registry> own_metrics_;  // fallback when unbound
+  Cells cells_;
 };
 
 }  // namespace concord::dht

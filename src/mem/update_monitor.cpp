@@ -27,8 +27,45 @@ void MemoryUpdateMonitor::detach(EntityId id) {
   tracked_.erase(it);
 }
 
+MemoryUpdateMonitor::Cells MemoryUpdateMonitor::resolve_cells(std::int32_t node) {
+  obs::Registry& r = *metrics_;
+  return Cells{&r.counter("mem", "blocks_examined", node),
+               &r.counter("mem", "blocks_hashed", node),
+               &r.counter("mem", "bytes_hashed", node),
+               &r.counter("mem", "inserts_emitted", node),
+               &r.counter("mem", "removes_emitted", node),
+               &r.counter("mem", "throttled_blocks", node),
+               &r.counter("mem", "scans", node),
+               &r.histogram("mem", "dirty_ratio_pct", node)};
+}
+
+void MemoryUpdateMonitor::bind_metrics(obs::Registry& registry, std::int32_t node) {
+  const Cells old = cells_;
+  metrics_ = &registry;
+  cells_ = resolve_cells(node);
+  cells_.blocks_examined->inc(old.blocks_examined->value());
+  cells_.blocks_hashed->inc(old.blocks_hashed->value());
+  cells_.bytes_hashed->inc(old.bytes_hashed->value());
+  cells_.inserts_emitted->inc(old.inserts_emitted->value());
+  cells_.removes_emitted->inc(old.removes_emitted->value());
+  cells_.throttled_blocks->inc(old.throttled_blocks->value());
+  cells_.scans->inc(old.scans->value());
+  own_metrics_.reset();
+}
+
+ScanStats MemoryUpdateMonitor::snapshot() const {
+  ScanStats s;
+  s.blocks_examined = cells_.blocks_examined->value();
+  s.blocks_hashed = cells_.blocks_hashed->value();
+  s.bytes_hashed = cells_.bytes_hashed->value();
+  s.inserts_emitted = cells_.inserts_emitted->value();
+  s.removes_emitted = cells_.removes_emitted->value();
+  s.throttled_blocks = cells_.throttled_blocks->value();
+  return s;
+}
+
 ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
-  ScanStats stats;
+  const ScanStats before = snapshot();
   std::uint64_t emitted = 0;
   const bool throttled = update_budget_ > 0;
 
@@ -50,19 +87,19 @@ ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
 
     candidates.for_each([&](std::size_t bi) {
       const auto b = static_cast<BlockIndex>(bi);
-      ++stats.blocks_examined;
+      cells_.blocks_examined->inc();
 
       // Throttle: updates beyond the budget stay pending. In full-scan mode
       // the pending set also carries over so nothing is lost permanently.
       if (throttled && emitted >= update_budget_) {
-        ++stats.throttled_blocks;
+        cells_.throttled_blocks->inc();
         t.pending.set(bi);
         return;
       }
 
       const ContentHash h = hasher_(e.block(b));
-      ++stats.blocks_hashed;
-      stats.bytes_hashed += e.block_size();
+      cells_.blocks_hashed->inc();
+      cells_.bytes_hashed->inc(e.block_size());
 
       const ContentHash old = t.last_hash[b];
       const bool was_scanned = t.ever_scanned[b];
@@ -71,18 +108,32 @@ ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
       if (was_scanned) {
         block_map_.remove(old, BlockLocation{id, b});
         emit(ContentUpdate{ContentUpdate::Op::kRemove, old, id});
-        ++stats.removes_emitted;
+        cells_.removes_emitted->inc();
         ++emitted;
       }
       block_map_.add(h, BlockLocation{id, b});
       t.last_hash[b] = h;
       t.ever_scanned[b] = true;
       emit(ContentUpdate{ContentUpdate::Op::kInsert, h, id});
-      ++stats.inserts_emitted;
+      cells_.inserts_emitted->inc();
       ++emitted;
     });
   }
-  return stats;
+
+  const ScanStats after = snapshot();
+  ScanStats delta;
+  delta.blocks_examined = after.blocks_examined - before.blocks_examined;
+  delta.blocks_hashed = after.blocks_hashed - before.blocks_hashed;
+  delta.bytes_hashed = after.bytes_hashed - before.bytes_hashed;
+  delta.inserts_emitted = after.inserts_emitted - before.inserts_emitted;
+  delta.removes_emitted = after.removes_emitted - before.removes_emitted;
+  delta.throttled_blocks = after.throttled_blocks - before.throttled_blocks;
+
+  cells_.scans->inc();
+  if (delta.blocks_examined > 0) {
+    cells_.dirty_ratio_pct->record(delta.blocks_hashed * 100 / delta.blocks_examined);
+  }
+  return delta;
 }
 
 const std::vector<ContentHash>* MemoryUpdateMonitor::known_hashes(EntityId id) const {

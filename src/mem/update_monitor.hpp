@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "hash/block_hasher.hpp"
 #include "mem/local_block_map.hpp"
 #include "mem/memory_entity.hpp"
+#include "obs/metrics.hpp"
 
 namespace concord::mem {
 
@@ -40,6 +42,10 @@ struct ContentUpdate {
   EntityId entity;
 };
 
+/// Per-scan delta view. The running totals live in the metrics registry
+/// (subsystem "mem"); scan() returns the difference between its entry and
+/// exit snapshots, so callers keep per-epoch numbers while the registry
+/// accumulates per-node lifetime series.
 struct ScanStats {
   std::uint64_t blocks_examined = 0;
   std::uint64_t blocks_hashed = 0;
@@ -55,10 +61,20 @@ class MemoryUpdateMonitor {
 
   explicit MemoryUpdateMonitor(hash::BlockHasher hasher = hash::BlockHasher{},
                                DetectMode mode = DetectMode::kFullScan)
-      : hasher_(hasher), mode_(mode) {}
+      : hasher_(hasher), mode_(mode) {
+    own_metrics_ = std::make_unique<obs::Registry>();
+    metrics_ = own_metrics_.get();
+    cells_ = resolve_cells(obs::Registry::kSiteWide);
+  }
 
   void attach(MemoryEntity& entity);
   void detach(EntityId id);
+
+  /// Routes scan accounting into `registry` (subsystem "mem", labeled with
+  /// `node`): block/byte/update counters plus a per-scan dirty-ratio
+  /// histogram. Counts accumulated before binding carry over; the monitor
+  /// accounts into a private registry until bound.
+  void bind_metrics(obs::Registry& registry, std::int32_t node);
 
   /// 0 = unthrottled. Otherwise at most this many (insert+remove) updates
   /// are emitted per scan; remaining dirty blocks carry over.
@@ -91,11 +107,29 @@ class MemoryUpdateMonitor {
     Bitmap pending;                       // throttled carry-over
   };
 
+  /// Pre-resolved registry cells (one add each on the scan path).
+  struct Cells {
+    obs::Counter* blocks_examined = nullptr;
+    obs::Counter* blocks_hashed = nullptr;
+    obs::Counter* bytes_hashed = nullptr;
+    obs::Counter* inserts_emitted = nullptr;
+    obs::Counter* removes_emitted = nullptr;
+    obs::Counter* throttled_blocks = nullptr;
+    obs::Counter* scans = nullptr;
+    obs::Histogram* dirty_ratio_pct = nullptr;  // hashed/examined per scan
+  };
+
+  Cells resolve_cells(std::int32_t node);
+  [[nodiscard]] ScanStats snapshot() const;
+
   hash::BlockHasher hasher_;
   DetectMode mode_;
   std::uint64_t update_budget_ = 0;
   std::unordered_map<EntityId, Tracked> tracked_;
   LocalBlockMap block_map_;
+  obs::Registry* metrics_ = nullptr;            // bound registry, if any
+  std::unique_ptr<obs::Registry> own_metrics_;  // fallback when unbound
+  Cells cells_;
 };
 
 }  // namespace concord::mem

@@ -1,22 +1,80 @@
 #include "net/fabric.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "common/log.hpp"
 
 namespace concord::net {
 
+Fabric::NodeCells Fabric::resolve_node_cells(NodeId node) {
+  obs::Registry& r = metrics();
+  const auto n = static_cast<std::int32_t>(raw(node));
+  return NodeCells{&r.counter("net", "msgs_sent", n),     &r.counter("net", "bytes_sent", n),
+                   &r.counter("net", "msgs_received", n), &r.counter("net", "bytes_received", n),
+                   &r.counter("net", "msgs_dropped", n),  &r.counter("net", "retransmits", n)};
+}
+
+Fabric::TypeCells& Fabric::type_cells(MsgType t) {
+  TypeCells& c = type_cells_[static_cast<std::size_t>(t)];
+  if (c.msgs == nullptr) {
+    obs::Registry& r = metrics();
+    const std::string label(to_string(t));
+    c.msgs = &r.counter("net", "type_msgs." + label);
+    c.bytes = &r.counter("net", "type_bytes." + label);
+  }
+  return c;
+}
+
+Fabric::NodeCells& Fabric::cells_for(NodeId node) {
+  auto it = traffic_.find(node);
+  if (it == traffic_.end()) it = traffic_.emplace(node, resolve_node_cells(node)).first;
+  return it->second;
+}
+
+obs::Registry& Fabric::metrics() {
+  if (metrics_ != nullptr) return *metrics_;
+  if (!own_metrics_) own_metrics_ = std::make_unique<obs::Registry>();
+  return *own_metrics_;
+}
+
+void Fabric::bind_metrics(obs::Registry& registry) {
+  if (metrics_ == &registry) return;
+  metrics_ = &registry;
+  // Re-resolve every cell into the new registry, carrying accumulated
+  // counts over so a late bind loses nothing.
+  for (auto& [node, cells] : traffic_) {
+    const NodeCells old = cells;
+    cells = resolve_node_cells(node);
+    cells.msgs_sent->inc(old.msgs_sent->value());
+    cells.bytes_sent->inc(old.bytes_sent->value());
+    cells.msgs_received->inc(old.msgs_received->value());
+    cells.bytes_received->inc(old.bytes_received->value());
+    cells.msgs_dropped->inc(old.msgs_dropped->value());
+    cells.retransmits->inc(old.retransmits->value());
+  }
+  for (std::size_t t = 0; t < type_cells_.size(); ++t) {
+    if (type_cells_[t].msgs == nullptr) continue;
+    const TypeCells old = type_cells_[t];
+    type_cells_[t] = TypeCells{};
+    TypeCells& fresh = type_cells(static_cast<MsgType>(t));
+    fresh.msgs->inc(old.msgs->value());
+    fresh.bytes->inc(old.bytes->value());
+  }
+  own_metrics_.reset();
+}
+
 void Fabric::register_node(NodeId node, Handler handler) {
   assert(handler);
   handlers_[node] = std::move(handler);
-  traffic_.try_emplace(node);
+  traffic_.try_emplace(node, resolve_node_cells(node));
   next_tx_free_.try_emplace(node, 0);
 }
 
 sim::Time Fabric::transmit(NodeId src, std::size_t wire_size, bool lossy) {
-  NodeTraffic& t = traffic_[src];
-  ++t.msgs_sent;
-  t.bytes_sent += wire_size;
+  NodeCells& t = cells_for(src);
+  t.msgs_sent->inc();
+  t.bytes_sent->inc(wire_size);
 
   // Egress serialization: this datagram occupies the NIC for tx_time.
   sim::Time& free_at = next_tx_free_[src];
@@ -26,7 +84,7 @@ sim::Time Fabric::transmit(NodeId src, std::size_t wire_size, bool lossy) {
   free_at = start + tx_time;
 
   if (lossy && sim_.rng().chance(params_.loss_rate)) {
-    ++t.msgs_dropped;
+    t.msgs_dropped->inc();
     return -1;
   }
 
@@ -44,11 +102,17 @@ void Fabric::deliver_at(sim::Time when, Message msg) {
       log::warn("fabric: message for unregistered node %u dropped", raw(m.dst));
       return;
     }
-    NodeTraffic& t = traffic_[m.dst];
-    ++t.msgs_received;
-    t.bytes_received += m.wire_size;
+    NodeCells& t = cells_for(m.dst);
+    t.msgs_received->inc();
+    t.bytes_received->inc(m.wire_size);
     it->second(m);
   });
+}
+
+void Fabric::account_send(Message& msg) {
+  TypeCells& tc = type_cells(msg.type);
+  tc.msgs->inc();
+  tc.bytes->inc(msg.wire_size);
 }
 
 void Fabric::send_unreliable(Message msg) {
@@ -56,7 +120,7 @@ void Fabric::send_unreliable(Message msg) {
     deliver_at(sim_.now() + kLoopbackLatency, std::move(msg));
     return;
   }
-  type_bytes_[static_cast<std::uint16_t>(msg.type)] += msg.wire_size;
+  account_send(msg);
   const sim::Time arrival = transmit(msg.src, msg.wire_size, /*lossy=*/true);
   if (arrival < 0) return;  // lost in flight
   deliver_at(arrival, std::move(msg));
@@ -70,7 +134,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
     if (on_done) sim_.at(when, [cb = std::move(on_done)]() { cb(Status::kOk); });
     return;
   }
-  type_bytes_[static_cast<std::uint16_t>(msg.type)] += msg.wire_size;
+  account_send(msg);
 
   // Simulate the ack protocol: geometric number of data attempts (each
   // costing a timeout on failure), then an acked completion. Ack datagrams
@@ -80,6 +144,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
   int attempt = 0;
   while (attempt < params_.max_retries) {
     ++attempt;
+    if (attempt > 1) cells_for(msg.src).retransmits->inc();
     const sim::Time arrival = transmit(msg.src, msg.wire_size, /*lossy=*/true);
     if (arrival < 0) {
       elapsed += params_.ack_timeout;  // sender waits out the timer
@@ -88,13 +153,15 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
     // Data arrived. The receiver acks; a lost ack costs another timeout and
     // a retransmission, but the receiver dedups, so deliver only once.
     const sim::Time deliver_time = arrival + elapsed;
+    const NodeId dst = msg.dst;
     deliver_at(deliver_time, std::move(msg));
 
     sim::Time ack_elapsed = 0;
     int ack_attempt = 0;
     while (ack_attempt < params_.max_retries) {
       ++ack_attempt;
-      const sim::Time ack_arrival = transmit(msg.dst, kAckBytes, /*lossy=*/true);
+      if (ack_attempt > 1) cells_for(dst).retransmits->inc();
+      const sim::Time ack_arrival = transmit(dst, kAckBytes, /*lossy=*/true);
       if (ack_arrival < 0) {
         ack_elapsed += params_.ack_timeout;
         continue;
@@ -139,28 +206,38 @@ void Fabric::broadcast_reliable(NodeId src, MsgType type, const std::any& body,
   }
 }
 
-const NodeTraffic& Fabric::traffic(NodeId node) const { return traffic_[node]; }
+NodeTraffic Fabric::traffic(NodeId node) const {
+  const auto it = traffic_.find(node);
+  if (it == traffic_.end()) return NodeTraffic{};
+  const NodeCells& c = it->second;
+  return NodeTraffic{c.msgs_sent->value(),     c.bytes_sent->value(),
+                     c.msgs_received->value(), c.bytes_received->value(),
+                     c.msgs_dropped->value(),  c.retransmits->value()};
+}
 
 NodeTraffic Fabric::total_traffic() const {
   NodeTraffic sum;
-  for (const auto& [node, t] : traffic_) {
-    sum.msgs_sent += t.msgs_sent;
-    sum.bytes_sent += t.bytes_sent;
-    sum.msgs_received += t.msgs_received;
-    sum.bytes_received += t.bytes_received;
-    sum.msgs_dropped += t.msgs_dropped;
+  for (const auto& [node, c] : traffic_) {
+    sum.msgs_sent += c.msgs_sent->value();
+    sum.bytes_sent += c.bytes_sent->value();
+    sum.msgs_received += c.msgs_received->value();
+    sum.bytes_received += c.bytes_received->value();
+    sum.msgs_dropped += c.msgs_dropped->value();
+    sum.retransmits += c.retransmits->value();
   }
   return sum;
 }
 
-std::uint64_t Fabric::type_bytes(MsgType t) const {
-  const auto it = type_bytes_.find(static_cast<std::uint16_t>(t));
-  return it == type_bytes_.end() ? 0 : it->second;
+TypeTraffic Fabric::type_traffic(MsgType t) const {
+  const TypeCells& c = type_cells_[static_cast<std::size_t>(t)];
+  if (c.msgs == nullptr) return TypeTraffic{};
+  return TypeTraffic{c.msgs->value(), c.bytes->value()};
 }
 
 void Fabric::reset_traffic() {
-  for (auto& [node, t] : traffic_) t = NodeTraffic{};
-  type_bytes_.clear();
+  // One sweep zeroes per-node traffic and per-type counts/bytes alike; every
+  // fabric metric lives under the "net" subsystem.
+  metrics().reset("net");
 }
 
 }  // namespace concord::net

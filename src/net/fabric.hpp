@@ -12,6 +12,7 @@
 // per-type traffic is accounted for the Fig. 7 / §5.4 volume results.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -20,6 +21,7 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace concord::net {
@@ -37,12 +39,22 @@ struct FabricParams {
 /// tiny fixed latency, no egress charge, no loss, no traffic accounting.
 inline constexpr sim::Time kLoopbackLatency = 2 * sim::kMicrosecond;
 
+/// Per-node traffic view. The cells live in the metrics registry (subsystem
+/// "net", labeled by node); this struct is materialized on demand so legacy
+/// callers keep their plain-integer API.
 struct NodeTraffic {
   std::uint64_t msgs_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t msgs_received = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t msgs_dropped = 0;  // unreliable datagrams lost in flight
+  std::uint64_t retransmits = 0;   // reliable-class data/ack resends
+};
+
+/// Per-message-type traffic view (registry subsystem "net", site-wide).
+struct TypeTraffic {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
 };
 
 class Fabric {
@@ -75,27 +87,60 @@ class Fabric {
                           std::size_t body_bytes, const std::vector<NodeId>& dsts,
                           SendCallback on_done = {});
 
-  [[nodiscard]] const NodeTraffic& traffic(NodeId node) const;
+  /// Adopts `registry` for all traffic accounting (counters land under
+  /// subsystem "net"). Any counts accumulated before binding carry over.
+  /// Without a bound registry the fabric accounts into a private one.
+  void bind_metrics(obs::Registry& registry);
+  [[nodiscard]] obs::Registry& metrics();
+
+  [[nodiscard]] NodeTraffic traffic(NodeId node) const;
   [[nodiscard]] NodeTraffic total_traffic() const;
-  [[nodiscard]] std::uint64_t type_bytes(MsgType t) const;
+  /// Per-type accounting: message counts and byte volume (loopback excluded,
+  /// as it never touches the NIC).
+  [[nodiscard]] TypeTraffic type_traffic(MsgType t) const;
+  [[nodiscard]] std::uint64_t type_bytes(MsgType t) const { return type_traffic(t).bytes; }
+  [[nodiscard]] std::uint64_t type_msgs(MsgType t) const { return type_traffic(t).msgs; }
+  /// Zeroes every "net" metric: per-node traffic AND per-type counts/bytes.
   void reset_traffic();
 
   [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
   void set_loss_rate(double p) noexcept { params_.loss_rate = p; }
 
  private:
+  /// Pre-resolved registry cells for one node's traffic (hot path touches
+  /// these pointers only; never a map or the registry itself).
+  struct NodeCells {
+    obs::Counter* msgs_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* msgs_received = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* msgs_dropped = nullptr;
+    obs::Counter* retransmits = nullptr;
+  };
+  struct TypeCells {
+    obs::Counter* msgs = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+
   /// One transmission attempt: charges egress, returns arrival time, or -1
   /// if the datagram is lost (loss is charged to traffic but not delivered).
   sim::Time transmit(NodeId src, std::size_t wire_size, bool lossy);
 
   void deliver_at(sim::Time when, Message msg);
 
+  NodeCells resolve_node_cells(NodeId node);
+  NodeCells& cells_for(NodeId node);
+  TypeCells& type_cells(MsgType t);
+  void account_send(Message& msg);
+
   sim::Simulation& sim_;
   FabricParams params_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, sim::Time> next_tx_free_;
-  mutable std::unordered_map<NodeId, NodeTraffic> traffic_;
-  std::unordered_map<std::uint16_t, std::uint64_t> type_bytes_;
+  std::unordered_map<NodeId, NodeCells> traffic_;
+  std::array<TypeCells, kNumMsgTypes> type_cells_{};
+  obs::Registry* metrics_ = nullptr;           // bound registry, if any
+  std::unique_ptr<obs::Registry> own_metrics_; // fallback when unbound
 };
 
 }  // namespace concord::net

@@ -12,6 +12,7 @@
 
 #include <any>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 
 #include "common/types.hpp"
@@ -33,6 +34,28 @@ enum class MsgType : std::uint16_t {
   kData,                // bulk content transfer (migration etc.)
   kControl,             // misc control plane
 };
+
+/// Stable lower-case label per message type, used by the traffic accounting
+/// and the metrics registry to break volume down by protocol.
+[[nodiscard]] constexpr std::string_view to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kDhtInsert: return "dht_insert";
+    case MsgType::kDhtRemove: return "dht_remove";
+    case MsgType::kNodeQuery: return "node_query";
+    case MsgType::kNodeQueryReply: return "node_query_reply";
+    case MsgType::kCollectiveRequest: return "collective_request";
+    case MsgType::kCollectiveReply: return "collective_reply";
+    case MsgType::kCommandControl: return "command_control";
+    case MsgType::kCommandHashExchange: return "command_hash_exchange";
+    case MsgType::kCommandAck: return "command_ack";
+    case MsgType::kData: return "data";
+    case MsgType::kControl: return "control";
+  }
+  return "unknown";
+}
+
+/// Number of MsgType values (for dense per-type tables).
+inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kControl) + 1;
 
 /// Fixed per-datagram overhead we charge on the wire: Ethernet + IP + UDP
 /// headers plus ConCORD's own message header.

@@ -1,0 +1,173 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace concord::obs::json {
+
+const Value* Value::get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_->find(std::string(key));
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    Result<Value> v = parse_value();
+    if (!v.has_value()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return Status::kInvalidArgument;  // trailing data
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eat_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Result<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return Status::kInvalidArgument;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Result<std::string> s = parse_string();
+        if (!s.has_value()) return s.status();
+        return Value(std::move(s).value());
+      }
+      case 't': return eat_word("true") ? Result<Value>(Value(true)) : Status::kInvalidArgument;
+      case 'f':
+        return eat_word("false") ? Result<Value>(Value(false)) : Status::kInvalidArgument;
+      case 'n': return eat_word("null") ? Result<Value>(Value()) : Status::kInvalidArgument;
+      default: return parse_number();
+    }
+  }
+
+  Result<Value> parse_number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(begin, &end);
+    if (end == begin) return Status::kInvalidArgument;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return Value(d);
+  }
+
+  Result<std::string> parse_string() {
+    if (!eat('"')) return Status::kInvalidArgument;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Status::kInvalidArgument;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Our own exports never emit \u escapes; decode the BMP code point
+          // as UTF-8 for completeness.
+          if (pos_ + 4 > text_.size()) return Status::kInvalidArgument;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::kInvalidArgument;
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return Status::kInvalidArgument;
+      }
+    }
+    return Status::kInvalidArgument;  // unterminated
+  }
+
+  Result<Value> parse_array() {
+    if (!eat('[')) return Status::kInvalidArgument;
+    Array arr;
+    skip_ws();
+    if (eat(']')) return Value(std::move(arr));
+    while (true) {
+      Result<Value> v = parse_value();
+      if (!v.has_value()) return v;
+      arr.push_back(std::move(v).value());
+      skip_ws();
+      if (eat(']')) return Value(std::move(arr));
+      if (!eat(',')) return Status::kInvalidArgument;
+    }
+  }
+
+  Result<Value> parse_object() {
+    if (!eat('{')) return Status::kInvalidArgument;
+    Object obj;
+    skip_ws();
+    if (eat('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      Result<std::string> key = parse_string();
+      if (!key.has_value()) return key.status();
+      skip_ws();
+      if (!eat(':')) return Status::kInvalidArgument;
+      Result<Value> v = parse_value();
+      if (!v.has_value()) return v;
+      obj.insert_or_assign(std::move(key).value(), std::move(v).value());
+      skip_ws();
+      if (eat('}')) return Value(std::move(obj));
+      if (!eat(',')) return Status::kInvalidArgument;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace concord::obs::json

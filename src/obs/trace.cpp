@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace concord::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Virtual ns -> trace µs, printed exactly (no floating point) so exports
+/// are byte-identical across runs.
+void append_us(std::string& out, const char* field, sim::Time ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64 ".%03d", field, ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buf;
+}
+
+void append_common(std::string& out, const TraceSpan& s) {
+  out += "{\"name\":\"";
+  append_escaped(out, s.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, s.cat);
+  out += "\",";
+}
+
+void append_args(std::string& out, const TraceSpan& s) {
+  if (s.args.empty()) return;
+  out += ",\"args\":{";
+  char buf[64];
+  for (std::size_t i = 0; i < s.args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    append_escaped(out, s.args[i].key);
+    std::snprintf(buf, sizeof buf, "\":%" PRIu64, s.args[i].value);
+    out += buf;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Tracer::SpanId Tracer::begin_span(std::string_view name, std::string_view cat,
+                                  std::uint32_t tid, sim::Time ts) {
+  if (!enabled_) return kInvalid;
+  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, -1, false, 0, {}});
+  return spans_.size() - 1;
+}
+
+Tracer::SpanId Tracer::begin_async(std::string_view name, std::string_view cat,
+                                   std::uint32_t tid, sim::Time ts, std::uint64_t id) {
+  if (!enabled_) return kInvalid;
+  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, -1, true, id, {}});
+  return spans_.size() - 1;
+}
+
+void Tracer::end_span(SpanId id, sim::Time ts) {
+  if (id == kInvalid) return;
+  spans_[id].end = ts;
+}
+
+void Tracer::add_arg(SpanId id, std::string_view key, std::uint64_t value) {
+  if (id == kInvalid) return;
+  spans_[id].args.push_back(TraceArg{std::string(key), value});
+}
+
+std::string Tracer::to_chrome_json(std::size_t from_span) const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (std::size_t i = from_span; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    if (s.end < s.begin) continue;  // never closed; skip
+    if (!first) out += ',';
+    first = false;
+    if (s.async) {
+      // Async pair: "b"/"e" events share cat+id+name and may overlap other
+      // spans of the same tid (the pipelined dispatches do).
+      append_common(out, s);
+      std::snprintf(buf, sizeof buf, "\"ph\":\"b\",\"id\":%" PRIu64 ",\"pid\":0,\"tid\":%u,",
+                    s.async_id, s.tid);
+      out += buf;
+      append_us(out, "ts", s.begin);
+      append_args(out, s);
+      out += "},";
+      append_common(out, s);
+      std::snprintf(buf, sizeof buf, "\"ph\":\"e\",\"id\":%" PRIu64 ",\"pid\":0,\"tid\":%u,",
+                    s.async_id, s.tid);
+      out += buf;
+      append_us(out, "ts", s.end);
+      out += '}';
+    } else {
+      append_common(out, s);
+      std::snprintf(buf, sizeof buf, "\"ph\":\"X\",\"pid\":0,\"tid\":%u,", s.tid);
+      out += buf;
+      append_us(out, "ts", s.begin);
+      out += ',';
+      append_us(out, "dur", s.end - s.begin);
+      append_args(out, s);
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path, std::size_t from_span) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json(from_span);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace concord::obs

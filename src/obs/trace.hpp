@@ -1,0 +1,83 @@
+// Phase-span tracer keyed to the simulation's virtual clock.
+//
+// Records spans (command -> phase -> per-shard drive -> per-dispatch) with
+// virtual-nanosecond timestamps and exports Chrome trace_event JSON, so one
+// collective command is inspectable end-to-end in chrome://tracing or
+// Perfetto. Each emulated node becomes a trace thread (tid = node id);
+// synchronous spans are emitted as complete ("X") events and nest by
+// containment within a tid, while pipelined per-dispatch work — which
+// overlaps freely on a shard — is emitted as async ("b"/"e") pairs keyed by
+// the dispatch sequence number.
+//
+// Recording one span is two vector appends; with set_enabled(false) every
+// call is a no-op, so the tracer can ride in release builds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace concord::obs {
+
+struct TraceArg {
+  std::string key;
+  std::uint64_t value;
+};
+
+struct TraceSpan {
+  std::string name;
+  std::string cat;
+  std::uint32_t tid = 0;   // emulated node id
+  sim::Time begin = 0;     // virtual ns
+  sim::Time end = -1;      // virtual ns; -1 while still open
+  bool async = false;      // overlapping span: exported as "b"/"e" pair
+  std::uint64_t async_id = 0;
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kInvalid = static_cast<SpanId>(-1);
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Opens a synchronous span on node `tid` at virtual time `ts`.
+  SpanId begin_span(std::string_view name, std::string_view cat, std::uint32_t tid,
+                    sim::Time ts);
+  /// Opens an async span (may overlap other spans of the same tid).
+  SpanId begin_async(std::string_view name, std::string_view cat, std::uint32_t tid,
+                     sim::Time ts, std::uint64_t id);
+  /// Closes a span. Ignores kInvalid, so callers need not guard disabled
+  /// tracers.
+  void end_span(SpanId id, sim::Time ts);
+  /// Attaches a key/value pair shown under the span in the trace viewer.
+  void add_arg(SpanId id, std::string_view key, std::uint64_t value);
+
+  [[nodiscard]] std::size_t span_count() const noexcept { return spans_.size(); }
+  [[nodiscard]] const TraceSpan& span(SpanId id) const { return spans_[id]; }
+
+  void clear() noexcept { spans_.clear(); }
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}). Spans before
+  /// `from_span` and still-open spans are skipped; timestamps are emitted in
+  /// microseconds with nanosecond precision, deterministically formatted.
+  [[nodiscard]] std::string to_chrome_json(std::size_t from_span = 0) const;
+
+  /// Writes to_chrome_json() to `path`. Returns false on I/O failure.
+  bool write_chrome_json(const std::string& path, std::size_t from_span = 0) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace concord::obs

@@ -1,6 +1,8 @@
 #include "svc/command_engine.hpp"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 
 #include "common/log.hpp"
 #include "core/cost_model.hpp"
@@ -9,6 +11,23 @@ namespace concord::svc {
 
 
 using namespace wire;  // NOLINT(google-build-using-namespace) — protocol payloads
+
+namespace {
+
+/// Stable phase labels shared by span names and counter names.
+constexpr std::string_view phase_name(CtlPhase p) {
+  switch (p) {
+    case CtlPhase::kInit: return "init";
+    case CtlPhase::kCollStart: return "coll_start";
+    case CtlPhase::kDrive: return "drive";
+    case CtlPhase::kCollFin: return "coll_fin";
+    case CtlPhase::kLocal: return "local";
+    case CtlPhase::kDeinit: return "deinit";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 struct CommandEngine::Execution {
   std::uint64_t cmd_id = 0;
@@ -34,6 +53,7 @@ struct CommandEngine::Execution {
     std::size_t next = 0;
     NodeId shard{};
     std::shared_ptr<const std::vector<NodeId>> notify;  // SE hosts believed to hold it
+    obs::Tracer::SpanId span = obs::Tracer::kInvalid;   // async dispatch span
   };
   std::unordered_map<std::uint64_t, PendingHash> pending;
   std::unordered_map<std::uint32_t, std::size_t> outstanding;  // shard node -> in flight
@@ -43,12 +63,31 @@ struct CommandEngine::Execution {
   // Per-node handled tables: hash -> private value (SE hosts only).
   std::vector<std::unordered_map<ContentHash, std::uint64_t>> handled;
 
+  // Open trace spans: the whole command, the controller's current phase,
+  // and one drive span per shard node.
+  obs::Tracer::SpanId cmd_span = obs::Tracer::kInvalid;
+  obs::Tracer::SpanId phase_span = obs::Tracer::kInvalid;
+  std::unordered_map<std::uint32_t, obs::Tracer::SpanId> drive_spans;
+
   [[nodiscard]] Role role_of(EntityId e) const {
     return se_set.test(raw(e)) ? Role::kService : Role::kParticipant;
   }
 };
 
 CommandEngine::CommandEngine(core::Cluster& cluster) : cluster_(cluster) {
+  obs::Registry& r = cluster_.metrics();
+  cells_.commands = &r.counter("svc", "commands");
+  for (std::size_t p = 0; p < 6; ++p) {
+    const std::string name = "phase." + std::string(phase_name(static_cast<CtlPhase>(p)));
+    cells_.phase[p] = &r.counter("svc", name);
+  }
+  cells_.distinct_hashes = &r.counter("svc", "distinct_hashes");
+  cells_.collective_handled = &r.counter("svc", "collective_handled");
+  cells_.collective_retries = &r.counter("svc", "collective_retries");
+  cells_.collective_stale = &r.counter("svc", "collective_stale");
+  cells_.local_blocks = &r.counter("svc", "local_blocks");
+  cells_.local_covered = &r.counter("svc", "local_covered");
+  cells_.local_uncovered = &r.counter("svc", "local_uncovered");
   install_handlers();
 }
 
@@ -75,6 +114,9 @@ void CommandEngine::install_handlers() {
 
 void CommandEngine::start_phase(CtlPhase phase, const std::vector<NodeId>& targets) {
   Execution& ex = *active_;
+  ex.phase_span = cluster_.tracer().begin_span(
+      "phase:" + std::string(phase_name(phase)), "svc",
+      raw(ex.spec->controller), cluster_.sim().now());
   if (targets.empty()) {
     // Nothing to do in this phase; advance immediately from the event loop.
     cluster_.sim().after(0, [this, phase]() { advance_after(phase); });
@@ -99,6 +141,9 @@ void CommandEngine::advance_after(CtlPhase finished) {
   log::debug("command %llu: phase %d done at %.3f ms",
              static_cast<unsigned long long>(ex.cmd_id), static_cast<int>(finished),
              static_cast<double>(cluster_.sim().now()) / 1e6);
+  cluster_.tracer().end_span(ex.phase_span, cluster_.sim().now());
+  ex.phase_span = obs::Tracer::kInvalid;
+  cells_.phase[static_cast<std::size_t>(finished)]->inc();
   switch (finished) {
     case CtlPhase::kInit:
       start_phase(CtlPhase::kCollStart, ex.scope_nodes);
@@ -209,6 +254,8 @@ void CommandEngine::drive_shard(core::ServiceDaemon& d) {
   const NodeId n = d.id();
   ex.outstanding[raw(n)] = 0;
   ex.enumerated[raw(n)] = false;
+  ex.drive_spans[raw(n)] =
+      cluster_.tracer().begin_span("drive", "svc", raw(n), cluster_.sim().now());
 
   std::vector<std::uint64_t> seqs;
   d.store().for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
@@ -265,7 +312,7 @@ void CommandEngine::drive_shard(core::ServiceDaemon& d) {
       const std::uint64_t seq = ex.next_seq++;
       ex.pending.emplace(seq, std::move(p));
       seqs.push_back(seq);
-      ++ex.stats.distinct_hashes;
+      cells_.distinct_hashes->inc();
   });
   const core::CostModel& cm = core::CostModel::instance();
   const sim::Time cost = cm.scan_cost(d.store().unique_hashes()) +
@@ -284,6 +331,12 @@ void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
   const auto it = ex.pending.find(seq);
   if (it == ex.pending.end()) return;
   Execution::PendingHash& p = it->second;
+  if (p.span == obs::Tracer::kInvalid) {
+    // One async span covers the whole dispatch including retries; async
+    // because a shard keeps many dispatches in flight at once.
+    p.span = cluster_.tracer().begin_async("dispatch", "svc", raw(p.shard),
+                                           cluster_.sim().now(), seq);
+  }
   const EntityId chosen = p.candidates[p.next];
   const NodeId host = cluster_.registry().host_of(chosen);
   d.fabric().send_reliable(net::make_message(
@@ -381,16 +434,20 @@ void CommandEngine::handle_dispatch_reply(core::ServiceDaemon& d, const Dispatch
   Execution::PendingHash& p = it->second;
 
   if (r.success) {
-    ++ex.stats.collective_handled;
+    cells_.collective_handled->inc();
   } else {
     ++p.next;
     if (p.next < p.candidates.size()) {
-      ++ex.stats.collective_retries;
+      cells_.collective_retries->inc();
       dispatch_hash(d, r.seq);
       return;
     }
-    ++ex.stats.collective_stale;  // every believed replica was stale
+    cells_.collective_stale->inc();  // every believed replica was stale
   }
+  obs::Tracer& tracer = cluster_.tracer();
+  tracer.add_arg(p.span, "success", r.success ? 1 : 0);
+  tracer.add_arg(p.span, "retries", p.next);
+  tracer.end_span(p.span, cluster_.sim().now());
   const NodeId shard = p.shard;
   ex.pending.erase(it);
   --ex.outstanding[raw(shard)];
@@ -402,6 +459,11 @@ void CommandEngine::check_shard_drained(core::ServiceDaemon& d) {
   const std::uint32_t n = raw(d.id());
   if (ex.enumerated[n] && ex.outstanding[n] == 0) {
     ex.enumerated[n] = false;  // ack exactly once
+    const auto span = ex.drive_spans.find(n);
+    if (span != ex.drive_spans.end()) {
+      cluster_.tracer().end_span(span->second, cluster_.sim().now());
+      ex.drive_spans.erase(span);
+    }
     send_ack(d, CtlPhase::kDrive, Status::kOk);
   }
 }
@@ -430,11 +492,11 @@ Status CommandEngine::run_local_phase(core::ServiceDaemon& d, sim::Time& cost) {
       const ContentHash h = hasher(data);  // ground truth, freshly hashed
       const auto hit = handled.find(h);
       const std::uint64_t* priv = hit == handled.end() ? nullptr : &hit->second;
-      ++ex.stats.local_blocks;
+      cells_.local_blocks->inc();
       if (priv != nullptr) {
-        ++ex.stats.local_covered;
+        cells_.local_covered->inc();
       } else {
-        ++ex.stats.local_uncovered;
+        cells_.local_uncovered->inc();
       }
       s = ex.service->local_command(n, eid, b, h, data, priv);
       if (!ok(s)) st = s;
@@ -487,8 +549,21 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
     ex.shard_nodes.push_back(node_id(i));
   }
 
+  // Baselines: the registry accumulates across commands; this command's
+  // stats are the counter deltas accrued while it runs.
+  const std::uint64_t base_hashes = cells_.distinct_hashes->value();
+  const std::uint64_t base_handled = cells_.collective_handled->value();
+  const std::uint64_t base_retries = cells_.collective_retries->value();
+  const std::uint64_t base_stale = cells_.collective_stale->value();
+  const std::uint64_t base_blocks = cells_.local_blocks->value();
+  const std::uint64_t base_covered = cells_.local_covered->value();
+  const std::uint64_t base_uncovered = cells_.local_uncovered->value();
+  cells_.commands->inc();
+
   active_ = &ex;
   ex.stats.start = cluster_.sim().now();
+  obs::Tracer& tracer = cluster_.tracer();
+  ex.cmd_span = tracer.begin_span("command", "svc", raw(spec.controller), ex.stats.start);
   start_phase(CtlPhase::kInit, ex.scope_nodes);
   cluster_.sim().run();
   active_ = nullptr;
@@ -497,6 +572,25 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
     ex.stats.status = Status::kInternal;  // protocol stalled
     ex.stats.end = cluster_.sim().now();
   }
+
+  ex.stats.distinct_hashes = cells_.distinct_hashes->value() - base_hashes;
+  ex.stats.collective_handled = cells_.collective_handled->value() - base_handled;
+  ex.stats.collective_retries = cells_.collective_retries->value() - base_retries;
+  ex.stats.collective_stale = cells_.collective_stale->value() - base_stale;
+  ex.stats.local_blocks = cells_.local_blocks->value() - base_blocks;
+  ex.stats.local_covered = cells_.local_covered->value() - base_covered;
+  ex.stats.local_uncovered = cells_.local_uncovered->value() - base_uncovered;
+
+  tracer.add_arg(ex.cmd_span, "cmd_id", ex.cmd_id);
+  tracer.add_arg(ex.cmd_span, "status", static_cast<std::uint64_t>(ex.stats.status));
+  tracer.add_arg(ex.cmd_span, "distinct_hashes", ex.stats.distinct_hashes);
+  tracer.add_arg(ex.cmd_span, "collective_handled", ex.stats.collective_handled);
+  tracer.add_arg(ex.cmd_span, "collective_retries", ex.stats.collective_retries);
+  tracer.add_arg(ex.cmd_span, "collective_stale", ex.stats.collective_stale);
+  tracer.add_arg(ex.cmd_span, "local_blocks", ex.stats.local_blocks);
+  tracer.add_arg(ex.cmd_span, "local_covered", ex.stats.local_covered);
+  tracer.add_arg(ex.cmd_span, "local_uncovered", ex.stats.local_uncovered);
+  tracer.end_span(ex.cmd_span, ex.stats.end);
   return ex.stats;
 }
 

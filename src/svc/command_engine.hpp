@@ -50,6 +50,10 @@ struct CommandSpec {
   NodeId controller = node_id(0);
 };
 
+/// Per-command result view. The running totals live in the cluster's metrics
+/// registry (subsystem "svc", site-wide); execute() snapshots the counters on
+/// entry and returns the per-command difference, so the registry keeps
+/// lifetime series while callers see exactly this command's numbers.
 struct CommandStats {
   Status status = Status::kOk;
   sim::Time start = 0;
@@ -102,6 +106,21 @@ class CommandEngine {
   core::Cluster& cluster_;
   std::uint64_t next_cmd_id_ = 1;
   Execution* active_ = nullptr;  // non-owning; valid only inside execute()
+
+  /// Pre-resolved cells in the cluster registry (subsystem "svc"; site-wide
+  /// because commands span nodes). Phase counters index by CtlPhase.
+  struct Cells {
+    obs::Counter* commands = nullptr;
+    obs::Counter* phase[6] = {};  // completions, one per CtlPhase
+    obs::Counter* distinct_hashes = nullptr;
+    obs::Counter* collective_handled = nullptr;
+    obs::Counter* collective_retries = nullptr;
+    obs::Counter* collective_stale = nullptr;
+    obs::Counter* local_blocks = nullptr;
+    obs::Counter* local_covered = nullptr;
+    obs::Counter* local_uncovered = nullptr;
+  };
+  Cells cells_;
 };
 
 }  // namespace concord::svc

@@ -180,10 +180,27 @@ TEST_F(FabricFixture, TrafficAccountingTracksBytes) {
   fabric.send_unreliable(text_msg(node_id(0), node_id(1), std::string(100, 'x')));
   simu.run();
   EXPECT_EQ(fabric.traffic(node_id(0)).bytes_sent, 100 + net::kWireHeaderBytes);
+  EXPECT_EQ(fabric.traffic(node_id(0)).msgs_sent, 1u);
   EXPECT_EQ(fabric.traffic(node_id(1)).bytes_received, 100 + net::kWireHeaderBytes);
   EXPECT_EQ(fabric.type_bytes(net::MsgType::kControl), 100 + net::kWireHeaderBytes);
+  EXPECT_EQ(fabric.type_msgs(net::MsgType::kControl), 1u);
+  EXPECT_EQ(fabric.type_msgs(net::MsgType::kData), 0u);
+  const net::TypeTraffic tt = fabric.type_traffic(net::MsgType::kControl);
+  EXPECT_EQ(tt.msgs, 1u);
+  EXPECT_EQ(tt.bytes, 100 + net::kWireHeaderBytes);
+
+  // reset_traffic clears BOTH the per-node view and the per-type view.
   fabric.reset_traffic();
   EXPECT_EQ(fabric.total_traffic().bytes_sent, 0u);
+  EXPECT_EQ(fabric.total_traffic().msgs_sent, 0u);
+  EXPECT_EQ(fabric.type_msgs(net::MsgType::kControl), 0u);
+  EXPECT_EQ(fabric.type_bytes(net::MsgType::kControl), 0u);
+
+  // Accounting keeps working after a reset (same resolved cells).
+  fabric.send_unreliable(text_msg(node_id(0), node_id(1), std::string(50, 'y')));
+  simu.run();
+  EXPECT_EQ(fabric.traffic(node_id(0)).bytes_sent, 50 + net::kWireHeaderBytes);
+  EXPECT_EQ(fabric.type_msgs(net::MsgType::kControl), 1u);
 }
 
 TEST_F(FabricFixture, EgressSerializationDelaysBigBursts) {
