@@ -8,6 +8,14 @@
 // still investigating). Our fabric models i.i.d. datagram loss plus egress
 // serialization, so per-node volume is flat and loss tracks the configured
 // rate; we additionally sweep the loss parameter as an ablation.
+//
+// This harness also carries the PR-2 batching comparison: every scale runs
+// the one-datagram-per-update pipeline AND the owner-batched pipeline
+// (kDhtUpdateBatch at the default 1500 B MTU) and reports the datagram and
+// byte reduction straight from the registry's per-type traffic counters,
+// plus the *real* (host wall-clock) scan time. `--smoke` shrinks the sweep
+// for CI and writes BENCH_pr2.json.
+#include <cstring>
 #include <memory>
 
 #include "bench_util.hpp"
@@ -22,85 +30,155 @@ constexpr std::size_t kBlocksPerEntity = 4096;  // paper: 1M pages (4 GB); scale
 constexpr std::size_t kBlockSize = 256;         // keeps 128-node memory within the host
 
 struct Row {
-  std::uint32_t nodes;
-  std::uint64_t total_msgs;
-  double per_node_msgs;
-  double per_node_mb;
-  double loss_pct;
+  std::uint32_t nodes = 0;
+  std::uint64_t update_msgs = 0;   // dht_insert + dht_remove + dht_update_batch
+  std::uint64_t update_bytes = 0;  // bytes on the wire for those datagrams
+  std::uint64_t total_msgs = 0;
+  double per_node_msgs = 0;
+  double per_node_mb = 0;
+  double loss_pct = 0;
+  double scan_seconds = 0;  // real host time inside scan_all()
 };
 
-Row run(std::uint32_t nodes, double loss_rate, bench::MetricsSidecar& sidecar) {
+/// Update-class traffic (the three DHT-update message types) from the
+/// fabric's per-type registry counters.
+void update_traffic(net::Fabric& fabric, std::uint64_t& msgs, std::uint64_t& bytes) {
+  msgs = fabric.type_msgs(net::MsgType::kDhtInsert) +
+         fabric.type_msgs(net::MsgType::kDhtRemove) +
+         fabric.type_msgs(net::MsgType::kDhtUpdateBatch);
+  bytes = fabric.type_bytes(net::MsgType::kDhtInsert) +
+          fabric.type_bytes(net::MsgType::kDhtRemove) +
+          fabric.type_bytes(net::MsgType::kDhtUpdateBatch);
+}
+
+Row run(std::uint32_t nodes, double loss_rate, bool batched, bench::MetricsSidecar& sidecar) {
   core::ClusterParams p;
   p.num_nodes = nodes;
   p.max_entities = nodes + 1;
   p.fabric.loss_rate = loss_rate;
   p.seed = 1000 + nodes;
+  p.update_batching.enabled = batched;
+  p.hash_workers = 0;  // auto: real scan time benefits from every host core
   auto cluster = std::make_unique<core::Cluster>(p);
   for (std::uint32_t n = 0; n < nodes; ++n) {
     mem::MemoryEntity& e =
         cluster->create_entity(node_id(n), EntityKind::kProcess, kBlocksPerEntity, kBlockSize);
     workload::fill(e, workload::defaults_for(workload::Kind::kRandom, n + 7));
   }
-  (void)cluster->scan_all();
+  const std::int64_t ns = bench::wall_ns([&] { (void)cluster->scan_all(); });
 
   const net::NodeTraffic t = cluster->fabric().total_traffic();
   Row r;
   r.nodes = nodes;
+  update_traffic(cluster->fabric(), r.update_msgs, r.update_bytes);
   r.total_msgs = t.msgs_sent;
   r.per_node_msgs = static_cast<double>(t.msgs_sent) / nodes;
   r.per_node_mb = static_cast<double>(t.bytes_sent) / nodes / 1e6;
   r.loss_pct = t.msgs_sent == 0
                    ? 0.0
                    : 100.0 * static_cast<double>(t.msgs_dropped) / static_cast<double>(t.msgs_sent);
-  sidecar.add("nodes=" + std::to_string(nodes), cluster->metrics());
+  r.scan_seconds = static_cast<double>(ns) / 1e9;
+  sidecar.add("nodes=" + std::to_string(nodes) + (batched ? ",batched=1" : ",batched=0"),
+              cluster->metrics());
   return r;
+}
+
+/// DHT coverage after one lossy scan: unique hashes actually landed in the
+/// shards vs blocks scanned. Quantifies the batching loss trade: one lost
+/// datagram now loses a whole batch of records.
+double coverage_after_lossy_scan(double loss, bool batched) {
+  core::ClusterParams p;
+  p.num_nodes = 32;
+  p.max_entities = 33;
+  p.fabric.loss_rate = loss;
+  p.seed = 9;
+  p.update_batching.enabled = batched;
+  core::Cluster cluster(p);
+  std::uint64_t blocks_total = 0;
+  for (std::uint32_t n = 0; n < 32; ++n) {
+    mem::MemoryEntity& e =
+        cluster.create_entity(node_id(n), EntityKind::kProcess, 1024, kBlockSize);
+    workload::fill(e, workload::defaults_for(workload::Kind::kRandom, n + 3));
+    blocks_total += 1024;
+  }
+  (void)cluster.scan_all();
+  return 100.0 * static_cast<double>(cluster.total_unique_hashes()) /
+         static_cast<double>(blocks_total);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
   bench::banner(
       "Figure 7 — update message volume and loss rate vs number of nodes",
       "total update messages grow linearly with nodes; per-node volume constant; "
       "their testbed's loss rate grew with scale",
       "1 entity/node, 4096 blocks of 256 B (paper: 4 GB of 4 KB pages); loss model "
-      "is i.i.d. per datagram at 1%");
+      "is i.i.d. per datagram at 1%; each scale runs unbatched then owner-batched");
 
-  std::printf("%8s %14s %16s %14s %10s\n", "nodes", "total msgs", "msgs/node", "MB/node",
-              "loss %");
+  std::printf("%8s %9s %13s %13s %9s %9s %8s %9s\n", "nodes", "pipeline", "update dgrams",
+              "update MB", "dgram rx", "byte sv%", "loss %", "scan s");
   bench::MetricsSidecar sidecar("fig07_update_volume");
-  for (const std::uint32_t nodes : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-    const Row r = run(nodes, 0.01, sidecar);
-    std::printf("%8u %14llu %16.0f %14.2f %10.2f\n", r.nodes,
-                static_cast<unsigned long long>(r.total_msgs), r.per_node_msgs, r.per_node_mb,
-                r.loss_pct);
+  std::vector<std::uint32_t> sweep = {2u, 4u, 8u, 16u, 32u, 64u, 128u};
+  if (smoke) sweep = {2u, 4u};
+  Row last_unbatched, last_batched;
+  for (const std::uint32_t nodes : sweep) {
+    const Row u = run(nodes, 0.01, /*batched=*/false, sidecar);
+    const Row b = run(nodes, 0.01, /*batched=*/true, sidecar);
+    const double dgram_ratio = b.update_msgs == 0
+                                   ? 0.0
+                                   : static_cast<double>(u.update_msgs) /
+                                         static_cast<double>(b.update_msgs);
+    const double byte_savings =
+        u.update_bytes == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(b.update_bytes) /
+                                 static_cast<double>(u.update_bytes));
+    std::printf("%8u %9s %13llu %13.2f %9s %9s %8.2f %9.3f\n", u.nodes, "single",
+                static_cast<unsigned long long>(u.update_msgs),
+                static_cast<double>(u.update_bytes) / 1e6, "", "", u.loss_pct, u.scan_seconds);
+    std::printf("%8u %9s %13llu %13.2f %8.1fx %8.1f%% %8.2f %9.3f\n", b.nodes, "batched",
+                static_cast<unsigned long long>(b.update_msgs),
+                static_cast<double>(b.update_bytes) / 1e6, dgram_ratio, byte_savings,
+                b.loss_pct, b.scan_seconds);
+    last_unbatched = u;
+    last_batched = b;
   }
 
-  std::printf("\nablation — configured datagram loss rate at 32 nodes:\n");
-  std::printf("%12s %14s %12s\n", "configured", "measured %", "DHT cover %");
-  for (const double loss : {0.0, 0.001, 0.01, 0.05, 0.10}) {
-    core::ClusterParams p;
-    p.num_nodes = 32;
-    p.max_entities = 33;
-    p.fabric.loss_rate = loss;
-    p.seed = 9;
-    core::Cluster cluster(p);
-    std::uint64_t blocks_total = 0;
-    for (std::uint32_t n = 0; n < 32; ++n) {
-      mem::MemoryEntity& e =
-          cluster.create_entity(node_id(n), EntityKind::kProcess, 1024, kBlockSize);
-      workload::fill(e, workload::defaults_for(workload::Kind::kRandom, n + 3));
-      blocks_total += 1024;
+  std::printf(
+      "\nablation — datagram loss at 32 nodes: batching coarsens loss (one lost\n"
+      "datagram drops a whole batch of records), so DHT coverage degrades faster\n"
+      "per lost datagram while losing far fewer datagrams overall:\n");
+  std::printf("%12s %18s %18s\n", "configured", "cover % (single)", "cover % (batched)");
+  std::vector<double> losses = {0.0, 0.001, 0.01, 0.05, 0.10};
+  if (smoke) losses = {0.0, 0.05};
+  for (const double loss : losses) {
+    std::printf("%11.1f%% %17.2f%% %17.2f%%\n", loss * 100.0,
+                coverage_after_lossy_scan(loss, false), coverage_after_lossy_scan(loss, true));
+  }
+
+  if (smoke) {
+    std::FILE* f = std::fopen("BENCH_pr2.json", "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\"bench\":\"pr2_update_batching\",\"nodes\":%u,"
+          "\"unbatched\":{\"update_datagrams\":%llu,\"update_bytes\":%llu,"
+          "\"scan_seconds\":%.6f},"
+          "\"batched\":{\"update_datagrams\":%llu,\"update_bytes\":%llu,"
+          "\"scan_seconds\":%.6f}}\n",
+          last_batched.nodes,
+          static_cast<unsigned long long>(last_unbatched.update_msgs),
+          static_cast<unsigned long long>(last_unbatched.update_bytes),
+          last_unbatched.scan_seconds,
+          static_cast<unsigned long long>(last_batched.update_msgs),
+          static_cast<unsigned long long>(last_batched.update_bytes),
+          last_batched.scan_seconds);
+      std::fclose(f);
+      std::printf("\n  [BENCH_pr2.json written]\n");
     }
-    (void)cluster.scan_all();
-    const net::NodeTraffic t = cluster.fabric().total_traffic();
-    const double measured =
-        t.msgs_sent == 0
-            ? 0.0
-            : 100.0 * static_cast<double>(t.msgs_dropped) / static_cast<double>(t.msgs_sent);
-    const double cover = 100.0 * static_cast<double>(cluster.total_unique_hashes()) /
-                         static_cast<double>(blocks_total);
-    std::printf("%11.1f%% %13.2f%% %11.2f%%\n", loss * 100.0, measured, cover);
   }
   return 0;
 }

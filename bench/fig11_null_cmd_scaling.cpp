@@ -4,6 +4,7 @@
 // Paper: in the expected regime (more SEs -> more nodes), execution time
 // stays roughly constant and the average traffic volume sourced+sunk per
 // node is constant (~15 MB for their 1 GB/process runs).
+#include <cstring>
 #include <memory>
 
 #include "bench_util.hpp"
@@ -67,7 +68,8 @@ Row run(std::uint32_t nodes, bench::MetricsSidecar& sidecar) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::banner(
       "Figure 11 + §5.4 — null command time and per-node traffic vs #SEs = #nodes",
       "execution time roughly constant as SEs and nodes scale together; per-node "
@@ -77,7 +79,9 @@ int main() {
   std::printf("%8s %18s %14s %22s\n", "nodes", "interactive ms", "batch ms",
               "cmd traffic MB/node");
   bench::MetricsSidecar sidecar("fig11_null_cmd_scaling");
-  for (const std::uint32_t nodes : {1u, 2u, 4u, 8u, 12u}) {
+  std::vector<std::uint32_t> sweep = {1u, 2u, 4u, 8u, 12u};
+  if (smoke) sweep = {1u, 2u, 4u};
+  for (const std::uint32_t nodes : sweep) {
     const Row r = run(nodes, sidecar);
     std::printf("%8u %18.2f %14.2f %22.2f\n", r.nodes, r.interactive_ms, r.batch_ms,
                 r.traffic_mb_per_node);

@@ -50,14 +50,24 @@ struct Shell {
   void cmd_cluster(std::istringstream& args) {
     std::uint32_t nodes = 4;
     double loss = 0.0;
-    args >> nodes >> loss;
+    std::size_t mtu = 1500;  // 0 disables update batching
+    args >> nodes >> loss >> mtu;
     core::ClusterParams p;
     p.num_nodes = nodes;
     p.max_entities = 256;
     p.fabric.loss_rate = loss;
+    p.update_batching.enabled = mtu != 0;
+    if (mtu != 0) p.update_batching.mtu_bytes = mtu;
     cluster = std::make_unique<core::Cluster>(p);
     last_ckpt.reset();
-    std::printf("cluster: %u nodes, loss %.1f%%\n", nodes, loss * 100.0);
+    if (mtu != 0) {
+      std::printf("cluster: %u nodes, loss %.1f%%, update batching at %zu B MTU "
+                  "(%zu records/datagram)\n",
+                  nodes, loss * 100.0, mtu, p.update_batching.max_records());
+    } else {
+      std::printf("cluster: %u nodes, loss %.1f%%, update batching off\n", nodes,
+                  loss * 100.0);
+    }
   }
 
   void cmd_entity(std::istringstream& args) {
@@ -242,6 +252,23 @@ struct Shell {
                 static_cast<unsigned long long>(t.msgs_dropped));
     std::printf("dht: %zu unique hashes across %u shards\n", cluster->total_unique_hashes(),
                 cluster->num_nodes());
+    const std::uint64_t batched =
+        cluster->metrics().counter_total("core", "updates_batched");
+    std::uint64_t batch_dgrams = 0, batch_max = 0;
+    cluster->metrics().for_each([&](const obs::MetricKey& key, const obs::Registry::Cell& c) {
+      if (key.subsystem == "net" && key.name == "batch_fill") {
+        const auto& h = std::get<obs::Histogram>(c);
+        batch_dgrams += h.count();
+        if (h.max() > batch_max) batch_max = h.max();
+      }
+    });
+    if (batch_dgrams > 0) {
+      std::printf("batching: %llu updates in %llu datagrams (avg %llu/dgram, max %llu)\n",
+                  static_cast<unsigned long long>(batched),
+                  static_cast<unsigned long long>(batch_dgrams),
+                  static_cast<unsigned long long>(batched / batch_dgrams),
+                  static_cast<unsigned long long>(batch_max));
+    }
     for (std::uint32_t n = 0; n < cluster->num_nodes(); ++n) {
       const auto& store = cluster->daemon(node_id(n)).store();
       std::printf("  node %u: %zu hashes, %.1f KB, %zu entities tracked\n", n,
@@ -290,7 +317,7 @@ struct Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::puts(
-          "cluster <nodes> [loss]      create an emulated site\n"
+          "cluster <nodes> [loss] [mtu]  create an emulated site (mtu 0 = unbatched updates)\n"
           "entity <node> <blocks> [process|vm]\n"
           "fill <id> <moldy|nasty|hpccg|random> [seed]\n"
           "mutate <id> <fraction>      rewrite a fraction of blocks\n"

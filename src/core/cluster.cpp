@@ -17,7 +17,9 @@ Cluster::Cluster(ClusterParams params)
   for (std::uint32_t n = 0; n < params_.num_nodes; ++n) {
     daemons_.push_back(std::make_unique<ServiceDaemon>(
         node_id(n), params_.max_entities, params_.alloc_mode, placement_, fabric_,
-        hash::BlockHasher(params_.hash_algorithm), params_.detect_mode));
+        hash::BlockHasher(params_.hash_algorithm), params_.detect_mode,
+        params_.update_batching));
+    daemons_.back()->monitor().set_hash_workers(params_.hash_workers);
     daemons_.back()->bind_metrics(metrics_);
   }
 }

@@ -29,6 +29,13 @@ struct ClusterParams {
   /// When true the whole DHT lives on node 0 (the "single" configuration of
   /// Fig. 9); updates and queries all route there.
   bool single_node_dht = false;
+  /// Owner-batched update datagrams (set .enabled = false to reproduce the
+  /// one-datagram-per-update pipeline for comparison runs).
+  BatchPolicy update_batching;
+  /// Host threads hashing dirty blocks inside each scan: 1 = serial, 0 = one
+  /// per hardware core (capped). Changes real wall-time only — virtual-clock
+  /// costs, metrics, and traces are identical for every value.
+  std::size_t hash_workers = 1;
 };
 
 class Cluster {

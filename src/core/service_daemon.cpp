@@ -6,12 +6,14 @@ namespace concord::core {
 
 ServiceDaemon::ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMode alloc_mode,
                              const dht::Placement& placement, net::Fabric& fabric,
-                             hash::BlockHasher hasher, mem::DetectMode detect_mode)
+                             hash::BlockHasher hasher, mem::DetectMode detect_mode,
+                             BatchPolicy batching)
     : id_(id),
       placement_(placement),
       fabric_(fabric),
       store_(max_entities, alloc_mode),
-      monitor_(hasher, detect_mode) {
+      monitor_(hasher, detect_mode),
+      batcher_(id, fabric, batching) {
   fabric_.register_node(id_, [this](const net::Message& m) { handle_message(m); });
 }
 
@@ -21,10 +23,14 @@ void ServiceDaemon::bind_metrics(obs::Registry& registry) {
   monitor_.bind_metrics(registry, node);
   obs::Counter* old_local = updates_local_;
   obs::Counter* old_remote = updates_remote_;
+  obs::Counter* old_unhandled = unhandled_msgs_;
   updates_local_ = &registry.counter("core", "updates_local", node);
   updates_remote_ = &registry.counter("core", "updates_remote", node);
+  unhandled_msgs_ = &registry.counter("core", "unhandled_msgs", node);
   if (old_local != nullptr) updates_local_->inc(old_local->value());
   if (old_remote != nullptr) updates_remote_->inc(old_remote->value());
+  if (old_unhandled != nullptr) unhandled_msgs_->inc(old_unhandled->value());
+  batcher_.bind_metrics(registry, node);
 }
 
 void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
@@ -42,13 +48,20 @@ void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
     return;
   }
   if (updates_remote_ != nullptr) updates_remote_->inc();
+  if (batcher_.policy().enabled) {
+    batcher_.add(owner, dht::UpdateRecord{u.hash, u.entity, insert});
+    return;
+  }
   fabric_.send_unreliable(net::make_message(
       id_, owner, insert ? net::MsgType::kDhtInsert : net::MsgType::kDhtRemove,
       DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes));
 }
 
 mem::ScanStats ServiceDaemon::scan_and_publish() {
-  return monitor_.scan([this](const mem::ContentUpdate& u) { route_update(u); });
+  mem::ScanStats stats =
+      monitor_.scan([this](const mem::ContentUpdate& u) { route_update(u); });
+  batcher_.flush_all();  // scan boundary: no record outlives its epoch
+  return stats;
 }
 
 void ServiceDaemon::publish_departure(EntityId id) {
@@ -59,6 +72,9 @@ void ServiceDaemon::publish_departure(EntityId id) {
       route_update(mem::ContentUpdate{mem::ContentUpdate::Op::kRemove, h, id});
     }
   }
+  // Ship the departure removes before ground truth forgets the entity, so a
+  // departure is never left sitting in a half-full batch.
+  batcher_.flush_all();
   monitor_.detach(id);
 }
 
@@ -74,11 +90,17 @@ void ServiceDaemon::handle_message(const net::Message& msg) {
       store_.remove(u.hash, u.entity);
       return;
     }
+    case net::MsgType::kDhtUpdateBatch: {
+      const auto& records = msg.as<DhtUpdateBatchMsg>();
+      store_.apply_batch(records);
+      return;
+    }
     default: {
       const auto it = handlers_.find(static_cast<std::uint16_t>(msg.type));
       if (it != handlers_.end()) {
         it->second(*this, msg);
       } else {
+        if (unhandled_msgs_ != nullptr) unhandled_msgs_->inc();
         log::warn("daemon %u: unhandled message type %u", raw(id_),
                   static_cast<unsigned>(msg.type));
       }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/update_batcher.hpp"
 #include "dht/dht_store.hpp"
 #include "dht/placement.hpp"
 #include "mem/update_monitor.hpp"
@@ -36,7 +37,8 @@ class ServiceDaemon {
  public:
   ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMode alloc_mode,
                 const dht::Placement& placement, net::Fabric& fabric,
-                hash::BlockHasher hasher, mem::DetectMode detect_mode);
+                hash::BlockHasher hasher, mem::DetectMode detect_mode,
+                BatchPolicy batching = {});
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
 
@@ -51,7 +53,9 @@ class ServiceDaemon {
   void untrack(EntityId id) { monitor_.detach(id); }
 
   /// One monitor epoch: hash changed blocks and push each update to its
-  /// shard owner over the unreliable datagram class. Returns monitor stats.
+  /// shard owner over the unreliable datagram class — batched per owner when
+  /// batching is enabled, with a deterministic flush of every destination at
+  /// the scan boundary. Returns monitor stats.
   mem::ScanStats scan_and_publish();
 
   /// Emits removes for every block of a departing entity (best effort), so
@@ -79,6 +83,7 @@ class ServiceDaemon {
 
   [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] const dht::Placement& placement() const noexcept { return placement_; }
+  [[nodiscard]] UpdateBatcher& batcher() noexcept { return batcher_; }
 
  private:
   void route_update(const mem::ContentUpdate& u);
@@ -88,9 +93,11 @@ class ServiceDaemon {
   net::Fabric& fabric_;
   dht::DhtStore store_;
   mem::MemoryUpdateMonitor monitor_;
+  UpdateBatcher batcher_;
   std::unordered_map<std::uint16_t, ExtraHandler> handlers_;
   obs::Counter* updates_local_ = nullptr;   // shard co-located: applied directly
   obs::Counter* updates_remote_ = nullptr;  // shipped to the owner over the fabric
+  obs::Counter* unhandled_msgs_ = nullptr;  // arrived with no registered handler
 };
 
 }  // namespace concord::core

@@ -1,0 +1,46 @@
+#include "core/update_batcher.hpp"
+
+namespace concord::core {
+
+void UpdateBatcher::bind_metrics(obs::Registry& registry, std::int32_t node) {
+  obs::Counter* old = updates_batched_;
+  updates_batched_ = &registry.counter("core", "updates_batched", node);
+  if (old != nullptr) updates_batched_->inc(old->value());
+  batch_fill_ = &registry.histogram("net", "batch_fill", node);
+}
+
+void UpdateBatcher::add(NodeId dst, const dht::UpdateRecord& rec) {
+  std::vector<dht::UpdateRecord>& buf = pending_[dst];
+  buf.push_back(rec);
+  if (buf.size() >= policy_.max_records()) ship(dst, buf);
+}
+
+void UpdateBatcher::flush(NodeId dst) {
+  const auto it = pending_.find(dst);
+  if (it == pending_.end() || it->second.empty()) return;
+  ship(dst, it->second);
+}
+
+void UpdateBatcher::flush_all() {
+  for (auto& [dst, buf] : pending_) {
+    if (!buf.empty()) ship(dst, buf);
+  }
+}
+
+std::size_t UpdateBatcher::pending_records() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [dst, buf] : pending_) n += buf.size();
+  return n;
+}
+
+void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records) {
+  const std::size_t n = records.size();
+  if (updates_batched_ != nullptr) updates_batched_->inc(n);
+  if (batch_fill_ != nullptr) batch_fill_->record(n);
+  fabric_.send_unreliable(net::make_message(
+      self_, dst, net::MsgType::kDhtUpdateBatch, DhtUpdateBatchMsg(std::move(records)),
+      batch_wire_size(n) - net::kWireHeaderBytes));
+  records.clear();  // moved-from: make the reuse explicit
+}
+
+}  // namespace concord::core

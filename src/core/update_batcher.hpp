@@ -1,0 +1,94 @@
+// UpdateBatcher: per-daemon owner-batched DHT update coalescing.
+//
+// The update stream is the bulk of ConCORD's traffic (§3.4, Fig. 7), and an
+// unbatched pipeline pays a full wire header plus one fabric event per 21-byte
+// record. The batcher coalesces route_update traffic per destination shard
+// owner and ships one kDhtUpdateBatch datagram carrying up to an MTU's worth
+// of (op, hash, entity) records. Flush policy:
+//   * size-triggered — a destination's buffer reaching max_records() flushes
+//     immediately, so no batch ever exceeds the configured MTU;
+//   * scan-boundary — the daemon flushes all destinations at the end of every
+//     scan epoch (and before entity departure takes effect), bounding the
+//     staleness a batch can add to well under one scan period.
+// Loss semantics coarsen with batching: the fabric drops whole datagrams, so
+// one lost datagram now loses every record in the batch (quantified in the
+// fig07 loss sweep).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dht/dht_store.hpp"
+#include "net/codec.hpp"
+#include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+
+namespace concord::core {
+
+/// Payload of kDhtUpdateBatch messages on the emulated fabric: the records in
+/// arrival order. The receiving shard applies them via DhtStore::apply_batch.
+using DhtUpdateBatchMsg = std::vector<dht::UpdateRecord>;
+
+/// Batching knobs shared by every daemon of a cluster.
+struct BatchPolicy {
+  bool enabled = true;
+  /// Datagram size budget, including the emulated wire header. The default
+  /// matches Ethernet's MTU, giving 68 records per datagram.
+  std::size_t mtu_bytes = 1500;
+
+  /// Records that fit in one datagram under mtu_bytes (always at least 1,
+  /// and never more than the codec's decode-side bound).
+  [[nodiscard]] std::size_t max_records() const noexcept {
+    const std::size_t overhead =
+        net::kWireHeaderBytes + net::codec::kDhtUpdateBatchCountBytes;
+    if (mtu_bytes < overhead + net::codec::kDhtUpdateRecordBytes) return 1;
+    const std::size_t n = (mtu_bytes - overhead) / net::codec::kDhtUpdateRecordBytes;
+    return n < net::codec::kMaxDhtBatchRecords ? n : net::codec::kMaxDhtBatchRecords;
+  }
+};
+
+/// Wire size of a batch datagram carrying `records` update records.
+[[nodiscard]] constexpr std::size_t batch_wire_size(std::size_t records) noexcept {
+  return net::kWireHeaderBytes + net::codec::kDhtUpdateBatchCountBytes +
+         records * net::codec::kDhtUpdateRecordBytes;
+}
+
+class UpdateBatcher {
+ public:
+  UpdateBatcher(NodeId self, net::Fabric& fabric, BatchPolicy policy)
+      : self_(self), fabric_(fabric), policy_(policy) {}
+
+  /// Routes the batcher's accounting into `registry`: core.updates_batched
+  /// (records shipped inside batch datagrams, labeled per node) and
+  /// net.batch_fill (log2 histogram of records per flushed datagram).
+  void bind_metrics(obs::Registry& registry, std::int32_t node);
+
+  /// Buffers one record for `dst`, flushing that destination when its buffer
+  /// reaches the policy's per-datagram record budget.
+  void add(NodeId dst, const dht::UpdateRecord& rec);
+
+  /// Ships `dst`'s buffered records (no-op when empty).
+  void flush(NodeId dst);
+
+  /// Ships every destination's buffer in ascending NodeId order, so flush
+  /// traffic is deterministic regardless of buffering history.
+  void flush_all();
+
+  [[nodiscard]] const BatchPolicy& policy() const noexcept { return policy_; }
+  /// Records currently buffered across all destinations (test surface).
+  [[nodiscard]] std::size_t pending_records() const noexcept;
+
+ private:
+  void ship(NodeId dst, std::vector<dht::UpdateRecord>& records);
+
+  NodeId self_;
+  net::Fabric& fabric_;
+  BatchPolicy policy_;
+  // Ordered map: flush_all must visit destinations in a deterministic order.
+  std::map<NodeId, std::vector<dht::UpdateRecord>> pending_;
+  obs::Counter* updates_batched_ = nullptr;
+  obs::Histogram* batch_fill_ = nullptr;
+};
+
+}  // namespace concord::core

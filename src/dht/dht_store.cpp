@@ -2,9 +2,11 @@
 
 #include <malloc.h>  // malloc_usable_size
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <numeric>
 
 namespace concord::dht {
 
@@ -176,6 +178,27 @@ bool DhtStore::remove(const ContentHash& h, EntityId entity) {
   }
   cells_.removes_stale->inc();
   return false;
+}
+
+void DhtStore::apply_batch(std::span<const UpdateRecord> records) {
+  // Group same-hash records together so each hash's chain is walked while
+  // hot, sorting indices (not records) to keep the input immutable. The
+  // stable sort preserves the arrival order of same-hash records, which
+  // insert()/remove() pairs for one (hash, entity) depend on.
+  std::vector<std::uint32_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&records](std::uint32_t a, std::uint32_t b) {
+                     return records[a].hash.well_mixed() < records[b].hash.well_mixed();
+                   });
+  for (const std::uint32_t i : order) {
+    const UpdateRecord& rec = records[i];
+    if (rec.insert) {
+      insert(rec.hash, rec.entity);
+    } else {
+      remove(rec.hash, rec.entity);
+    }
+  }
 }
 
 std::size_t DhtStore::num_entities(const ContentHash& h) const {

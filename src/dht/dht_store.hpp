@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/pool_allocator.hpp"
@@ -27,6 +28,15 @@
 namespace concord::dht {
 
 enum class AllocMode : std::uint8_t { kMalloc, kPool };
+
+/// One update-stream record: insert or remove `entity` from `hash`'s set.
+/// This is the unit the owner-batched update datagrams carry; a batch is a
+/// span of these applied through apply_batch().
+struct UpdateRecord {
+  ContentHash hash;
+  EntityId entity{};
+  bool insert = true;
+};
 
 class DhtStore {
  public:
@@ -52,6 +62,13 @@ class DhtStore {
   /// Removes `entity` from `h`'s set. Returns true if the entry existed and
   /// the bit was set. Erases the entry when its set drains.
   bool remove(const ContentHash& h, EntityId entity);
+
+  /// Applies a whole update batch. Records are grouped by hash before
+  /// application (a stable sort, so same-hash records keep their arrival
+  /// order — an insert/remove pair for one hash must not commute), which
+  /// turns a batch's worth of scattered bucket walks into clustered ones.
+  /// Counter accounting is identical to per-record insert()/remove() calls.
+  void apply_batch(std::span<const UpdateRecord> records);
 
   /// Number of entities believed to hold `h` (0 if unknown).
   [[nodiscard]] std::size_t num_entities(const ContentHash& h) const;

@@ -1,0 +1,74 @@
+#include "mem/hash_pool.hpp"
+
+#include <cassert>
+
+namespace concord::mem {
+
+HashPool::HashPool(std::size_t workers) : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t slot = 1; slot < workers_; ++slot) {
+    threads_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+HashPool::~HashPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> HashPool::chunk(std::size_t slot,
+                                                    std::size_t count) const noexcept {
+  return {slot * count / workers_, (slot + 1) * count / workers_};
+}
+
+void HashPool::worker_loop(std::size_t slot) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      fn = job_fn_;
+      count = job_count_;
+    }
+    const auto [begin, end] = chunk(slot, count);
+    if (begin < end) (*fn)(begin, end);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void HashPool::run(std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (workers_ == 1 || count == 0) {
+    if (count > 0) fn(0, count);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_count_ = count;
+    outstanding_ = workers_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  const auto [begin, end] = chunk(0, count);
+  if (begin < end) fn(begin, end);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    job_fn_ = nullptr;
+  }
+}
+
+}  // namespace concord::mem

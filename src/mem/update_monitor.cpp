@@ -1,8 +1,19 @@
 #include "mem/update_monitor.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <thread>
 
 namespace concord::mem {
+
+namespace {
+/// Below this many candidate blocks the pool's wake/join overhead beats the
+/// hashing it saves, so small scans stay serial.
+constexpr std::size_t kParallelMinBlocks = 64;
+/// Cap for hash_workers = 0 (auto): scan hashing saturates memory bandwidth
+/// long before it saturates a big machine's core count.
+constexpr std::size_t kMaxAutoWorkers = 8;
+}  // namespace
 
 void MemoryUpdateMonitor::attach(MemoryEntity& entity) {
   Tracked t;
@@ -64,10 +75,17 @@ ScanStats MemoryUpdateMonitor::snapshot() const {
   return s;
 }
 
+std::size_t MemoryUpdateMonitor::resolved_workers() const noexcept {
+  if (hash_workers_ != 0) return hash_workers_;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, kMaxAutoWorkers);
+}
+
 ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
   const ScanStats before = snapshot();
   std::uint64_t emitted = 0;
   const bool throttled = update_budget_ > 0;
+  const std::size_t workers = resolved_workers();
 
   for (auto& [id, t] : tracked_) {
     MemoryEntity& e = *t.entity;
@@ -85,25 +103,47 @@ ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
     }
     t.pending = Bitmap(e.num_blocks());
 
-    candidates.for_each([&](std::size_t bi) {
-      const auto b = static_cast<BlockIndex>(bi);
+    const std::vector<std::uint32_t> idx = candidates.to_indices();
+
+    // Pre-hash in parallel when the scan is unthrottled and large enough.
+    // Under a throttle the budget decides which blocks get hashed at all, so
+    // hashing ahead would do (and count) work the serial pipeline skips.
+    std::vector<ContentHash> prehashed;
+    const bool parallel = !throttled && workers > 1 && idx.size() >= kParallelMinBlocks;
+    if (parallel) {
+      if (pool_ == nullptr || pool_->workers() != workers) {
+        pool_ = std::make_unique<HashPool>(workers);
+      }
+      prehashed.resize(idx.size());
+      pool_->run(idx.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          prehashed[i] = hasher_(e.block(static_cast<BlockIndex>(idx[i])));
+        }
+      });
+    }
+
+    // Sequential pass in ascending block order: every counter increment,
+    // ground-truth mutation, and emit happens here, so the observable stream
+    // is byte-identical whether the hashes above came from 1 thread or N.
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const auto b = static_cast<BlockIndex>(idx[i]);
       cells_.blocks_examined->inc();
 
       // Throttle: updates beyond the budget stay pending. In full-scan mode
       // the pending set also carries over so nothing is lost permanently.
       if (throttled && emitted >= update_budget_) {
         cells_.throttled_blocks->inc();
-        t.pending.set(bi);
-        return;
+        t.pending.set(idx[i]);
+        continue;
       }
 
-      const ContentHash h = hasher_(e.block(b));
+      const ContentHash h = parallel ? prehashed[i] : hasher_(e.block(b));
       cells_.blocks_hashed->inc();
       cells_.bytes_hashed->inc(e.block_size());
 
       const ContentHash old = t.last_hash[b];
       const bool was_scanned = t.ever_scanned[b];
-      if (was_scanned && old == h) return;  // unchanged
+      if (was_scanned && old == h) continue;  // unchanged
 
       if (was_scanned) {
         block_map_.remove(old, BlockLocation{id, b});
@@ -117,7 +157,7 @@ ScanStats MemoryUpdateMonitor::scan(const EmitFn& emit) {
       emit(ContentUpdate{ContentUpdate::Op::kInsert, h, id});
       cells_.inserts_emitted->inc();
       ++emitted;
-    });
+    }
   }
 
   const ScanStats after = snapshot();

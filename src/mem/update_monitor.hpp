@@ -27,6 +27,7 @@
 
 #include "common/types.hpp"
 #include "hash/block_hasher.hpp"
+#include "mem/hash_pool.hpp"
 #include "mem/local_block_map.hpp"
 #include "mem/memory_entity.hpp"
 #include "obs/metrics.hpp"
@@ -82,6 +83,18 @@ class MemoryUpdateMonitor {
     update_budget_ = updates_per_scan;
   }
 
+  /// Host threads hashing candidate blocks inside scan(): 1 = serial
+  /// (default), 0 = one per hardware core (capped at 8). Parallel hashing is
+  /// a pure real-time optimization: updates are still emitted in block-index
+  /// order and every counter is charged in the same deterministic sequential
+  /// pass, so no snapshot byte depends on this setting. Throttled scans
+  /// (update_budget > 0) always hash serially — the budget decides *which*
+  /// blocks get hashed, a sequential dependence.
+  void set_hash_workers(std::size_t workers) noexcept {
+    hash_workers_ = workers;
+    pool_.reset();  // rebuilt lazily at the next parallel scan
+  }
+
   [[nodiscard]] DetectMode mode() const noexcept { return mode_; }
   [[nodiscard]] const hash::BlockHasher& hasher() const noexcept { return hasher_; }
 
@@ -121,10 +134,13 @@ class MemoryUpdateMonitor {
 
   Cells resolve_cells(std::int32_t node);
   [[nodiscard]] ScanStats snapshot() const;
+  [[nodiscard]] std::size_t resolved_workers() const noexcept;
 
   hash::BlockHasher hasher_;
   DetectMode mode_;
   std::uint64_t update_budget_ = 0;
+  std::size_t hash_workers_ = 1;
+  std::unique_ptr<HashPool> pool_;  // live only while parallel scans run
   std::unordered_map<EntityId, Tracked> tracked_;
   LocalBlockMap block_map_;
   obs::Registry* metrics_ = nullptr;            // bound registry, if any

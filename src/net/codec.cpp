@@ -7,6 +7,9 @@ namespace {
 void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
   out.push_back(static_cast<std::byte>(v));
 }
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
 void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
 }
@@ -21,6 +24,16 @@ class Reader {
   [[nodiscard]] bool u8(std::uint8_t& v) {
     if (pos_ + 1 > data_.size()) return false;
     v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  [[nodiscard]] bool u16(std::uint16_t& v) {
+    if (pos_ + 2 > data_.size()) return false;
+    v = 0;
+    for (int i = 1; i >= 0; --i) {
+      v = static_cast<std::uint16_t>(
+          (v << 8) | static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(i)]));
+    }
+    pos_ += 2;
     return true;
   }
   [[nodiscard]] bool u32(std::uint32_t& v) {
@@ -73,6 +86,20 @@ void encode(const DhtUpdate& msg, std::vector<std::byte>& out) {
   put_u64(out, msg.hash.hi);
   put_u64(out, msg.hash.lo);
   put_u32(out, raw(msg.entity));
+}
+
+void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out) {
+  const auto count = static_cast<std::uint16_t>(msg.records.size());
+  put_header(out, WireType::kDhtUpdateBatch,
+             static_cast<std::uint32_t>(kDhtUpdateBatchCountBytes +
+                                        msg.records.size() * kDhtUpdateRecordBytes));
+  put_u16(out, count);
+  for (const DhtUpdate& rec : msg.records) {
+    put_u8(out, rec.insert ? 1 : 0);
+    put_u64(out, rec.hash.hi);
+    put_u64(out, rec.hash.lo);
+    put_u32(out, raw(rec.entity));
+  }
 }
 
 void encode(const Query& msg, std::vector<std::byte>& out) {
@@ -188,6 +215,32 @@ Result<DhtUpdate> decode_dht_update(std::span<const std::byte> datagram) {
     return Status::kInvalidArgument;
   }
   msg.entity = entity_id(entity);
+  return msg;
+}
+
+Result<DhtUpdateBatch> decode_dht_update_batch(std::span<const std::byte> datagram) {
+  Result<Reader> body =
+      open_body(datagram, WireType::kDhtUpdateBatch, WireType::kDhtUpdateBatch);
+  if (!body.has_value()) return body.status();
+  DhtUpdateBatch msg;
+  Reader& r = body.value();
+  std::uint16_t count = 0;
+  if (!r.u16(count)) return Status::kInvalidArgument;
+  if (count > kMaxDhtBatchRecords) return Status::kInvalidArgument;
+  msg.records.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    DhtUpdate rec;
+    std::uint8_t op = 0;
+    std::uint32_t entity = 0;
+    if (!r.u8(op) || !r.u64(rec.hash.hi) || !r.u64(rec.hash.lo) || !r.u32(entity)) {
+      return Status::kInvalidArgument;
+    }
+    if (op > 1) return Status::kInvalidArgument;  // only insert/remove ops exist
+    rec.insert = op == 1;
+    rec.entity = entity_id(entity);
+    msg.records.push_back(rec);
+  }
+  if (!r.done()) return Status::kInvalidArgument;
   return msg;
 }
 

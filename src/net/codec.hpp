@@ -35,8 +35,9 @@ enum class WireType : std::uint8_t {
   kQueryReply = 5,
   kCollectiveQuery = 6,
   kCollectiveReply = 7,
+  kDhtUpdateBatch = 8,
 };
-inline constexpr std::uint8_t kMaxWireType = 7;
+inline constexpr std::uint8_t kMaxWireType = 8;
 
 struct WireHeader {
   WireType type{};
@@ -49,6 +50,24 @@ struct DhtUpdate {
   EntityId entity{};
   bool insert = true;
 };
+
+/// Owner-batched update datagram: many (op, hash, entity) records for one
+/// shard owner in a single datagram. This is the bulk of real traffic, so the
+/// per-datagram header is amortized across up to an MTU's worth of records.
+/// Body layout: u16 record count, then per record u8 op (1 = insert), the
+/// 128-bit hash, and the 32-bit entity id.
+struct DhtUpdateBatch {
+  std::vector<DhtUpdate> records;
+};
+
+/// Per-record bytes in a kDhtUpdateBatch body (op + hash + entity). The
+/// emulated fabric charges the same layout, so modeled and real wire volume
+/// agree byte-for-byte.
+inline constexpr std::size_t kDhtUpdateRecordBytes = 1 + 16 + 4;
+/// Fixed batch body overhead (the u16 record count).
+inline constexpr std::size_t kDhtUpdateBatchCountBytes = 2;
+/// Decode-side sanity bound; 4096 records already exceeds any UDP datagram.
+inline constexpr std::size_t kMaxDhtBatchRecords = 4096;
 
 struct Query {
   std::uint64_t req_id = 0;
@@ -83,6 +102,7 @@ struct CollectiveReply {
 // boundaries (the datagram is out's new suffix).
 
 void encode(const DhtUpdate& msg, std::vector<std::byte>& out);
+void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out);
 void encode(const Query& msg, std::vector<std::byte>& out);
 void encode(const QueryReply& msg, std::vector<std::byte>& out);
 void encode(const CollectiveQuery& msg, std::vector<std::byte>& out);
@@ -92,6 +112,8 @@ void encode(const CollectiveReply& msg, std::vector<std::byte>& out);
 
 [[nodiscard]] Result<WireHeader> decode_header(std::span<const std::byte> datagram);
 [[nodiscard]] Result<DhtUpdate> decode_dht_update(std::span<const std::byte> datagram);
+[[nodiscard]] Result<DhtUpdateBatch> decode_dht_update_batch(
+    std::span<const std::byte> datagram);
 [[nodiscard]] Result<Query> decode_query(std::span<const std::byte> datagram);
 [[nodiscard]] Result<QueryReply> decode_query_reply(std::span<const std::byte> datagram);
 [[nodiscard]] Result<CollectiveQuery> decode_collective_query(

@@ -22,8 +22,9 @@ namespace concord::net {
 /// Message type tags. One flat space so traffic accounting can break volume
 /// down by protocol.
 enum class MsgType : std::uint16_t {
-  kDhtInsert,        // monitor -> shard owner (unreliable)
-  kDhtRemove,        // monitor -> shard owner (unreliable)
+  kDhtInsert,        // monitor -> shard owner (unreliable, one update)
+  kDhtRemove,        // monitor -> shard owner (unreliable, one update)
+  kDhtUpdateBatch,   // monitor -> shard owner (unreliable, many updates)
   kNodeQuery,        // client -> shard owner (reliable request/response)
   kNodeQueryReply,
   kCollectiveRequest,   // controller -> all daemons (reliable bcast)
@@ -41,6 +42,7 @@ enum class MsgType : std::uint16_t {
   switch (t) {
     case MsgType::kDhtInsert: return "dht_insert";
     case MsgType::kDhtRemove: return "dht_remove";
+    case MsgType::kDhtUpdateBatch: return "dht_update_batch";
     case MsgType::kNodeQuery: return "node_query";
     case MsgType::kNodeQueryReply: return "node_query_reply";
     case MsgType::kCollectiveRequest: return "collective_request";

@@ -39,6 +39,28 @@ bool UdpDhtNode::poll_once(int timeout_ms) {
       return true;
     }
 
+    case codec::WireType::kDhtUpdateBatch: {
+      const Result<codec::DhtUpdateBatch> batch = codec::decode_dht_update_batch(data);
+      if (!batch.has_value()) {
+        ++stats_.malformed_dropped;
+        return true;
+      }
+      // Record-level validation: a batch with one bad entity id still applies
+      // its good records (best-effort semantics, same as losing a datagram).
+      std::vector<dht::UpdateRecord> records;
+      records.reserve(batch.value().records.size());
+      for (const codec::DhtUpdate& u : batch.value().records) {
+        if (raw(u.entity) >= store_.max_entities()) {
+          ++stats_.malformed_dropped;  // never index past the bitmap
+          continue;
+        }
+        records.push_back(dht::UpdateRecord{u.hash, u.entity, u.insert});
+      }
+      store_.apply_batch(records);
+      stats_.updates_applied += records.size();
+      return true;
+    }
+
     case codec::WireType::kNumCopiesQuery:
     case codec::WireType::kEntitiesQuery: {
       const Result<codec::Query> q = codec::decode_query(data);
@@ -108,6 +130,13 @@ Status UdpDhtNode::send_update(UdpEndpoint& from, std::uint16_t port,
                                const codec::DhtUpdate& update) {
   std::vector<std::byte> wire;
   codec::encode(update, wire);
+  return from.send_to(port, wire);
+}
+
+Status UdpDhtNode::send_update_batch(UdpEndpoint& from, std::uint16_t port,
+                                     const codec::DhtUpdateBatch& batch) {
+  std::vector<std::byte> wire;
+  codec::encode(batch, wire);
   return from.send_to(port, wire);
 }
 

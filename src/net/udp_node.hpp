@@ -58,6 +58,10 @@ class UdpDhtNode {
   static Status send_update(UdpEndpoint& from, std::uint16_t port,
                             const codec::DhtUpdate& update);
 
+  /// Fire-and-forget owner-batched update datagram to a node at `port`.
+  static Status send_update_batch(UdpEndpoint& from, std::uint16_t port,
+                                  const codec::DhtUpdateBatch& batch);
+
   /// Synchronous node-wise query: sends, waits up to timeout_ms for the
   /// reply. kTimeout if the reply (or the query — UDP!) was lost.
   static Result<codec::QueryReply> query(UdpEndpoint& from, std::uint16_t port,

@@ -85,6 +85,80 @@ TEST(Codec, RejectsMalformedInput) {
   EXPECT_FALSE(codec::decode_query_reply(wire).has_value());
 }
 
+TEST(Codec, DhtUpdateBatchRoundTrip) {
+  codec::DhtUpdateBatch batch;
+  for (std::uint32_t i = 0; i < 68; ++i) {
+    batch.records.push_back(
+        DhtUpdate{{0x1000 + i, 0x2000 + i}, entity_id(i % 7), (i % 3) != 0});
+  }
+  std::vector<std::byte> wire;
+  codec::encode(batch, wire);
+  EXPECT_EQ(wire.size(), codec::kHeaderLen + codec::kDhtUpdateBatchCountBytes +
+                             batch.records.size() * codec::kDhtUpdateRecordBytes);
+  const auto back = codec::decode_dht_update_batch(wire);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back.value().records.size(), batch.records.size());
+  for (std::size_t i = 0; i < batch.records.size(); ++i) {
+    EXPECT_EQ(back.value().records[i].hash, batch.records[i].hash);
+    EXPECT_EQ(back.value().records[i].entity, batch.records[i].entity);
+    EXPECT_EQ(back.value().records[i].insert, batch.records[i].insert);
+  }
+}
+
+TEST(Codec, DhtUpdateBatchEmptyRoundTrip) {
+  std::vector<std::byte> wire;
+  codec::encode(codec::DhtUpdateBatch{}, wire);
+  const auto back = codec::decode_dht_update_batch(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back.value().records.empty());
+}
+
+TEST(Codec, DhtUpdateBatchRejectsMalformed) {
+  codec::DhtUpdateBatch batch;
+  batch.records.push_back(DhtUpdate{{1, 2}, entity_id(3), true});
+  batch.records.push_back(DhtUpdate{{4, 5}, entity_id(6), false});
+  std::vector<std::byte> wire;
+  codec::encode(batch, wire);
+  ASSERT_TRUE(codec::decode_dht_update_batch(wire).has_value());
+
+  // Truncated body (header length check catches it).
+  auto bad = wire;
+  bad.pop_back();
+  EXPECT_FALSE(codec::decode_dht_update_batch(bad).has_value());
+
+  // Op byte outside {0, 1}: first record's op sits right after the count.
+  bad = wire;
+  bad[codec::kHeaderLen + codec::kDhtUpdateBatchCountBytes] = std::byte{2};
+  EXPECT_FALSE(codec::decode_dht_update_batch(bad).has_value());
+
+  // Tampered count: fewer records claimed than present -> trailing bytes.
+  bad = wire;
+  bad[codec::kHeaderLen] = std::byte{1};
+  EXPECT_FALSE(codec::decode_dht_update_batch(bad).has_value());
+
+  // More records claimed than present -> reader runs dry.
+  bad = wire;
+  bad[codec::kHeaderLen] = std::byte{3};
+  EXPECT_FALSE(codec::decode_dht_update_batch(bad).has_value());
+
+  // Type confusion: a batch is not a single update, and vice versa.
+  EXPECT_FALSE(codec::decode_dht_update(wire).has_value());
+  std::vector<std::byte> single;
+  codec::encode(DhtUpdate{{1, 2}, entity_id(3), true}, single);
+  EXPECT_FALSE(codec::decode_dht_update_batch(single).has_value());
+}
+
+TEST(Codec, DhtUpdateBatchRejectsOversizeCount) {
+  // Hand-build a datagram whose self-consistent count exceeds the decoder's
+  // sanity bound; every byte is valid except the bound itself.
+  const std::size_t n = codec::kMaxDhtBatchRecords + 1;
+  codec::DhtUpdateBatch batch;
+  batch.records.resize(n, DhtUpdate{{7, 8}, entity_id(0), true});
+  std::vector<std::byte> wire;
+  codec::encode(batch, wire);
+  EXPECT_FALSE(codec::decode_dht_update_batch(wire).has_value());
+}
+
 TEST(Codec, FuzzedBytesNeverDecode) {
   Rng rng(31337);
   int decoded = 0;
@@ -155,6 +229,50 @@ TEST(UdpDhtNode, UpdatesAndQueriesOverRealSockets) {
   const auto reply2 = codec::decode_query_reply(got2.value());
   ASSERT_TRUE(reply2.has_value());
   EXPECT_EQ(reply2.value().num_copies, 0u);
+}
+
+TEST(UdpDhtNode, BatchedUpdatesOverRealSockets) {
+  constexpr std::uint32_t kEntities = 16;
+  UdpDhtNode node(kEntities);
+  ASSERT_TRUE(ok(node.start()));
+  UdpEndpoint client;
+  ASSERT_TRUE(ok(client.bind()));
+
+  // One MTU-full batch: 68 inserts for distinct hashes.
+  codec::DhtUpdateBatch batch;
+  for (std::uint64_t i = 0; i < 68; ++i) {
+    batch.records.push_back(DhtUpdate{{i + 1, i * 3 + 1},
+                                      entity_id(static_cast<std::uint32_t>(i % kEntities)),
+                                      true});
+  }
+  ASSERT_TRUE(ok(UdpDhtNode::send_update_batch(client, node.port(), batch)));
+  node.poll_all();
+  EXPECT_EQ(node.store().unique_hashes(), 68u);
+  EXPECT_EQ(node.stats().updates_applied, 68u);
+  EXPECT_EQ(node.stats().malformed_dropped, 0u);
+
+  // A batch mixing good records with an out-of-range entity id: the bad
+  // record is skipped and counted, the good ones still apply.
+  codec::DhtUpdateBatch mixed;
+  mixed.records.push_back(DhtUpdate{{100, 1}, entity_id(2), true});
+  mixed.records.push_back(DhtUpdate{{101, 1}, entity_id(kEntities), true});  // out of range
+  mixed.records.push_back(DhtUpdate{{102, 1}, entity_id(3), true});
+  ASSERT_TRUE(ok(UdpDhtNode::send_update_batch(client, node.port(), mixed)));
+  node.poll_all();
+  EXPECT_EQ(node.store().unique_hashes(), 70u);
+  EXPECT_EQ(node.stats().malformed_dropped, 1u);
+  EXPECT_FALSE(node.store().contains(ContentHash{101, 1}, entity_id(2)));
+
+  // Removes travel in batches too; insert+remove for one hash in a single
+  // batch cancels out (arrival order is preserved through apply_batch).
+  codec::DhtUpdateBatch removes;
+  removes.records.push_back(DhtUpdate{{100, 1}, entity_id(2), false});
+  removes.records.push_back(DhtUpdate{{200, 1}, entity_id(4), true});
+  removes.records.push_back(DhtUpdate{{200, 1}, entity_id(4), false});
+  ASSERT_TRUE(ok(UdpDhtNode::send_update_batch(client, node.port(), removes)));
+  node.poll_all();
+  EXPECT_EQ(node.store().num_entities(ContentHash{100, 1}), 0u);
+  EXPECT_EQ(node.store().num_entities(ContentHash{200, 1}), 0u);
 }
 
 TEST(UdpDhtNode, MalformedDatagramsAreCountedAndDropped) {

@@ -154,16 +154,19 @@ TEST(Tracer, DisabledTracerRecordsNothing) {
 
 // ---------------------------------------------------- end-to-end determinism
 
-std::unique_ptr<core::Cluster> make_site(std::uint32_t nodes) {
+std::unique_ptr<core::Cluster> make_site(std::uint32_t nodes,
+                                         std::size_t blocks_per_entity = 32,
+                                         std::size_t hash_workers = 1) {
   core::ClusterParams p;
   p.num_nodes = nodes;
   p.max_entities = 32;
   p.fabric.loss_rate = 0.01;
   p.seed = 77;
+  p.hash_workers = hash_workers;
   auto cluster = std::make_unique<core::Cluster>(p);
   for (std::uint32_t n = 0; n < nodes; ++n) {
-    mem::MemoryEntity& e =
-        cluster->create_entity(node_id(n), EntityKind::kProcess, 32, 512);
+    mem::MemoryEntity& e = cluster->create_entity(node_id(n), EntityKind::kProcess,
+                                                  blocks_per_entity, 512);
     workload::fill(e, workload::defaults_for(workload::Kind::kMoldy, 5));
   }
   (void)cluster->scan_all();
@@ -187,6 +190,21 @@ TEST(Observability, SnapshotsAreDeterministicAcrossIdenticalRuns) {
       << "same seed, same workload: snapshots must be byte-identical";
   EXPECT_EQ(a->metrics().to_csv(), b->metrics().to_csv());
   EXPECT_EQ(a->tracer().to_chrome_json(), b->tracer().to_chrome_json());
+}
+
+TEST(Observability, SnapshotsAreIdenticalForAnyHashWorkerCount) {
+  // The parallel hasher must be invisible to every observable: 128 blocks
+  // per entity is comfortably above the parallel threshold, so the 4-worker
+  // run genuinely exercises the pool while the 1-worker run stays serial.
+  auto serial = make_site(4, 128, 1);
+  auto pooled = make_site(4, 128, 4);
+  (void)run_null_command(*serial);
+  (void)run_null_command(*pooled);
+  EXPECT_EQ(serial->metrics().to_json(), pooled->metrics().to_json())
+      << "thread count must not change any snapshot byte";
+  EXPECT_EQ(serial->metrics().to_csv(), pooled->metrics().to_csv());
+  EXPECT_EQ(serial->tracer().to_chrome_json(), pooled->tracer().to_chrome_json());
+  EXPECT_EQ(serial->sim().now(), pooled->sim().now());
 }
 
 TEST(Observability, CommandSpanArgsAgreeWithStatsAndRegistry) {
