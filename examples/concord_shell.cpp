@@ -20,6 +20,7 @@
 #include "services/collective_checkpoint.hpp"
 #include "services/dht_audit.hpp"
 #include "services/migration.hpp"
+#include "services/shard_recovery.hpp"
 #include "svc/command_engine.hpp"
 #include "workload/workloads.hpp"
 
@@ -29,6 +30,7 @@ namespace {
 
 struct Shell {
   std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<services::ShardRecovery> recovery;  // auto-runs on epoch change
   std::unique_ptr<services::CollectiveCheckpointService> last_ckpt;
 
   bool require_cluster() const {
@@ -58,7 +60,9 @@ struct Shell {
     p.fabric.loss_rate = loss;
     p.update_batching.enabled = mtu != 0;
     if (mtu != 0) p.update_batching.mtu_bytes = mtu;
+    recovery.reset();
     cluster = std::make_unique<core::Cluster>(p);
+    recovery = std::make_unique<services::ShardRecovery>(*cluster);
     last_ckpt.reset();
     if (mtu != 0) {
       std::printf("cluster: %u nodes, loss %.1f%%, update batching at %zu B MTU "
@@ -243,13 +247,90 @@ struct Shell {
                 static_cast<unsigned long long>(r.stale_removed));
   }
 
+  void cmd_fault(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t node = 0;
+    std::string what;
+    if (!(args >> node >> what) || node >= cluster->num_nodes()) {
+      std::puts("usage: fault <node> crash|restart|pause|resume");
+      return;
+    }
+    const NodeId n = node_id(node);
+    if (what == "crash") cluster->fault().crash(n);
+    else if (what == "restart") cluster->fault().restart(n);
+    else if (what == "pause") cluster->fault().pause(n);
+    else if (what == "resume") cluster->fault().resume(n);
+    else {
+      std::puts("usage: fault <node> crash|restart|pause|resume");
+      return;
+    }
+    std::printf("node %u: %s (now %s; run `detect` to update membership)\n", node,
+                what.c_str(),
+                cluster->fault().is_crashed(n)  ? "crashed, shard lost"
+                : cluster->fault().is_paused(n) ? "paused, state intact"
+                                                : "up");
+  }
+
+  void cmd_partition(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t a = 0, b = 0;
+    if (!(args >> a >> b) || a >= cluster->num_nodes() || b >= cluster->num_nodes() ||
+        a == b) {
+      std::puts("usage: partition <a> <b>   (toggles the symmetric cut)");
+      return;
+    }
+    if (cluster->fault().partitioned(node_id(a), node_id(b))) {
+      cluster->fault().heal_partition(node_id(a), node_id(b));
+      std::printf("partition %u <-> %u healed\n", a, b);
+    } else {
+      cluster->fault().partition(node_id(a), node_id(b));
+      std::printf("partition %u <-> %u cut (both directions)\n", a, b);
+    }
+  }
+
+  void cmd_detect() {
+    if (!require_cluster()) return;
+    const std::uint64_t before = cluster->membership().epoch;
+    const core::MembershipView& v = cluster->detect();
+    std::printf("detect: epoch %llu (%s), %u/%u alive",
+                static_cast<unsigned long long>(v.epoch),
+                v.epoch == before ? "unchanged" : "advanced",
+                static_cast<std::uint32_t>(v.alive_count()), cluster->num_nodes());
+    const auto suspected = v.suspected();
+    if (!suspected.empty()) {
+      std::printf(", suspected:");
+      for (const NodeId n : suspected) std::printf(" %u", raw(n));
+    }
+    std::printf("\n");
+    if (v.epoch != before && recovery) {
+      const services::RecoveryReport& r = recovery->last_report();
+      std::printf("recovery: %llu ground-truth hashes checked, %llu entries republished "
+                  "(%.2f ms)\n",
+                  static_cast<unsigned long long>(r.hashes_checked),
+                  static_cast<unsigned long long>(r.republished),
+                  static_cast<double>(r.latency) / 1e6);
+    }
+  }
+
   void cmd_stats() {
     if (!require_cluster()) return;
     const net::NodeTraffic t = cluster->fabric().total_traffic();
-    std::printf("network: %llu msgs / %.1f KB sent, %llu dropped\n",
+    std::printf("network: %llu msgs / %.1f KB sent, %llu dropped, %llu blackholed\n",
                 static_cast<unsigned long long>(t.msgs_sent),
                 static_cast<double>(t.bytes_sent) / 1e3,
-                static_cast<unsigned long long>(t.msgs_dropped));
+                static_cast<unsigned long long>(t.msgs_dropped),
+                static_cast<unsigned long long>(t.msgs_blackholed));
+    const core::MembershipView& view = cluster->membership();
+    const auto suspected = view.suspected();
+    const auto down = cluster->fault().down_nodes();
+    std::printf("failures: epoch %llu, %zu suspected",
+                static_cast<unsigned long long>(view.epoch), suspected.size());
+    for (const NodeId n : suspected) std::printf(" %u", raw(n));
+    std::printf("; %zu down now", down.size());
+    for (const NodeId n : down) {
+      std::printf(" %u(%s)", raw(n), cluster->fault().is_crashed(n) ? "crashed" : "paused");
+    }
+    std::printf("\n");
     std::printf("dht: %zu unique hashes across %u shards\n", cluster->total_unique_hashes(),
                 cluster->num_nodes());
     const std::uint64_t batched =
@@ -329,6 +410,9 @@ struct Shell {
           "restore <id>                restore + verify from last checkpoint\n"
           "migrate <id> <node>         content-aware migration\n"
           "audit                       reconcile DHT with ground truth\n"
+          "fault <node> <crash|restart|pause|resume>  inject a node fault\n"
+          "partition <a> <b>           toggle a symmetric link cut\n"
+          "detect                      run a failure-detection window\n"
           "stats                       traffic / DHT / fs / clock\n"
           "metrics [json|csv]          dump the site-wide metrics registry\n"
           "trace <file>                export phase spans as Chrome trace JSON\n"
@@ -347,6 +431,9 @@ struct Shell {
     else if (cmd == "restore") cmd_restore(args);
     else if (cmd == "migrate") cmd_migrate(args);
     else if (cmd == "audit") cmd_audit();
+    else if (cmd == "fault") cmd_fault(args);
+    else if (cmd == "partition") cmd_partition(args);
+    else if (cmd == "detect") cmd_detect();
     else if (cmd == "stats") cmd_stats();
     else if (cmd == "metrics") cmd_metrics(args);
     else if (cmd == "trace") cmd_trace(args);
@@ -369,6 +456,14 @@ constexpr const char* kDemoScript[] = {
     "checkpoint all demo-ckpt2",
     "restore 0",
     "migrate 1 3",
+    "audit",
+    "fault 2 crash",
+    "partition 0 3",
+    "detect",
+    "stats",
+    "fault 2 restart",
+    "partition 0 3",
+    "detect",
     "audit",
     "stats",
     "metrics csv",

@@ -22,6 +22,7 @@ enum class Status : std::uint8_t {
   kAlreadyExists,
   kUnavailable,     // target node/daemon down
   kInternal,
+  kDegraded,        // completed, but with suspected nodes excluded
 };
 
 [[nodiscard]] constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
@@ -37,6 +38,7 @@ enum class Status : std::uint8_t {
     case Status::kAlreadyExists: return "already-exists";
     case Status::kUnavailable: return "unavailable";
     case Status::kInternal: return "internal";
+    case Status::kDegraded: return "degraded";
   }
   return "unknown";
 }

@@ -9,7 +9,9 @@ Cluster::Cluster(ClusterParams params)
       sim_(params.seed),
       fabric_(sim_, params.fabric),
       placement_(params.single_node_dht ? 1 : params.num_nodes),
-      registry_(params.max_entities) {
+      registry_(params.max_entities),
+      fault_(sim_, fabric_),
+      detector_(sim_, fabric_, params.num_nodes, params.detector) {
   // Bind the fabric first so daemon registration resolves cells straight
   // into the shared registry instead of the fabric's private fallback.
   fabric_.bind_metrics(metrics_);
@@ -21,6 +23,24 @@ Cluster::Cluster(ClusterParams params)
         params_.update_batching));
     daemons_.back()->monitor().set_hash_workers(params_.hash_workers);
     daemons_.back()->bind_metrics(metrics_);
+    daemons_.back()->set_handler(net::MsgType::kHeartbeat,
+                                 [this](ServiceDaemon& d, const net::Message& m) {
+                                   detector_.handle_heartbeat(d.id(), m);
+                                 });
+  }
+  // A crash loses the node's volatile state: its DHT shard and any updates
+  // still buffered for batching. NSM ground truth (entity memory, block
+  // maps) survives the reboot, which is what shard recovery republishes.
+  fault_.on_crash([this](NodeId n) {
+    daemon(n).store().clear();
+    daemon(n).drop_pending_updates();
+  });
+  // Epoch changes remap dead nodes' shards to alive successors. With a
+  // single-node DHT the placement's node space (1) differs from the
+  // cluster's, so the view is not forwarded.
+  if (!params_.single_node_dht) {
+    detector_.on_epoch_change(
+        [this](const MembershipView& v) { placement_.set_view(v.epoch, v.alive); });
   }
 }
 
@@ -45,6 +65,7 @@ mem::ScanStats Cluster::scan_all() {
   mem::ScanStats total;
   const CostModel& cost = CostModel::instance();
   for (auto& d : daemons_) {
+    if (fault_.is_down(d->id())) continue;  // a down node scans nothing
     const auto tid = static_cast<std::uint32_t>(raw(d->id()));
     const obs::Tracer::SpanId span = tracer_.begin_span("scan", "mem", tid, sim_.now());
     const mem::ScanStats s = d->scan_and_publish();

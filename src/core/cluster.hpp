@@ -10,8 +10,11 @@
 #include <vector>
 
 #include "core/entity_registry.hpp"
+#include "core/failure_detector.hpp"
+#include "core/membership.hpp"
 #include "core/service_daemon.hpp"
 #include "fs/simfs.hpp"
+#include "net/fault_injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulation.hpp"
@@ -36,6 +39,9 @@ struct ClusterParams {
   /// per hardware core (capped). Changes real wall-time only — virtual-clock
   /// costs, metrics, and traces are identical for every value.
   std::size_t hash_workers = 1;
+  /// Failure-detector timing (heartbeat period, rounds per window, probe
+  /// timeout). Defaults suit the emulated fabric's millisecond latencies.
+  DetectorParams detector;
 };
 
 class Cluster {
@@ -50,6 +56,20 @@ class Cluster {
 
   [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Deliberate breakage: crash/pause nodes, cut links. Crashing a node
+  /// clears its DHT shard and pending update batches (volatile state); its
+  /// NSM ground truth survives the restart.
+  [[nodiscard]] net::FaultInjector& fault() noexcept { return fault_; }
+  [[nodiscard]] FailureDetector& detector() noexcept { return detector_; }
+  /// The current epoch-stamped membership view (advanced by detect()).
+  [[nodiscard]] const MembershipView& membership() const noexcept {
+    return detector_.view();
+  }
+  /// Runs one failure-detection window (pumps the simulation). On a view
+  /// change the epoch advances and shard placement remaps dead nodes'
+  /// hashes to their alive successors.
+  const MembershipView& detect() { return detector_.run_window(); }
 
   /// The site-wide metrics registry. Every subsystem (fabric, DHT shards,
   /// update monitors, command engines via bind) accounts here; snapshot with
@@ -103,6 +123,8 @@ class Cluster {
   fs::SimFs fs_;
   dht::Placement placement_;
   EntityRegistry registry_;
+  net::FaultInjector fault_;
+  FailureDetector detector_;
   std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
   std::vector<std::unique_ptr<mem::MemoryEntity>> entities_;
 };

@@ -62,6 +62,19 @@ class ServiceDaemon {
   /// the DHT stops advertising it. Ground truth is dropped immediately.
   void publish_departure(EntityId id);
 
+  /// Re-publishes one ground-truth fact to the hash's *current* shard owner
+  /// through the same routing/batching pipeline as scan updates. Used by
+  /// shard recovery after an epoch change remaps ownership.
+  void publish_update(const ContentHash& hash, EntityId entity, bool insert) {
+    route_update(mem::ContentUpdate{
+        insert ? mem::ContentUpdate::Op::kInsert : mem::ContentUpdate::Op::kRemove, hash,
+        entity});
+  }
+  /// Ships every buffered update batch now.
+  void flush_updates() { batcher_.flush_all(); }
+  /// Crash path: buffered batches are volatile state and die with the node.
+  void drop_pending_updates() noexcept { batcher_.drop_all(); }
+
   // --- DHT shard surface ---
   [[nodiscard]] dht::DhtStore& store() noexcept { return store_; }
   [[nodiscard]] const dht::DhtStore& store() const noexcept { return store_; }

@@ -79,6 +79,10 @@ class UpdateBatcher {
   /// Records currently buffered across all destinations (test surface).
   [[nodiscard]] std::size_t pending_records() const noexcept;
 
+  /// Discards every buffered record without shipping it — the node crashed
+  /// and its un-flushed batches die with it.
+  void drop_all() noexcept { pending_.clear(); }
+
  private:
   void ship(NodeId dst, std::vector<dht::UpdateRecord>& records);
 

@@ -1,4 +1,4 @@
-// Zero-hop shard placement.
+// Zero-hop shard placement, epoch-aware.
 //
 // Every ConCORD daemon knows the full (low-churn) membership of the site, so
 // the owner of a content hash is computed locally: one hash evaluation, one
@@ -6,10 +6,18 @@
 // and C-MPI. "The originator of an update can not only readily determine
 // which node and daemon is the target of the update, but, in principle, also
 // the specific address and bit that will be changed in that node" (§3.3).
+//
+// Membership changes are handled ZHT-style: the modulo-N "home" node of a
+// hash never changes, but when the home node is dead under the installed
+// MembershipView the shard deterministically remaps to the next alive
+// successor (home+1, home+2, ... mod N). Every survivor computes the same
+// owner from the same epoch-stamped view, and ownership returns to the home
+// node as soon as it is observed alive again.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -17,18 +25,45 @@ namespace concord::dht {
 
 class Placement {
  public:
-  explicit Placement(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+  explicit Placement(std::uint32_t num_nodes)
+      : num_nodes_(num_nodes), alive_(num_nodes, true) {
     assert(num_nodes_ > 0);
   }
 
+  /// Owner under the currently installed view.
   [[nodiscard]] NodeId owner(const ContentHash& h) const noexcept {
-    return node_id(static_cast<std::uint32_t>(h.well_mixed() % num_nodes_));
+    return owner_in(alive_, h);
   }
 
+  /// Owner under an arbitrary view (used to diff two epochs during shard
+  /// recovery). Indices beyond `alive.size()` are treated as alive, so a
+  /// short (or empty, "everyone up") vector is fine; if every node is dead
+  /// the home node is returned.
+  [[nodiscard]] NodeId owner_in(const std::vector<bool>& alive,
+                                const ContentHash& h) const noexcept {
+    const auto home = static_cast<std::uint32_t>(h.well_mixed() % num_nodes_);
+    for (std::uint32_t probe = 0; probe < num_nodes_; ++probe) {
+      const std::uint32_t cand = (home + probe) % num_nodes_;
+      if (cand >= alive.size() || alive[cand]) return node_id(cand);
+    }
+    return node_id(home);
+  }
+
+  /// Installs a membership view. An empty alive vector means everyone up.
+  void set_view(std::uint64_t epoch, std::vector<bool> alive) {
+    epoch_ = epoch;
+    if (alive.empty()) alive.assign(num_nodes_, true);
+    alive_ = std::move(alive);
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const std::vector<bool>& alive() const noexcept { return alive_; }
   [[nodiscard]] std::uint32_t num_nodes() const noexcept { return num_nodes_; }
 
  private:
   std::uint32_t num_nodes_;
+  std::uint64_t epoch_ = 0;
+  std::vector<bool> alive_;  // indexed by raw(NodeId)
 };
 
 }  // namespace concord::dht

@@ -12,7 +12,8 @@ Fabric::NodeCells Fabric::resolve_node_cells(NodeId node) {
   const auto n = static_cast<std::int32_t>(raw(node));
   return NodeCells{&r.counter("net", "msgs_sent", n),     &r.counter("net", "bytes_sent", n),
                    &r.counter("net", "msgs_received", n), &r.counter("net", "bytes_received", n),
-                   &r.counter("net", "msgs_dropped", n),  &r.counter("net", "retransmits", n)};
+                   &r.counter("net", "msgs_dropped", n),  &r.counter("net", "retransmits", n),
+                   &r.counter("net", "msgs_blackholed", n)};
 }
 
 Fabric::TypeCells& Fabric::type_cells(MsgType t) {
@@ -52,6 +53,7 @@ void Fabric::bind_metrics(obs::Registry& registry) {
     cells.bytes_received->inc(old.bytes_received->value());
     cells.msgs_dropped->inc(old.msgs_dropped->value());
     cells.retransmits->inc(old.retransmits->value());
+    cells.msgs_blackholed->inc(old.msgs_blackholed->value());
   }
   for (std::size_t t = 0; t < type_cells_.size(); ++t) {
     if (type_cells_[t].msgs == nullptr) continue;
@@ -71,7 +73,43 @@ void Fabric::register_node(NodeId node, Handler handler) {
   next_tx_free_.try_emplace(node, 0);
 }
 
-sim::Time Fabric::transmit(NodeId src, std::size_t wire_size, bool lossy) {
+void Fabric::set_node_reachable(NodeId node, bool up) {
+  if (up) {
+    unreachable_.erase(raw(node));
+  } else {
+    unreachable_.insert(raw(node));
+  }
+}
+
+void Fabric::set_link_blocked(NodeId src, NodeId dst, bool blocked) {
+  if (blocked) {
+    blocked_links_.insert(link_key(src, dst));
+  } else {
+    blocked_links_.erase(link_key(src, dst));
+  }
+}
+
+void Fabric::set_link_loss(NodeId src, NodeId dst, double p) {
+  if (p <= 0.0) {
+    lossy_links_.erase(link_key(src, dst));
+  } else {
+    lossy_links_[link_key(src, dst)] = p;
+  }
+}
+
+double Fabric::link_loss(NodeId src, NodeId dst) const {
+  const auto it = lossy_links_.find(link_key(src, dst));
+  return it == lossy_links_.end() ? 0.0 : it->second;
+}
+
+sim::Time Fabric::transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy) {
+  // A down endpoint or a cut link silences the attempt before it ever
+  // occupies the NIC: no egress charge, no send accounting, just the
+  // blackhole count at the source.
+  if (!node_reachable(src) || !node_reachable(dst) || link_blocked(src, dst)) {
+    cells_for(src).msgs_blackholed->inc();
+    return -1;
+  }
   NodeCells& t = cells_for(src);
   t.msgs_sent->inc();
   t.bytes_sent->inc(wire_size);
@@ -83,9 +121,15 @@ sim::Time Fabric::transmit(NodeId src, std::size_t wire_size, bool lossy) {
       static_cast<sim::Time>(static_cast<double>(wire_size) * params_.ns_per_byte);
   free_at = start + tx_time;
 
-  if (lossy && sim_.rng().chance(params_.loss_rate)) {
-    t.msgs_dropped->inc();
-    return -1;
+  if (lossy) {
+    // Per-link loss (independent of the global rate) stacks multiplicatively.
+    double p = params_.loss_rate;
+    const auto it = lossy_links_.find(link_key(src, dst));
+    if (it != lossy_links_.end()) p = p + it->second - p * it->second;
+    if (sim_.rng().chance(p)) {
+      t.msgs_dropped->inc();
+      return -1;
+    }
   }
 
   const sim::Time jitter =
@@ -100,6 +144,12 @@ void Fabric::deliver_at(sim::Time when, Message msg) {
     const auto it = handlers_.find(m.dst);
     if (it == handlers_.end()) {
       log::warn("fabric: message for unregistered node %u dropped", raw(m.dst));
+      return;
+    }
+    // Re-check at delivery time: the destination may have crashed while the
+    // datagram was in flight (or a loopback sender may itself be down).
+    if (!node_reachable(m.dst)) {
+      cells_for(m.dst).msgs_blackholed->inc();
       return;
     }
     NodeCells& t = cells_for(m.dst);
@@ -121,8 +171,8 @@ void Fabric::send_unreliable(Message msg) {
     return;
   }
   account_send(msg);
-  const sim::Time arrival = transmit(msg.src, msg.wire_size, /*lossy=*/true);
-  if (arrival < 0) return;  // lost in flight
+  const sim::Time arrival = transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true);
+  if (arrival < 0) return;  // lost in flight or blackholed
   deliver_at(arrival, std::move(msg));
 }
 
@@ -145,7 +195,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
   while (attempt < params_.max_retries) {
     ++attempt;
     if (attempt > 1) cells_for(msg.src).retransmits->inc();
-    const sim::Time arrival = transmit(msg.src, msg.wire_size, /*lossy=*/true);
+    const sim::Time arrival = transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true);
     if (arrival < 0) {
       elapsed += params_.ack_timeout;  // sender waits out the timer
       continue;
@@ -153,6 +203,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
     // Data arrived. The receiver acks; a lost ack costs another timeout and
     // a retransmission, but the receiver dedups, so deliver only once.
     const sim::Time deliver_time = arrival + elapsed;
+    const NodeId src = msg.src;
     const NodeId dst = msg.dst;
     deliver_at(deliver_time, std::move(msg));
 
@@ -161,7 +212,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
     while (ack_attempt < params_.max_retries) {
       ++ack_attempt;
       if (ack_attempt > 1) cells_for(dst).retransmits->inc();
-      const sim::Time ack_arrival = transmit(dst, kAckBytes, /*lossy=*/true);
+      const sim::Time ack_arrival = transmit(dst, src, kAckBytes, /*lossy=*/true);
       if (ack_arrival < 0) {
         ack_elapsed += params_.ack_timeout;
         continue;
@@ -212,7 +263,8 @@ NodeTraffic Fabric::traffic(NodeId node) const {
   const NodeCells& c = it->second;
   return NodeTraffic{c.msgs_sent->value(),     c.bytes_sent->value(),
                      c.msgs_received->value(), c.bytes_received->value(),
-                     c.msgs_dropped->value(),  c.retransmits->value()};
+                     c.msgs_dropped->value(),  c.retransmits->value(),
+                     c.msgs_blackholed->value()};
 }
 
 NodeTraffic Fabric::total_traffic() const {
@@ -224,6 +276,7 @@ NodeTraffic Fabric::total_traffic() const {
     sum.bytes_received += c.bytes_received->value();
     sum.msgs_dropped += c.msgs_dropped->value();
     sum.retransmits += c.retransmits->value();
+    sum.msgs_blackholed += c.msgs_blackholed->value();
   }
   return sum;
 }

@@ -7,15 +7,31 @@
 //   * a base propagation/switching latency plus uniform jitter;
 //   * i.i.d. datagram loss applied to the unreliable class only;
 //   * a reliable class built from the unreliable one by ack + retransmit
-//     (out-of-order tolerant), as in §3.4.
+//     (out-of-order tolerant), as in §3.4;
+//   * injected faults (net::FaultInjector): unreachable nodes, blocked
+//     (partitioned) directed links, and per-link loss rates. A down node
+//     silently drops all egress and delivery; such datagrams are counted as
+//     msgs_blackholed.
 // All delays are charged to the Simulation's virtual clock. Per-node and
 // per-type traffic is accounted for the Fig. 7 / §5.4 volume results.
+//
+// Reliable-class delivery semantics are AT-LEAST-ONCE from the receiver's
+// point of view and best-effort-exactly-once from the sender's: the data
+// frame is retransmitted until acked (the receiver dedups, so its handler
+// runs exactly once), but when the data frame arrives and every ack is then
+// lost, the sender's `on_done` reports kTimeout even though the receiver has
+// already handled the message. Callers that act on kTimeout must therefore
+// tolerate the receiver having processed the "failed" send (the command
+// engine's barriers use idempotent per-node ack sets for exactly this
+// reason). kTimeout is also reported after max_retries data attempts all
+// fail (lossy or partitioned link, unreachable destination).
 #pragma once
 
 #include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.hpp"
@@ -47,8 +63,9 @@ struct NodeTraffic {
   std::uint64_t bytes_sent = 0;
   std::uint64_t msgs_received = 0;
   std::uint64_t bytes_received = 0;
-  std::uint64_t msgs_dropped = 0;  // unreliable datagrams lost in flight
-  std::uint64_t retransmits = 0;   // reliable-class data/ack resends
+  std::uint64_t msgs_dropped = 0;     // unreliable datagrams lost in flight
+  std::uint64_t retransmits = 0;      // reliable-class data/ack resends
+  std::uint64_t msgs_blackholed = 0;  // silenced by a fault (down node / cut link)
 };
 
 /// Per-message-type traffic view (registry subsystem "net", site-wide).
@@ -104,9 +121,32 @@ class Fabric {
   void reset_traffic();
 
   [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
+  /// Changes the i.i.d. loss rate for all *subsequent* transmissions;
+  /// datagrams already scheduled for delivery are unaffected.
   void set_loss_rate(double p) noexcept { params_.loss_rate = p; }
 
+  // --- fault surface (driven by net::FaultInjector) ---------------------
+  // A node that is not reachable neither sends nor receives: its egress is
+  // blackholed at the source and anything addressed to it vanishes in
+  // flight. A blocked directed link (src -> dst) silently eats datagrams in
+  // that direction only; per-link loss stacks on top of the global rate.
+  // Both classes are affected; for the reliable class the sender observes
+  // kTimeout once max_retries attempts are gone.
+  void set_node_reachable(NodeId node, bool up);
+  [[nodiscard]] bool node_reachable(NodeId node) const {
+    return !unreachable_.contains(raw(node));
+  }
+  void set_link_blocked(NodeId src, NodeId dst, bool blocked);
+  [[nodiscard]] bool link_blocked(NodeId src, NodeId dst) const {
+    return blocked_links_.contains(link_key(src, dst));
+  }
+  void set_link_loss(NodeId src, NodeId dst, double p);
+  [[nodiscard]] double link_loss(NodeId src, NodeId dst) const;
+
  private:
+  [[nodiscard]] static std::uint64_t link_key(NodeId src, NodeId dst) noexcept {
+    return (static_cast<std::uint64_t>(raw(src)) << 32) | raw(dst);
+  }
   /// Pre-resolved registry cells for one node's traffic (hot path touches
   /// these pointers only; never a map or the registry itself).
   struct NodeCells {
@@ -116,6 +156,7 @@ class Fabric {
     obs::Counter* bytes_received = nullptr;
     obs::Counter* msgs_dropped = nullptr;
     obs::Counter* retransmits = nullptr;
+    obs::Counter* msgs_blackholed = nullptr;
   };
   struct TypeCells {
     obs::Counter* msgs = nullptr;
@@ -124,7 +165,10 @@ class Fabric {
 
   /// One transmission attempt: charges egress, returns arrival time, or -1
   /// if the datagram is lost (loss is charged to traffic but not delivered).
-  sim::Time transmit(NodeId src, std::size_t wire_size, bool lossy);
+  /// Checks fault state on the (src, dst) pair: a blocked or down endpoint
+  /// blackholes the attempt (counted at src), per-link loss stacks on the
+  /// global rate.
+  sim::Time transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy);
 
   void deliver_at(sim::Time when, Message msg);
 
@@ -139,6 +183,9 @@ class Fabric {
   std::unordered_map<NodeId, sim::Time> next_tx_free_;
   std::unordered_map<NodeId, NodeCells> traffic_;
   std::array<TypeCells, kNumMsgTypes> type_cells_{};
+  std::unordered_set<std::uint32_t> unreachable_;          // down nodes
+  std::unordered_set<std::uint64_t> blocked_links_;        // directed cuts
+  std::unordered_map<std::uint64_t, double> lossy_links_;  // per-link loss
   obs::Registry* metrics_ = nullptr;           // bound registry, if any
   std::unique_ptr<obs::Registry> own_metrics_; // fallback when unbound
 };

@@ -34,6 +34,7 @@ enum class MsgType : std::uint16_t {
   kCommandAck,          // daemon -> controller phase completion (reliable)
   kData,                // bulk content transfer (migration etc.)
   kControl,             // misc control plane
+  kHeartbeat,           // failure-detector probe/reply (unreliable)
 };
 
 /// Stable lower-case label per message type, used by the traffic accounting
@@ -52,12 +53,13 @@ enum class MsgType : std::uint16_t {
     case MsgType::kCommandAck: return "command_ack";
     case MsgType::kData: return "data";
     case MsgType::kControl: return "control";
+    case MsgType::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }
 
 /// Number of MsgType values (for dense per-type tables).
-inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kControl) + 1;
+inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kHeartbeat) + 1;
 
 /// Fixed per-datagram overhead we charge on the wire: Ethernet + IP + UDP
 /// headers plus ConCORD's own message header.

@@ -22,6 +22,7 @@ AuditReport DhtAudit::run() {
 
   // ---- pass 1: find missing entries (host side drives).
   for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
+    if (cluster_.fault().is_down(node_id(n))) continue;  // down hosts drive nothing
     const core::ServiceDaemon& host = cluster_.daemon(node_id(n));
     // Batch the checks per shard owner, as a real implementation would.
     std::unordered_map<std::uint32_t, std::uint64_t> batch_pairs;
@@ -58,14 +59,21 @@ AuditReport DhtAudit::run() {
     simu.run_until(simu.now() + scan);
   }
 
-  // ---- pass 2: find stale entries (shard owner side drives).
+  // ---- pass 2: find stale and misplaced entries (shard owner side drives).
   for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
+    if (cluster_.fault().is_down(node_id(n))) continue;  // down shards keep their drift
     core::ServiceDaemon& owner = cluster_.daemon(node_id(n));
     std::vector<std::pair<ContentHash, EntityId>> stale;
+    std::vector<std::pair<ContentHash, EntityId>> misplaced;
     sim::Time scan = cm.scan_cost(owner.store().unique_hashes());
 
     owner.store().for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
                                      std::size_t nwords) {
+      // Ownership may have moved with the membership epoch: entries left at
+      // a node placement no longer maps this hash to are unreachable by
+      // queries, so they are scrubbed here (pass 1 re-inserts at the
+      // current owner from ground truth).
+      const bool here = cluster_.placement().owner(h) == node_id(n);
       for (std::size_t w = 0; w < nwords; ++w) {
         std::uint64_t bits = words[w];
         while (bits != 0) {
@@ -74,20 +82,30 @@ AuditReport DhtAudit::run() {
           bits &= bits - 1;
           const auto e = entity_id(idx);
           ++report.entries_checked;
+          if (!here) {
+            misplaced.emplace_back(h, e);
+            continue;
+          }
           bool substantiated = false;
+          bool host_reachable = true;
           if (cluster_.registry().alive(e)) {
             const NodeId host = cluster_.registry().host_of(e);
-            const auto* locs = cluster_.daemon(host).block_map().find(h);
-            if (locs != nullptr) {
-              for (const mem::BlockLocation& loc : *locs) {
-                if (loc.entity == e) {
-                  substantiated = true;
-                  break;
+            if (cluster_.fault().is_down(host)) {
+              // The authoritative host can't answer: not provably stale.
+              host_reachable = false;
+            } else {
+              const auto* locs = cluster_.daemon(host).block_map().find(h);
+              if (locs != nullptr) {
+                for (const mem::BlockLocation& loc : *locs) {
+                  if (loc.entity == e) {
+                    substantiated = true;
+                    break;
+                  }
                 }
               }
             }
           }
-          if (!substantiated) stale.emplace_back(h, e);
+          if (!substantiated && host_reachable) stale.emplace_back(h, e);
         }
       }
     });
@@ -97,6 +115,10 @@ AuditReport DhtAudit::run() {
       // the check above consulted the authoritative host).
       owner.store().remove(h, e);
       ++report.stale_removed;
+    }
+    for (const auto& [h, e] : misplaced) {
+      owner.store().remove(h, e);
+      ++report.misplaced_removed;
     }
     simu.run_until(simu.now() + scan);
   }
@@ -113,8 +135,9 @@ AuditReport DhtAudit::run_to_convergence(int max_passes) {
     total.entries_checked += r.entries_checked;
     total.missing_repaired += r.missing_repaired;
     total.stale_removed += r.stale_removed;
+    total.misplaced_removed += r.misplaced_removed;
     total.latency += r.latency;
-    if (r.missing_repaired == 0 && r.stale_removed == 0) break;
+    if (r.clean()) break;
   }
   return total;
 }

@@ -23,17 +23,29 @@
 namespace concord::services {
 
 struct AuditReport {
-  std::uint64_t entries_checked = 0;   // (hash, entity) pairs examined
-  std::uint64_t missing_repaired = 0;  // inserts issued
-  std::uint64_t stale_removed = 0;     // removes issued
+  std::uint64_t entries_checked = 0;     // (hash, entity) pairs examined
+  std::uint64_t missing_repaired = 0;    // inserts issued
+  std::uint64_t stale_removed = 0;       // removes issued
+  std::uint64_t misplaced_removed = 0;   // entries at a node placement no longer maps to
   sim::Time latency = 0;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return missing_repaired == 0 && stale_removed == 0 && misplaced_removed == 0;
+  }
 };
 
 class DhtAudit {
  public:
   explicit DhtAudit(core::Cluster& cluster) : cluster_(cluster) {}
 
-  /// One full audit pass over every node. Returns what was repaired.
+  /// One full audit pass over every node. Returns what was repaired. Down
+  /// nodes neither drive checks nor are consulted: their entries are left
+  /// alone (unsubstantiable, not provably stale), and repairs addressed to
+  /// them blackhole like any other datagram — audits converge once the
+  /// cluster heals and a detection window restores the view. Entries
+  /// sitting at a node the current placement no longer maps their hash to
+  /// (ownership moved with the epoch) are removed as misplaced; the host
+  /// side re-inserts them at the current owner.
   AuditReport run();
 
   /// Runs audit passes until a pass finds nothing to repair (or

@@ -1,0 +1,59 @@
+#include "services/shard_recovery.hpp"
+
+#include <unordered_set>
+
+#include "core/service_daemon.hpp"
+
+namespace concord::services {
+
+ShardRecovery::ShardRecovery(core::Cluster& cluster, bool auto_recover)
+    : cluster_(cluster), prev_alive_(cluster.num_nodes(), true) {
+  runs_ = &cluster_.metrics().counter("dht", "recovery_runs");
+  republished_ = &cluster_.metrics().counter("dht", "recovery_republished");
+  if (auto_recover) {
+    // Registered after the cluster's own placement listener, so by the time
+    // this fires owner() already answers under the new view.
+    cluster_.detector().on_epoch_change(
+        [this](const core::MembershipView&) { last_ = recover(); });
+  }
+}
+
+RecoveryReport ShardRecovery::recover() {
+  RecoveryReport rep;
+  const core::MembershipView& view = cluster_.membership();
+  rep.epoch = view.epoch;
+  const sim::Time t0 = cluster_.sim().now();
+  runs_->inc();
+
+  const dht::Placement& placement = cluster_.placement();
+  for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
+    if (!view.is_alive(node_id(n))) continue;  // the dead publish nothing
+    core::ServiceDaemon& d = cluster_.daemon(node_id(n));
+    d.block_map().for_each([&](const ContentHash& h,
+                               const std::vector<mem::BlockLocation>& locs) {
+      ++rep.hashes_checked;
+      // Only hashes whose ownership moved between the views need
+      // re-publishing; everything else is already where queries will look.
+      if (placement.owner_in(prev_alive_, h) == placement.owner(h)) return;
+      std::unordered_set<std::uint32_t> seen;
+      for (const mem::BlockLocation& loc : locs) {
+        if (!cluster_.registry().alive(loc.entity)) continue;
+        if (!seen.insert(raw(loc.entity)).second) continue;
+        d.publish_update(h, loc.entity, /*insert=*/true);
+        ++rep.republished;
+        republished_->inc();
+      }
+    });
+    d.flush_updates();
+  }
+
+  prev_alive_.assign(cluster_.num_nodes(), true);
+  for (std::uint32_t i = 0; i < cluster_.num_nodes() && i < view.alive.size(); ++i) {
+    prev_alive_[i] = view.alive[i];
+  }
+  cluster_.sim().run();  // deliver (or lose) the republish batches
+  rep.latency = cluster_.sim().now() - t0;
+  return rep;
+}
+
+}  // namespace concord::services

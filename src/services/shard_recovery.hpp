@@ -1,0 +1,63 @@
+// ShardRecovery: re-grow DHT coverage after membership changes.
+//
+// When a node dies, its shard of the content-tracing DHT dies with it and
+// the epoch-aware Placement remaps the orphaned hashes to alive successors;
+// when it returns, ownership snaps back to an (empty, if it crashed) home
+// shard. Either way the distributed database has a coverage hole exactly
+// where the exploitable redundancy used to be. The paper's answer is that
+// ground truth never left: every node's NSM block map still knows what its
+// entities hold (§3.2). This maintenance service closes the hole by having
+// every survivor re-publish the block-map entries whose hash ownership
+// moved between the previous and current membership views — through the
+// normal update interface (ServiceDaemon::publish_update), riding the same
+// owner-batched unreliable datagrams as monitor updates. Repairs are
+// therefore best-effort; DhtAudit convergence is the correctness oracle.
+//
+// Registered as an epoch listener on the cluster's failure detector, it
+// runs automatically at the end of every detection window that changes the
+// view. Detection windows run from the top level (Cluster::detect()), so
+// pumping the simulation to deliver the republish traffic is safe here.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace concord::services {
+
+struct RecoveryReport {
+  std::uint64_t epoch = 0;            // view the recovery ran against
+  std::uint64_t hashes_checked = 0;   // ground-truth hashes examined
+  std::uint64_t republished = 0;      // (hash, entity) pairs re-published
+  sim::Time latency = 0;
+};
+
+class ShardRecovery {
+ public:
+  /// With auto_recover (default) the service registers itself as an epoch
+  /// listener and runs after every view change.
+  explicit ShardRecovery(core::Cluster& cluster, bool auto_recover = true);
+
+  ShardRecovery(const ShardRecovery&) = delete;
+  ShardRecovery& operator=(const ShardRecovery&) = delete;
+
+  /// Re-publishes every surviving node's block-map entries whose owner
+  /// differs between the remembered previous view and the current one, then
+  /// pumps the simulation so the updates land (or are lost). Call from the
+  /// top level only.
+  RecoveryReport recover();
+
+  [[nodiscard]] const RecoveryReport& last_report() const noexcept { return last_; }
+  [[nodiscard]] std::uint64_t total_republished() const noexcept {
+    return republished_->value();
+  }
+
+ private:
+  core::Cluster& cluster_;
+  std::vector<bool> prev_alive_;  // view the DHT contents were built under
+  RecoveryReport last_;
+  obs::Counter* runs_ = nullptr;
+  obs::Counter* republished_ = nullptr;
+};
+
+}  // namespace concord::services

@@ -1,8 +1,10 @@
 #include "svc/command_engine.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 
 #include "common/log.hpp"
 #include "core/cost_model.hpp"
@@ -42,8 +44,16 @@ struct CommandEngine::Execution {
   std::vector<NodeId> se_nodes;
   std::vector<NodeId> shard_nodes;
 
-  // Controller barrier.
-  std::size_t barrier_pending = 0;
+  // Controller barrier: the set of nodes whose ack for the current phase is
+  // still outstanding. Set-based (not a counter) so a duplicate or late ack
+  // — possible when the reliable class loses every ack and the sender
+  // retries while the receiver already handled the message — can never
+  // double-count: erasing an absent node is a no-op.
+  wire::CtlPhase cur_phase = wire::CtlPhase::kInit;
+  std::uint64_t phase_gen = 0;  // invalidates stale deadline/probe events
+  std::unordered_set<std::uint32_t> barrier_waiting;
+  std::unordered_set<std::uint32_t> excluded;  // nodes dropped from the command
+  int deadline_extensions_used = 0;
 
   // Shard-driving state (lives at the respective shard owners; kept here
   // because the emulation shares one address space — traffic is modeled).
@@ -88,6 +98,8 @@ CommandEngine::CommandEngine(core::Cluster& cluster) : cluster_(cluster) {
   cells_.local_blocks = &r.counter("svc", "local_blocks");
   cells_.local_covered = &r.counter("svc", "local_covered");
   cells_.local_uncovered = &r.counter("svc", "local_uncovered");
+  cells_.nodes_excluded = &r.counter("svc", "nodes_excluded");
+  cells_.commands_degraded = &r.counter("svc", "commands_degraded");
   install_handlers();
 }
 
@@ -114,17 +126,32 @@ void CommandEngine::install_handlers() {
 
 void CommandEngine::start_phase(CtlPhase phase, const std::vector<NodeId>& targets) {
   Execution& ex = *active_;
+  ex.cur_phase = phase;
+  ++ex.phase_gen;
+  ex.deadline_extensions_used = 0;
   ex.phase_span = cluster_.tracer().begin_span(
       "phase:" + std::string(phase_name(phase)), "svc",
       raw(ex.spec->controller), cluster_.sim().now());
-  if (targets.empty()) {
+
+  // Nodes already excluded from the command take no further part.
+  std::vector<NodeId> live_targets;
+  live_targets.reserve(targets.size());
+  for (const NodeId t : targets) {
+    if (!ex.excluded.contains(raw(t))) live_targets.push_back(t);
+  }
+  if (live_targets.empty()) {
     // Nothing to do in this phase; advance immediately from the event loop.
-    cluster_.sim().after(0, [this, phase]() { advance_after(phase); });
+    cluster_.sim().after(0, [this, phase]() {
+      if (active_ != nullptr && !active_->done) advance_after(phase);
+    });
     return;
   }
-  ex.barrier_pending = targets.size();
+  ex.barrier_waiting.clear();
+  for (const NodeId t : live_targets) ex.barrier_waiting.insert(raw(t));
   cluster_.fabric().broadcast_reliable(ex.spec->controller, net::MsgType::kCommandControl,
-                                       std::any(CtlMsg{ex.cmd_id, phase}), kCtlBytes, targets);
+                                       std::any(CtlMsg{ex.cmd_id, phase}), kCtlBytes,
+                                       live_targets);
+  arm_deadline();
 }
 
 void CommandEngine::handle_ack(core::ServiceDaemon& d, const net::Message& m) {
@@ -132,8 +159,109 @@ void CommandEngine::handle_ack(core::ServiceDaemon& d, const net::Message& m) {
   Execution& ex = *active_;
   const auto& ack = m.as<AckMsg>();
   if (ack.cmd_id != ex.cmd_id) return;
+  if (ack.phase != ex.cur_phase) return;  // straggler from an earlier phase
+  if (ex.barrier_waiting.erase(raw(m.src)) == 0) return;  // duplicate / excluded
   if (!ok(ack.status) && ok(ex.stats.status)) ex.stats.status = ack.status;
-  if (--ex.barrier_pending == 0) advance_after(ack.phase);
+  if (ex.barrier_waiting.empty()) advance_after(ack.phase);
+}
+
+// --------------------------------------------------- deadlines & exclusion
+
+void CommandEngine::arm_deadline() {
+  Execution& ex = *active_;
+  if (ex.spec->phase_deadline <= 0) return;  // deadlines disabled
+  const std::uint64_t cmd = ex.cmd_id;
+  const std::uint64_t gen = ex.phase_gen;
+  cluster_.sim().after(ex.spec->phase_deadline, [this, cmd, gen]() {
+    if (active_ == nullptr) return;
+    Execution& exr = *active_;
+    if (exr.cmd_id != cmd || exr.phase_gen != gen || exr.done) return;
+    if (exr.barrier_waiting.empty()) return;  // barrier closed while queued
+    on_phase_deadline();
+  });
+}
+
+void CommandEngine::on_phase_deadline() {
+  Execution& ex = *active_;
+  // Probe every node the barrier is still waiting on. Verdicts resolve
+  // event-driven (the simulation keeps running); once the last one lands we
+  // decide: exclude the dead, extend for the merely slow.
+  struct Round {
+    std::size_t pending = 0;
+    std::vector<std::uint32_t> dead;
+  };
+  auto round = std::make_shared<Round>();
+  round->pending = ex.barrier_waiting.size();
+  const std::uint64_t cmd = ex.cmd_id;
+  const std::uint64_t gen = ex.phase_gen;
+  // Sorted copy: probe order (and thus exclusion order) must be stable.
+  std::vector<std::uint32_t> waiting(ex.barrier_waiting.begin(), ex.barrier_waiting.end());
+  std::sort(waiting.begin(), waiting.end());
+  for (const std::uint32_t n : waiting) {
+    cluster_.detector().probe(
+        ex.spec->controller, node_id(n), [this, cmd, gen, round, n](bool alive) {
+          if (!alive) round->dead.push_back(n);
+          if (--round->pending != 0) return;
+          if (active_ == nullptr) return;
+          Execution& exr = *active_;
+          if (exr.cmd_id != cmd || exr.phase_gen != gen || exr.done) return;
+          for (const std::uint32_t dead : round->dead) {
+            exclude_node(node_id(dead), Status::kUnavailable);
+          }
+          if (!exr.barrier_waiting.empty()) {
+            if (exr.deadline_extensions_used < exr.spec->max_deadline_extensions) {
+              // The stragglers answer probes: alive, just slow. Wait more.
+              ++exr.deadline_extensions_used;
+              arm_deadline();
+            } else {
+              // Extension budget exhausted — terminate anyway.
+              std::vector<std::uint32_t> rest(exr.barrier_waiting.begin(),
+                                              exr.barrier_waiting.end());
+              std::sort(rest.begin(), rest.end());
+              for (const std::uint32_t n2 : rest) {
+                exclude_node(node_id(n2), Status::kTimeout);
+              }
+            }
+          }
+          if (exr.barrier_waiting.empty() && !exr.done) advance_after(exr.cur_phase);
+        });
+  }
+}
+
+void CommandEngine::exclude_node(NodeId n, Status reason) {
+  Execution& ex = *active_;
+  if (!ex.excluded.insert(raw(n)).second) return;
+  ex.barrier_waiting.erase(raw(n));
+  ex.stats.failures.push_back(NodeFailure{n, ex.cur_phase, reason});
+  cells_.nodes_excluded->inc();
+  log::warn("command %llu: excluding node %u in phase %s (%.*s)",
+            static_cast<unsigned long long>(ex.cmd_id), raw(n),
+            std::string(phase_name(ex.cur_phase)).c_str(),
+            static_cast<int>(to_string(reason).size()), to_string(reason).data());
+
+  if (ex.cur_phase == CtlPhase::kDrive) {
+    // The dead node's shard cannot be driven (its slice of hashes is being
+    // remapped to survivors by the next epoch anyway): drop its in-flight
+    // dispatches so the drive barrier can drain.
+    for (auto it = ex.pending.begin(); it != ex.pending.end();) {
+      if (it->second.shard == n) {
+        if (it->second.span != obs::Tracer::kInvalid) {
+          cluster_.tracer().add_arg(it->second.span, "abandoned", 1);
+          cluster_.tracer().end_span(it->second.span, cluster_.sim().now());
+        }
+        it = ex.pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ex.outstanding[raw(n)] = 0;
+    ex.enumerated[raw(n)] = false;
+    const auto span = ex.drive_spans.find(raw(n));
+    if (span != ex.drive_spans.end()) {
+      cluster_.tracer().end_span(span->second, cluster_.sim().now());
+      ex.drive_spans.erase(span);
+    }
+  }
 }
 
 void CommandEngine::advance_after(CtlPhase finished) {
@@ -331,6 +459,18 @@ void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
   const auto it = ex.pending.find(seq);
   if (it == ex.pending.end()) return;
   Execution::PendingHash& p = it->second;
+  // Skip replicas hosted on nodes the membership view suspects — a dead
+  // host can never answer; spending a full reliable-timeout chain on it
+  // only slows the drain.
+  while (p.next < p.candidates.size() &&
+         !cluster_.membership().is_alive(
+             cluster_.registry().host_of(p.candidates[p.next]))) {
+    ++p.next;
+  }
+  if (p.next >= p.candidates.size()) {
+    finish_seq(d, seq, /*success=*/false);  // every replica dead or stale
+    return;
+  }
   if (p.span == obs::Tracer::kInvalid) {
     // One async span covers the whole dispatch including retries; async
     // because a shard keeps many dispatches in flight at once.
@@ -339,10 +479,33 @@ void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
   }
   const EntityId chosen = p.candidates[p.next];
   const NodeId host = cluster_.registry().host_of(chosen);
-  d.fabric().send_reliable(net::make_message(
-      d.id(), host, net::MsgType::kCommandHashExchange,
-      DispatchMsg{ex.cmd_id, seq, p.hash, chosen, p.notify},
-      kDispatchBytes + p.notify->size() * sizeof(NodeId)));
+  // The send callback is the failure path for hosts the view did NOT
+  // suspect: a replica host that crashed mid-command (or sits behind a cut
+  // link) makes the reliable send report kTimeout after max_retries, and we
+  // retry on the next survivor. Guard on p.next: if the reply raced the
+  // timeout in (data delivered, every ack lost — at-least-once), the seq
+  // has either completed (not in pending) or been re-dispatched already.
+  const std::size_t attempt = p.next;
+  const std::uint64_t cmd = ex.cmd_id;
+  d.fabric().send_reliable(
+      net::make_message(d.id(), host, net::MsgType::kCommandHashExchange,
+                        DispatchMsg{ex.cmd_id, seq, p.hash, chosen, p.notify},
+                        kDispatchBytes + p.notify->size() * sizeof(NodeId)),
+      [this, &d, seq, attempt, cmd](Status s) {
+        if (ok(s) || active_ == nullptr) return;
+        Execution& exr = *active_;
+        if (exr.cmd_id != cmd || exr.done) return;
+        const auto pit = exr.pending.find(seq);
+        if (pit == exr.pending.end()) return;          // already completed
+        if (pit->second.next != attempt) return;       // newer attempt owns it
+        ++pit->second.next;
+        if (pit->second.next < pit->second.candidates.size()) {
+          cells_.collective_retries->inc();
+          dispatch_hash(d, seq);
+        } else {
+          finish_seq(d, seq, /*success=*/false);
+        }
+      });
 }
 
 void CommandEngine::handle_exchange(core::ServiceDaemon& d, const net::Message& m) {
@@ -434,20 +597,34 @@ void CommandEngine::handle_dispatch_reply(core::ServiceDaemon& d, const Dispatch
   Execution::PendingHash& p = it->second;
 
   if (r.success) {
+    finish_seq(d, r.seq, /*success=*/true);
+    return;
+  }
+  ++p.next;
+  if (p.next < p.candidates.size()) {
+    cells_.collective_retries->inc();
+    dispatch_hash(d, r.seq);
+    return;
+  }
+  finish_seq(d, r.seq, /*success=*/false);  // every believed replica was stale
+}
+
+void CommandEngine::finish_seq(core::ServiceDaemon& d, std::uint64_t seq, bool success) {
+  Execution& ex = *active_;
+  const auto it = ex.pending.find(seq);
+  if (it == ex.pending.end()) return;
+  Execution::PendingHash& p = it->second;
+  if (success) {
     cells_.collective_handled->inc();
   } else {
-    ++p.next;
-    if (p.next < p.candidates.size()) {
-      cells_.collective_retries->inc();
-      dispatch_hash(d, r.seq);
-      return;
-    }
-    cells_.collective_stale->inc();  // every believed replica was stale
+    cells_.collective_stale->inc();
   }
-  obs::Tracer& tracer = cluster_.tracer();
-  tracer.add_arg(p.span, "success", r.success ? 1 : 0);
-  tracer.add_arg(p.span, "retries", p.next);
-  tracer.end_span(p.span, cluster_.sim().now());
+  if (p.span != obs::Tracer::kInvalid) {
+    obs::Tracer& tracer = cluster_.tracer();
+    tracer.add_arg(p.span, "success", success ? 1 : 0);
+    tracer.add_arg(p.span, "retries", p.next);
+    tracer.end_span(p.span, cluster_.sim().now());
+  }
   const NodeId shard = p.shard;
   ex.pending.erase(it);
   --ex.outstanding[raw(shard)];
@@ -549,6 +726,17 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
     ex.shard_nodes.push_back(node_id(i));
   }
 
+  // Nodes the membership view already suspects are excluded up front —
+  // no point burning a full deadline+probe cycle on a known-dead node.
+  active_ = &ex;
+  const core::MembershipView& view = cluster_.membership();
+  for (std::uint32_t i = 0; i < cluster_.num_nodes(); ++i) {
+    if (view.is_alive(node_id(i))) continue;
+    const bool participates = is_scope[i] || is_se[i] ||
+                              (i < cluster_.placement().num_nodes());
+    if (participates) exclude_node(node_id(i), Status::kUnavailable);
+  }
+
   // Baselines: the registry accumulates across commands; this command's
   // stats are the counter deltas accrued while it runs.
   const std::uint64_t base_hashes = cells_.distinct_hashes->value();
@@ -560,7 +748,6 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
   const std::uint64_t base_uncovered = cells_.local_uncovered->value();
   cells_.commands->inc();
 
-  active_ = &ex;
   ex.stats.start = cluster_.sim().now();
   obs::Tracer& tracer = cluster_.tracer();
   ex.cmd_span = tracer.begin_span("command", "svc", raw(spec.controller), ex.stats.start);
@@ -571,6 +758,12 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
   if (!ex.done && ok(ex.stats.status)) {
     ex.stats.status = Status::kInternal;  // protocol stalled
     ex.stats.end = cluster_.sim().now();
+  }
+  if (!ex.stats.failures.empty()) {
+    cells_.commands_degraded->inc();
+    // Excluding nodes degrades the command unless something worse already
+    // happened (a surviving node's callback reported a real error).
+    if (ok(ex.stats.status)) ex.stats.status = Status::kDegraded;
   }
 
   ex.stats.distinct_hashes = cells_.distinct_hashes->value() - base_hashes;

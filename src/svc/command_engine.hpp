@@ -48,6 +48,27 @@ struct CommandSpec {
   Mode mode = Mode::kInteractive;
   Config config;
   NodeId controller = node_id(0);
+
+  /// Per-phase barrier deadline. When a phase's barrier is still open this
+  /// long after the phase started, the controller probes every unresponsive
+  /// node: probe-dead nodes are excluded from the command (recorded in
+  /// CommandStats::failures, final status kDegraded), probe-alive nodes buy
+  /// the phase another deadline, up to max_deadline_extensions. 0 disables
+  /// deadlines (a dead node then stalls the command forever, as before).
+  sim::Time phase_deadline = 250 * sim::kMillisecond;
+  /// Extensions granted while stragglers still answer probes. Bounds how
+  /// long a command can wait on a live-but-slow node before force-excluding
+  /// it with kTimeout — commands terminate under any fault schedule.
+  int max_deadline_extensions = 64;
+};
+
+/// One node excluded from a command, and why: kUnavailable = failed a
+/// liveness probe at a phase deadline; kTimeout = kept answering probes but
+/// never completed the phase within the extension budget.
+struct NodeFailure {
+  NodeId node{};
+  wire::CtlPhase phase{};
+  Status reason = Status::kUnavailable;
 };
 
 /// Per-command result view. The running totals live in the cluster's metrics
@@ -58,6 +79,12 @@ struct CommandStats {
   Status status = Status::kOk;
   sim::Time start = 0;
   sim::Time end = 0;
+
+  /// Nodes excluded from the command (suspected dead or past the extension
+  /// budget), in exclusion order. Non-empty ⇒ status is kDegraded unless an
+  /// ack reported something worse. The command still completed: surviving
+  /// scope/SE/shard nodes ran every phase.
+  std::vector<NodeFailure> failures;
 
   std::uint64_t distinct_hashes = 0;     // driven during the collective phase
   std::uint64_t collective_handled = 0;  // collective_command() successes
@@ -88,6 +115,11 @@ class CommandEngine {
   void advance_after(wire::CtlPhase finished);
   void handle_ack(core::ServiceDaemon& d, const net::Message& m);
 
+  // Failure handling (controller side).
+  void arm_deadline();
+  void on_phase_deadline();
+  void exclude_node(NodeId n, Status reason);
+
   // Per-node side.
   void handle_control(core::ServiceDaemon& d, const net::Message& m);
   void handle_exchange(core::ServiceDaemon& d, const net::Message& m);
@@ -98,6 +130,7 @@ class CommandEngine {
   void dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq);
   void handle_dispatch(core::ServiceDaemon& d, const wire::DispatchMsg& dm, NodeId reply_to);
   void handle_dispatch_reply(core::ServiceDaemon& d, const wire::DispatchReplyMsg& r);
+  void finish_seq(core::ServiceDaemon& d, std::uint64_t seq, bool success);
   void check_shard_drained(core::ServiceDaemon& d);
 
   // Local phase at an SE host.
@@ -119,6 +152,8 @@ class CommandEngine {
     obs::Counter* local_blocks = nullptr;
     obs::Counter* local_covered = nullptr;
     obs::Counter* local_uncovered = nullptr;
+    obs::Counter* nodes_excluded = nullptr;
+    obs::Counter* commands_degraded = nullptr;
   };
   Cells cells_;
 };

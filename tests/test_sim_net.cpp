@@ -218,6 +218,149 @@ TEST_F(FabricFixture, EgressSerializationDelaysBigBursts) {
   EXPECT_GE(simu.now(), min_tx);
 }
 
+TEST_F(FabricFixture, ReliableTimesOutWhenRetriesExhausted) {
+  // A cut src->dst link blackholes every data attempt: the sender burns
+  // through max_retries timeouts and reports kTimeout; the receiver never
+  // sees the message.
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.set_link_blocked(node_id(0), node_id(1), true);
+  Status status = Status::kOk;
+  fabric.send_reliable(text_msg(node_id(0), node_id(1), "r"),
+                       [&](Status s) { status = s; });
+  simu.run();
+  EXPECT_EQ(status, Status::kTimeout);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(fabric.traffic(node_id(0)).msgs_blackholed,
+            static_cast<std::uint64_t>(params.max_retries));
+  // All retries wait out the ack timer before the sender gives up.
+  EXPECT_EQ(simu.now(), static_cast<sim::Time>(params.max_retries) * params.ack_timeout);
+}
+
+TEST_F(FabricFixture, ReliableAckLossDeliversButReportsTimeout) {
+  // At-least-once in action: data flows 0->1 fine but the reverse link is
+  // cut, so every ack vanishes. The receiver handles the message exactly
+  // once while the sender sees kTimeout — callers must tolerate this.
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.set_link_blocked(node_id(1), node_id(0), true);
+  Status status = Status::kOk;
+  fabric.send_reliable(text_msg(node_id(0), node_id(1), "r"),
+                       [&](Status s) { status = s; });
+  simu.run();
+  EXPECT_EQ(status, Status::kTimeout);
+  ASSERT_EQ(got.size(), 1u);  // receiver deduped: handled exactly once
+  EXPECT_EQ(got[0], "r");
+  EXPECT_EQ(fabric.traffic(node_id(1)).msgs_blackholed,
+            static_cast<std::uint64_t>(params.max_retries));
+}
+
+TEST_F(FabricFixture, DownNodeBlackholesBothDirections) {
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.set_node_reachable(node_id(1), false);
+  // Egress from the down node is silenced at the source...
+  fabric.send_unreliable(text_msg(node_id(1), node_id(0), "from-down"));
+  // ...and traffic addressed to it is silenced too.
+  fabric.send_unreliable(text_msg(node_id(0), node_id(1), "to-down"));
+  simu.run();
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(fabric.traffic(node_id(1)).msgs_blackholed, 1u);  // the egress attempt
+  EXPECT_EQ(fabric.traffic(node_id(0)).msgs_blackholed, 1u);  // the ingress attempt
+  EXPECT_EQ(fabric.traffic(node_id(0)).msgs_sent, 0u);  // never occupied the NIC
+
+  // Restart: traffic flows again.
+  fabric.set_node_reachable(node_id(1), true);
+  fabric.send_unreliable(text_msg(node_id(0), node_id(1), "after-restart"));
+  simu.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "after-restart");
+}
+
+TEST_F(FabricFixture, MidFlightCrashDropsDelivery) {
+  // The datagram leaves a healthy source, but the destination crashes while
+  // it is in flight: delivery-time re-check blackholes it at the dst.
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.send_unreliable(text_msg(node_id(0), node_id(1), "doomed"));
+  fabric.set_node_reachable(node_id(1), false);  // crash before delivery fires
+  simu.run();
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(fabric.traffic(node_id(0)).msgs_sent, 1u);  // it did leave the NIC
+  EXPECT_EQ(fabric.traffic(node_id(1)).msgs_blackholed, 1u);
+}
+
+TEST_F(FabricFixture, AsymmetricPartitionBlocksOneDirectionOnly) {
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.set_link_blocked(node_id(0), node_id(1), true);
+  fabric.send_unreliable(text_msg(node_id(0), node_id(1), "blocked"));
+  fabric.send_unreliable(text_msg(node_id(1), node_id(0), "open"));
+  simu.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "open");
+  EXPECT_TRUE(fabric.link_blocked(node_id(0), node_id(1)));
+  EXPECT_FALSE(fabric.link_blocked(node_id(1), node_id(0)));
+}
+
+TEST_F(FabricFixture, SetLossRateMidRunAffectsSubsequentTrafficOnly) {
+  net::Fabric fabric(simu, params);  // starts lossless
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    fabric.send_unreliable(text_msg(node_id(0), node_id(1), "a"));
+  }
+  simu.run();
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kN));  // lossless phase
+
+  fabric.set_loss_rate(1.0);  // storm: everything subsequent is lost
+  for (int i = 0; i < kN; ++i) {
+    fabric.send_unreliable(text_msg(node_id(0), node_id(1), "b"));
+  }
+  simu.run();
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kN));
+
+  fabric.set_loss_rate(0.25);  // partial loss after the storm clears
+  for (int i = 0; i < kN; ++i) {
+    fabric.send_unreliable(text_msg(node_id(0), node_id(1), "c"));
+  }
+  simu.run();
+  const double delivered = static_cast<double>(got.size() - kN) / kN;
+  EXPECT_NEAR(delivered, 0.75, 0.04);
+}
+
+TEST_F(FabricFixture, PerLinkLossStacksOnGlobalRate) {
+  params.loss_rate = 0.2;
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.set_link_loss(node_id(0), node_id(1), 0.5);
+  EXPECT_DOUBLE_EQ(fabric.link_loss(node_id(0), node_id(1)), 0.5);
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    fabric.send_unreliable(text_msg(node_id(0), node_id(1), "m"));
+  }
+  simu.run();
+  // Combined loss = p + q - pq = 0.2 + 0.5 - 0.1 = 0.6.
+  const double delivered = static_cast<double>(got.size()) / kN;
+  EXPECT_NEAR(delivered, 0.4, 0.03);
+  fabric.set_link_loss(node_id(0), node_id(1), 0.0);
+  EXPECT_DOUBLE_EQ(fabric.link_loss(node_id(0), node_id(1)), 0.0);
+}
+
 TEST(UdpTransport, LoopbackRoundTrip) {
   net::UdpEndpoint a, b;
   ASSERT_TRUE(ok(a.bind()));
