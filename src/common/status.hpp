@@ -12,7 +12,10 @@
 
 namespace concord {
 
-enum class Status : std::uint8_t {
+// The [[nodiscard]] on the enum makes *every* Status return value
+// discard-checked by the compiler, with -Werror promoting drops to build
+// breaks; concord-lint's D3 pass is the cross-checking belt on top.
+enum class [[nodiscard]] Status : std::uint8_t {
   kOk = 0,
   kNotFound,        // hash/entity/file absent
   kStale,           // DHT information no longer matches ground truth
@@ -46,7 +49,7 @@ enum class Status : std::uint8_t {
 /// Value-or-Status. Deliberately minimal: enough for internal interfaces
 /// without dragging in exceptions.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)), status_(Status::kOk) {}  // NOLINT(google-explicit-constructor)
   Result(Status s) : status_(s) { assert(s != Status::kOk); }          // NOLINT(google-explicit-constructor)

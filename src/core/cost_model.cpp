@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cstring>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "compress/cgz.hpp"
 #include "dht/dht_store.hpp"
+#include "obs/host_clock.hpp"
 
 namespace concord::core {
 
@@ -19,11 +19,7 @@ double median_ns(Fn&& fn, int reps = 5) {
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    samples.push_back(static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    samples.push_back(static_cast<double>(obs::host_timed_ns(fn)));
   }
   std::nth_element(samples.begin(),
                    samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 2),

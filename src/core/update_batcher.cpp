@@ -1,3 +1,5 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #include "core/update_batcher.hpp"
 
 namespace concord::core {

@@ -13,6 +13,8 @@
 // Loss semantics coarsen with batching: the fabric drops whole datagrams, so
 // one lost datagram now loses every record in the batch (quantified in the
 // fig07 loss sweep).
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <map>

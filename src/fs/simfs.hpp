@@ -36,7 +36,7 @@ class SimFs {
   SimFs& operator=(const SimFs&) = delete;
 
   /// Creates an empty file; kAlreadyExists if present.
-  Status create(const std::string& path);
+  [[nodiscard]] Status create(const std::string& path);
 
   /// Atomic append: writes `data` at end-of-file and returns the offset the
   /// data starts at. Creates the file if absent. Safe for concurrent
@@ -44,11 +44,11 @@ class SimFs {
   FileOffset append(const std::string& path, std::span<const std::byte> data);
 
   /// Positional read of out.size() bytes at `offset`.
-  Status pread(const std::string& path, FileOffset offset, std::span<std::byte> out) const;
+  [[nodiscard]] Status pread(const std::string& path, FileOffset offset, std::span<std::byte> out) const;
 
   [[nodiscard]] Result<std::uint64_t> size(const std::string& path) const;
   [[nodiscard]] bool exists(const std::string& path) const;
-  Status remove(const std::string& path);
+  [[nodiscard]] Status remove(const std::string& path);
 
   /// Whole-file contents (for compression baselines and verification).
   [[nodiscard]] Result<std::vector<std::byte>> read_all(const std::string& path) const;

@@ -1,3 +1,5 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #include "net/codec.hpp"
 
 namespace concord::net::codec {
@@ -69,7 +71,7 @@ void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_l
 }
 
 /// Validates the header and returns a reader positioned at the body.
-Result<Reader> open_body(std::span<const std::byte> datagram, WireType expect_a,
+[[nodiscard]] Result<Reader> open_body(std::span<const std::byte> datagram, WireType expect_a,
                          WireType expect_b) {
   const Result<WireHeader> h = decode_header(datagram);
   if (!h.has_value()) return h.status();

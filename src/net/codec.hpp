@@ -12,6 +12,8 @@
 // Covered messages: DHT updates (the bulk of real traffic), node-wise
 // queries and their replies — the paths exercised by the real-socket
 // integration tests and the udp_node loopback deployment.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <cstdint>

@@ -55,20 +55,20 @@ class UdpDhtNode {
   // --- client-side helpers (any endpoint can use these against a node) ---
 
   /// Fire-and-forget update to a node at `port`.
-  static Status send_update(UdpEndpoint& from, std::uint16_t port,
+  [[nodiscard]] static Status send_update(UdpEndpoint& from, std::uint16_t port,
                             const codec::DhtUpdate& update);
 
   /// Fire-and-forget owner-batched update datagram to a node at `port`.
-  static Status send_update_batch(UdpEndpoint& from, std::uint16_t port,
+  [[nodiscard]] static Status send_update_batch(UdpEndpoint& from, std::uint16_t port,
                                   const codec::DhtUpdateBatch& batch);
 
   /// Synchronous node-wise query: sends, waits up to timeout_ms for the
   /// reply. kTimeout if the reply (or the query — UDP!) was lost.
-  static Result<codec::QueryReply> query(UdpEndpoint& from, std::uint16_t port,
+  [[nodiscard]] static Result<codec::QueryReply> query(UdpEndpoint& from, std::uint16_t port,
                                          const codec::Query& q, int timeout_ms);
 
   /// Synchronous collective-slice query against one shard node.
-  static Result<codec::CollectiveReply> collective_query(UdpEndpoint& from,
+  [[nodiscard]] static Result<codec::CollectiveReply> collective_query(UdpEndpoint& from,
                                                          std::uint16_t port,
                                                          const codec::CollectiveQuery& q,
                                                          int timeout_ms);

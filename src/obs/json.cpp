@@ -1,3 +1,5 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #include "obs/json.hpp"
 
 #include <cctype>
@@ -17,7 +19,7 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  Result<Value> run() {
+  [[nodiscard]] Result<Value> run() {
     Result<Value> v = parse_value();
     if (!v.has_value()) return v;
     skip_ws();
@@ -47,7 +49,7 @@ class Parser {
     return true;
   }
 
-  Result<Value> parse_value() {
+  [[nodiscard]] Result<Value> parse_value() {
     skip_ws();
     if (pos_ >= text_.size()) return Status::kInvalidArgument;
     switch (text_[pos_]) {
@@ -66,7 +68,7 @@ class Parser {
     }
   }
 
-  Result<Value> parse_number() {
+  [[nodiscard]] Result<Value> parse_number() {
     const char* begin = text_.data() + pos_;
     char* end = nullptr;
     const double d = std::strtod(begin, &end);
@@ -75,7 +77,7 @@ class Parser {
     return Value(d);
   }
 
-  Result<std::string> parse_string() {
+  [[nodiscard]] Result<std::string> parse_string() {
     if (!eat('"')) return Status::kInvalidArgument;
     std::string out;
     while (pos_ < text_.size()) {
@@ -127,7 +129,7 @@ class Parser {
     return Status::kInvalidArgument;  // unterminated
   }
 
-  Result<Value> parse_array() {
+  [[nodiscard]] Result<Value> parse_array() {
     if (!eat('[')) return Status::kInvalidArgument;
     Array arr;
     skip_ws();
@@ -142,7 +144,7 @@ class Parser {
     }
   }
 
-  Result<Value> parse_object() {
+  [[nodiscard]] Result<Value> parse_object() {
     if (!eat('{')) return Status::kInvalidArgument;
     Object obj;
     skip_ws();

@@ -6,6 +6,8 @@
 // strict parser for exactly that: full JSON syntax, numbers as double
 // (counter magnitudes in practice stay well inside the 2^53 exact range).
 // It is an offline/verification tool, never on a hot path.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <map>

@@ -15,6 +15,8 @@
 //     simulated runs produce byte-identical JSON/CSV.
 //   * Existing public stats structs (net::NodeTraffic, svc::CommandStats,
 //     mem::ScanStats) remain as thin views materialized from these cells.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <array>

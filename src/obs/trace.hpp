@@ -11,6 +11,8 @@
 //
 // Recording one span is two vector appends; with set_enabled(false) every
 // call is a no-op, so the tracer can ride in release builds.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <cstdint>

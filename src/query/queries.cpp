@@ -1,11 +1,12 @@
 #include "query/queries.hpp"
 
-#include <chrono>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "core/cost_model.hpp"
 #include "dht/collective_scan.hpp"
+#include "obs/host_clock.hpp"
 
 namespace concord::query {
 
@@ -15,10 +16,7 @@ namespace {
 /// charged to the simulation's virtual clock.
 template <typename Fn>
 sim::Time timed(Fn&& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return obs::host_timed_ns(std::forward<Fn>(fn));
 }
 
 struct NodeQueryMsg {

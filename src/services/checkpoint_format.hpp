@@ -11,6 +11,8 @@
 //
 // Records are fixed-header + optional payload so a reader can walk the file
 // without an index. All integers little-endian.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <cstdint>

@@ -33,18 +33,18 @@ class CollectiveCheckpointService final : public svc::ApplicationService {
   explicit CollectiveCheckpointService(core::Cluster& cluster)
       : cluster_(cluster), fs_(cluster.fs()) {}
 
-  Status service_init(NodeId node, svc::Mode mode, const Config& config) override;
-  Status collective_start(NodeId node, svc::Role role, EntityId entity,
+  [[nodiscard]] Status service_init(NodeId node, svc::Mode mode, const Config& config) override;
+  [[nodiscard]] Status collective_start(NodeId node, svc::Role role, EntityId entity,
                           std::span<const ContentHash> partial) override;
-  Result<std::uint64_t> collective_command(NodeId node, EntityId entity,
+  [[nodiscard]] Result<std::uint64_t> collective_command(NodeId node, EntityId entity,
                                            const ContentHash& hash,
                                            std::span<const std::byte> data) override;
-  Status collective_finalize(NodeId node, svc::Role role, EntityId entity) override;
-  Status local_start(NodeId node, EntityId entity) override;
-  Status local_command(NodeId node, EntityId entity, BlockIndex block, const ContentHash& hash,
+  [[nodiscard]] Status collective_finalize(NodeId node, svc::Role role, EntityId entity) override;
+  [[nodiscard]] Status local_start(NodeId node, EntityId entity) override;
+  [[nodiscard]] Status local_command(NodeId node, EntityId entity, BlockIndex block, const ContentHash& hash,
                        std::span<const std::byte> data, const std::uint64_t* handled) override;
-  Status local_finalize(NodeId node, EntityId entity) override;
-  Status service_deinit(NodeId node) override;
+  [[nodiscard]] Status local_finalize(NodeId node, EntityId entity) override;
+  [[nodiscard]] Status service_deinit(NodeId node) override;
 
   [[nodiscard]] std::string shared_path() const { return dir_ + "/shared"; }
   [[nodiscard]] std::string se_path(EntityId e) const {

@@ -1,7 +1,9 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #include "services/dht_audit.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
+#include <set>
 
 #include "core/cost_model.hpp"
 #include "core/service_daemon.hpp"
@@ -25,12 +27,12 @@ AuditReport DhtAudit::run() {
     if (cluster_.fault().is_down(node_id(n))) continue;  // down hosts drive nothing
     const core::ServiceDaemon& host = cluster_.daemon(node_id(n));
     // Batch the checks per shard owner, as a real implementation would.
-    std::unordered_map<std::uint32_t, std::uint64_t> batch_pairs;
+    std::map<std::uint32_t, std::uint64_t> batch_pairs;  // ordered: repair traffic is emitted per owner
     sim::Time scan = 0;
 
     host.block_map().for_each([&](const ContentHash& h,
                                   const std::vector<mem::BlockLocation>& locs) {
-      std::unordered_set<std::uint32_t> entities_here;
+      std::set<std::uint32_t> entities_here;  // ordered: repair inserts are emitted per entity
       for (const mem::BlockLocation& loc : locs) entities_here.insert(raw(loc.entity));
       const NodeId owner = cluster_.placement().owner(h);
       for (const std::uint32_t e : entities_here) {

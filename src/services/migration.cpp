@@ -1,8 +1,12 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #include "services/migration.hpp"
 
-#include <chrono>
 #include <memory>
-#include <unordered_map>
+#include <map>
+#include <utility>
+
+#include "obs/host_clock.hpp"
 
 namespace concord::services {
 
@@ -10,10 +14,7 @@ namespace {
 
 template <typename Fn>
 sim::Time timed(Fn&& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return obs::host_timed_ns(std::forward<Fn>(fn));
 }
 
 /// Batched residency probe: "which of these hashes does an entity hosted at
@@ -102,7 +103,7 @@ MigrationStats CollectiveMigration::migrate(std::span<const MigrationPlanItem> p
     simu.run_until(simu.now() + hash_cost);
 
     // 2. Batched residency probes, one per shard owner.
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_shard;  // shard -> block idx
+    std::map<std::uint32_t, std::vector<std::size_t>> by_shard;  // shard -> block idx, ordered: probes are emitted per shard
     for (std::size_t b = 0; b < block_hash.size(); ++b) {
       by_shard[raw(cluster_.placement().owner(block_hash[b]))].push_back(b);
     }

@@ -13,20 +13,20 @@ namespace concord::services {
 
 class NullService final : public svc::ApplicationService {
  public:
-  Status service_init(NodeId node, svc::Mode mode, const Config& config) override {
+  [[nodiscard]] Status service_init(NodeId node, svc::Mode mode, const Config& config) override {
     (void)node;
     (void)config;
     mode_ = mode;
     return Status::kOk;
   }
 
-  Status collective_start(NodeId, svc::Role, EntityId,
+  [[nodiscard]] Status collective_start(NodeId, svc::Role, EntityId,
                           std::span<const ContentHash> partial) override {
     partial_hashes_seen_ += partial.size();
     return Status::kOk;
   }
 
-  Result<std::uint64_t> collective_command(NodeId, EntityId, const ContentHash&,
+  [[nodiscard]] Result<std::uint64_t> collective_command(NodeId, EntityId, const ContentHash&,
                                            std::span<const std::byte> data) override {
     if (mode_ == svc::Mode::kInteractive) {
       touch(data);
@@ -36,7 +36,7 @@ class NullService final : public svc::ApplicationService {
     return std::uint64_t{1};
   }
 
-  Status collective_finalize(NodeId, svc::Role, EntityId) override {
+  [[nodiscard]] Status collective_finalize(NodeId, svc::Role, EntityId) override {
     if (mode_ == svc::Mode::kBatch) {
       for (const auto span : plan_) touch(span);
       plan_.clear();
@@ -44,16 +44,16 @@ class NullService final : public svc::ApplicationService {
     return Status::kOk;
   }
 
-  Status local_start(NodeId, EntityId) override { return Status::kOk; }
+  [[nodiscard]] Status local_start(NodeId, EntityId) override { return Status::kOk; }
 
-  Status local_command(NodeId, EntityId, BlockIndex, const ContentHash&,
+  [[nodiscard]] Status local_command(NodeId, EntityId, BlockIndex, const ContentHash&,
                        std::span<const std::byte> data, const std::uint64_t*) override {
     touch(data);
     return Status::kOk;
   }
 
-  Status local_finalize(NodeId, EntityId) override { return Status::kOk; }
-  Status service_deinit(NodeId) override { return Status::kOk; }
+  [[nodiscard]] Status local_finalize(NodeId, EntityId) override { return Status::kOk; }
+  [[nodiscard]] Status service_deinit(NodeId) override { return Status::kOk; }
 
   [[nodiscard]] std::uint64_t bytes_touched() const noexcept { return bytes_touched_; }
   [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }

@@ -1,7 +1,9 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #include "services/raw_checkpoint.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "compress/cgz.hpp"
 #include "core/cost_model.hpp"
@@ -15,7 +17,7 @@ RawCheckpointResult raw_checkpoint(core::Cluster& cluster, std::span<const Entit
 
   // Group SEs by host: nodes work concurrently, blocks within a node
   // sequentially.
-  std::unordered_map<std::uint32_t, std::vector<EntityId>> by_node;
+  std::map<std::uint32_t, std::vector<EntityId>> by_node;  // ordered: files are written per node
   for (const EntityId e : ses) {
     by_node[raw(cluster.registry().host_of(e))].push_back(e);
   }

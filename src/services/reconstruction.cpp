@@ -1,18 +1,17 @@
 #include "services/reconstruction.hpp"
 
-#include <chrono>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+
+#include "obs/host_clock.hpp"
 
 namespace concord::services {
 
 namespace {
 template <typename Fn>
 sim::Time timed(Fn&& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return obs::host_timed_ns(std::forward<Fn>(fn));
 }
 
 struct BlockPull {

@@ -36,7 +36,7 @@ class VmReconstruction {
   /// entity on `destination`. Live replicas are found through the DHT and
   /// verified by rehash before use; storage is the fallback for everything
   /// else, so the result is always byte-identical to the checkpoint.
-  Result<EntityId> reconstruct(const std::string& se_path, const std::string& shared_path,
+  [[nodiscard]] Result<EntityId> reconstruct(const std::string& se_path, const std::string& shared_path,
                                NodeId destination, ReconstructionStats& stats);
 
  private:

@@ -43,14 +43,14 @@ class ApplicationService {
   // ----- service initialization -----
 
   /// Executed once on each node holding a service or participating entity.
-  virtual Status service_init(NodeId node, Mode mode, const Config& config) = 0;
+  [[nodiscard]] virtual Status service_init(NodeId node, Mode mode, const Config& config) = 0;
 
   // ----- collective phase -----
 
   /// Executed exactly once per scope entity, on its host node. `partial` is
   /// the advisory set of content hashes the local DHT shard believes the
   /// entity contains (a "slice of life", possibly stale and incomplete).
-  virtual Status collective_start(NodeId node, Role role, EntityId entity,
+  [[nodiscard]] virtual Status collective_start(NodeId node, Role role, EntityId entity,
                                   std::span<const ContentHash> partial) = 0;
 
   /// Optional replica choice: given a hash and the candidate entities that
@@ -69,34 +69,34 @@ class ApplicationService {
   /// an opaque 64-bit private value on success (e.g. a file offset); the
   /// engine redistributes it to SE hosts as the "handled" information
   /// consumed by local_command(). A failure marks the hash unhandled.
-  virtual Result<std::uint64_t> collective_command(NodeId node, EntityId entity,
+  [[nodiscard]] virtual Result<std::uint64_t> collective_command(NodeId node, EntityId entity,
                                                    const ContentHash& hash,
                                                    std::span<const std::byte> data) = 0;
 
   /// Per scope entity, after every relevant hash has been driven. Acts as a
   /// barrier.
-  virtual Status collective_finalize(NodeId node, Role role, EntityId entity) = 0;
+  [[nodiscard]] virtual Status collective_finalize(NodeId node, Role role, EntityId entity) = 0;
 
   // ----- local phase (service entities only) -----
 
-  virtual Status local_start(NodeId node, EntityId entity) = 0;
+  [[nodiscard]] virtual Status local_start(NodeId node, EntityId entity) = 0;
 
   /// Invoked for every memory block of every SE, with the block's *current*
   /// content and hash (ground truth, freshly hashed). `handled` is the
   /// private value from a successful collective_command() for this hash, or
   /// nullptr if ConCORD did not handle it (unknown, stale, or the handled
   /// notification was lost) — the service must then cover the block itself.
-  virtual Status local_command(NodeId node, EntityId entity, BlockIndex block,
+  [[nodiscard]] virtual Status local_command(NodeId node, EntityId entity, BlockIndex block,
                                const ContentHash& hash, std::span<const std::byte> data,
                                const std::uint64_t* handled) = 0;
 
-  virtual Status local_finalize(NodeId node, EntityId entity) = 0;
+  [[nodiscard]] virtual Status local_finalize(NodeId node, EntityId entity) = 0;
 
   // ----- teardown -----
 
   /// Executed on each scope node; interprets final state to declare the
   /// service's overall success.
-  virtual Status service_deinit(NodeId node) = 0;
+  [[nodiscard]] virtual Status service_deinit(NodeId node) = 0;
 };
 
 }  // namespace concord::svc

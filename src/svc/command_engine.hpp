@@ -134,7 +134,7 @@ class CommandEngine {
   void check_shard_drained(core::ServiceDaemon& d);
 
   // Local phase at an SE host.
-  Status run_local_phase(core::ServiceDaemon& d, sim::Time& cost);
+  [[nodiscard]] Status run_local_phase(core::ServiceDaemon& d, sim::Time& cost);
 
   core::Cluster& cluster_;
   std::uint64_t next_cmd_id_ = 1;

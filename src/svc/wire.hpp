@@ -4,6 +4,8 @@
 // reliable phase control + acks, reliable per-hash dispatch/reply, and the
 // best-effort handled(hash, private) redistribution that forms the
 // "content hash exchange among service daemons" traffic of §3.4.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
 #pragma once
 
 #include <cstdint>

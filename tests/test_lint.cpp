@@ -1,0 +1,141 @@
+// Golden-fixture tests for tools/concord-lint: one positive and one
+// suppressed case per rule (D1–D4), the unused-suppression warning, a clean
+// file, and the CLI contract (exit codes, --root over the real tree).
+//
+// The binary location and fixture directory are injected by CMake as
+// CONCORD_LINT_BIN / CONCORD_LINT_FIXTURES / CONCORD_LINT_ROOT.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(CONCORD_LINT_BIN) + " " + args + " 2>&1";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) r.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const char* name) {
+  return std::string(CONCORD_LINT_FIXTURES) + "/" + name;
+}
+
+int count_of(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---- D1: banned nondeterminism sources --------------------------------------
+
+TEST(LintD1, FlagsWallClockAndLibcRng) {
+  const LintRun r = run_lint(fixture("d1_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[concord-determinism]"), 2) << r.output;
+  EXPECT_NE(r.output.find("d1_violation.cpp:6"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("steady_clock"), std::string::npos) << r.output;
+}
+
+TEST(LintD1, NolintAndNolintnextlineSuppress) {
+  const LintRun r = run_lint(fixture("d1_suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+// ---- D2: unordered iteration on emit paths ----------------------------------
+
+TEST(LintD2, FlagsUnorderedRangeForInEmitPathFile) {
+  const LintRun r = run_lint(fixture("d2_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[concord-unordered-emit]"), 1) << r.output;
+  EXPECT_NE(r.output.find("d2_violation.cpp:8"), std::string::npos) << r.output;
+}
+
+TEST(LintD2, SortedJustificationSuppresses) {
+  const LintRun r = run_lint(fixture("d2_suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- D3: discarded Status / Result ------------------------------------------
+
+TEST(LintD3, FlagsDiscardedStatusCalls) {
+  const LintRun r = run_lint(fixture("d3_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Both the `if (...) call();` form and the bare-statement form.
+  EXPECT_EQ(count_of(r.output, "[concord-status]"), 2) << r.output;
+  EXPECT_NE(r.output.find("d3_violation.cpp:7"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("d3_violation.cpp:8"), std::string::npos) << r.output;
+}
+
+TEST(LintD3, VoidCastAndNolintSuppress) {
+  const LintRun r = run_lint(fixture("d3_suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- D4: raw allocation ------------------------------------------------------
+
+TEST(LintD4, FlagsNewMallocFree) {
+  const LintRun r = run_lint(fixture("d4_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[concord-alloc]"), 3) << r.output;
+  EXPECT_NE(r.output.find("malloc"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("new"), std::string::npos) << r.output;
+}
+
+TEST(LintD4, NolintSuppresses) {
+  const LintRun r = run_lint(fixture("d4_suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- Unused suppressions -----------------------------------------------------
+
+TEST(LintSuppressions, UnusedOnesAreReported) {
+  const LintRun r = run_lint(fixture("unused_suppression.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[concord-unused-suppression]"), 2) << r.output;
+  EXPECT_NE(r.output.find("NOLINT(concord-determinism)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("concord-lint: sorted"), std::string::npos) << r.output;
+}
+
+// ---- CLI contract ------------------------------------------------------------
+
+TEST(LintCli, CleanFileExitsZero) {
+  const LintRun r = run_lint(fixture("clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintCli, NoInputIsAUsageError) {
+  const LintRun r = run_lint("");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintCli, MissingFileIsAnIoError) {
+  const LintRun r = run_lint(fixture("does_not_exist.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintCli, WholeRepoTreeIsClean) {
+  const LintRun r = run_lint(std::string("--root ") + CONCORD_LINT_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+}  // namespace

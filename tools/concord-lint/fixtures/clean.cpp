@@ -1,0 +1,19 @@
+// Fixture: clean file — ordered emit, consumed Status, no banned sources.
+// concord-lint: emit-path
+#include <map>
+#include <string>
+
+enum class Status { kOk, kNotFound };
+
+Status flush_shard(int shard);
+
+std::string snapshot(const std::map<int, int>& cells) {
+  std::string out;
+  for (const auto& [k, v] : cells) {
+    out += std::to_string(k) + "=" + std::to_string(v) + "\n";
+  }
+  if (flush_shard(0) != Status::kOk) out += "flush failed\n";
+  return out;
+}
+
+Status flush_shard(int shard) { return shard >= 0 ? Status::kOk : Status::kNotFound; }

@@ -1,0 +1,10 @@
+// Fixture: D1 suppressed — same sites, justified NOLINTs.
+#include <chrono>
+#include <cstdlib>
+
+long long sample_wall_clock() {
+  // Host-side calibration: real time is the quantity being measured.
+  const auto t = std::chrono::steady_clock::now();  // NOLINT(concord-determinism)
+  // NOLINTNEXTLINE(concord-determinism)
+  return t.time_since_epoch().count() + rand();
+}

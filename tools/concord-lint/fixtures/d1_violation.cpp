@@ -1,0 +1,8 @@
+// Fixture: D1 positive — wall clock + libc RNG outside the allowlist.
+#include <chrono>
+#include <cstdlib>
+
+long long sample_wall_clock() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count() + rand();
+}

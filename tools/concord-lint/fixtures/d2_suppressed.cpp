@@ -1,0 +1,13 @@
+// Fixture: D2 suppressed — the loop only accumulates a sum, so hash order
+// cannot leak into the emitted bytes.
+// concord-lint: emit-path
+#include <unordered_map>
+
+long long total(const std::unordered_map<int, long long>& cells) {
+  long long sum = 0;
+  // concord-lint: sorted — order-independent reduction, nothing is emitted per element
+  for (const auto& [k, v] : cells) {
+    sum += v;
+  }
+  return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture: D2 positive — unordered iteration in an emit-path file.
+// concord-lint: emit-path
+#include <string>
+#include <unordered_map>
+
+std::string snapshot(const std::unordered_map<int, int>& cells) {
+  std::string out;
+  for (const auto& [k, v] : cells) {
+    out += std::to_string(k) + "=" + std::to_string(v) + "\n";
+  }
+  return out;
+}

@@ -1,0 +1,11 @@
+// Fixture: D3 positive — Status-returning call with the value dropped.
+enum class Status { kOk, kNotFound };
+
+Status flush_shard(int shard);
+
+void tick(int shard, bool urgent) {
+  if (urgent) flush_shard(shard);
+  flush_shard(shard + 1);
+}
+
+Status flush_shard(int shard) { return shard >= 0 ? Status::kOk : Status::kNotFound; }

@@ -1,0 +1,10 @@
+// Fixture: D4 suppressed — justified raw allocation (FFI handoff).
+#include <cstdlib>
+
+int* make_buffer(unsigned n) {
+  // Caller is C code that frees with free(); the pool cannot own this.
+  void* scratch = std::malloc(n);  // NOLINT(concord-alloc)
+  std::free(scratch);              // NOLINT(concord-alloc)
+  // NOLINTNEXTLINE(concord-alloc) — ownership crosses the FFI boundary
+  return new int[n];
+}

@@ -1,0 +1,8 @@
+// Fixture: D4 positive — raw new and malloc outside the pool allocator.
+#include <cstdlib>
+
+int* make_buffer(unsigned n) {
+  void* scratch = std::malloc(n);
+  std::free(scratch);
+  return new int[n];
+}

@@ -1,0 +1,14 @@
+// Fixture: suppressions that never fire are themselves findings.
+// concord-lint: emit-path
+#include <map>
+
+int identity(int x) { return x; }  // NOLINT(concord-determinism)
+
+long long total(const std::map<int, long long>& cells) {
+  long long sum = 0;
+  // concord-lint: sorted — std::map is already ordered; the note is stale
+  for (const auto& [k, v] : cells) {
+    sum += v;
+  }
+  return sum;
+}

@@ -1,0 +1,726 @@
+// concord-lint — project-specific determinism & status-discipline linter.
+//
+// A deliberately small, dependency-free static-analysis pass (no libclang)
+// that tokenizes the C++ sources and enforces the repo's determinism
+// disciplines, which the compiler cannot see:
+//
+//   D1  concord-determinism     banned nondeterminism sources (wall clocks,
+//                               unseeded randomness) outside an allowlist
+//   D2  concord-unordered-emit  no range-for / iterator loops over
+//                               std::unordered_{map,set} in files tagged
+//                               `// concord-lint: emit-path` unless the loop
+//                               carries a `// concord-lint: sorted` note
+//   D3  concord-status          calls to Status/Result<T>-returning functions
+//                               whose value is silently discarded
+//   D4  concord-alloc           raw new/malloc outside common/pool_allocator
+//
+// Every rule is suppressible with `// NOLINT(concord-<rule>)` on the same
+// line (or `// NOLINTNEXTLINE(concord-<rule>)` on the line above); a
+// suppression that never fires is itself reported, so stale annotations
+// cannot accumulate.
+//
+// Usage:
+//   concord-lint --root <repo>     lint <repo>/{src,bench,examples}
+//   concord-lint <file>...         lint the given files only
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Findings & suppressions
+
+enum class Rule {
+  kDeterminism,
+  kUnorderedEmit,
+  kStatus,
+  kAlloc,
+  kUnusedSuppression,
+};
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::kDeterminism: return "concord-determinism";
+    case Rule::kUnorderedEmit: return "concord-unordered-emit";
+    case Rule::kStatus: return "concord-status";
+    case Rule::kAlloc: return "concord-alloc";
+    case Rule::kUnusedSuppression: return "concord-unused-suppression";
+  }
+  return "concord-unknown";
+}
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  Rule rule = Rule::kDeterminism;
+  std::string message;
+  bool warning = false;  // warnings still fail the run; the label differs
+};
+
+/// One `NOLINT(concord-*)` / `NOLINTNEXTLINE(concord-*)` / `concord-lint:
+/// sorted` annotation, tracked so unused suppressions can be reported.
+struct Suppression {
+  std::size_t line = 0;      // line the comment sits on (1-based)
+  std::size_t covers = 0;    // line whose findings it suppresses
+  std::string rule;          // "concord-determinism", ... or "sorted"
+  bool used = false;
+};
+
+// ---------------------------------------------------------------------------
+// Source model: raw text, a comment/string-blanked twin used by all rule
+// scanners, and the per-line comment text used by the annotation grammar.
+
+struct SourceFile {
+  std::string path;          // as reported
+  std::string code;          // comments & literals blanked with spaces
+  std::vector<std::string> comments;  // comment text per line (1-based index)
+  std::vector<std::size_t> line_start;  // offset of each line in `code`
+  std::vector<Suppression> suppressions;
+  bool emit_path = false;    // file carries `// concord-lint: emit-path`
+
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comments, string literals, and char literals so rule scanners only
+/// ever see code. Comment text is captured per line. Handles // and /* */
+/// comments, escape sequences, and R"delim(...)delim" raw strings.
+SourceFile load_source(const std::string& path, const std::string& text) {
+  SourceFile src;
+  src.path = path;
+  src.code.reserve(text.size());
+  src.comments.emplace_back();  // line 0 placeholder; lines are 1-based
+  src.comments.emplace_back();
+  src.line_start.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State st = State::kCode;
+  std::string raw_delim;  // for raw strings: the `)delim"` terminator
+  std::size_t line = 1;
+
+  auto put_code = [&](char c) { src.code.push_back(c); };
+  auto put_blank = [&](char c) { src.code.push_back(c == '\n' ? '\n' : ' '); };
+  auto put_comment = [&](char c) {
+    if (c != '\n') src.comments[line].push_back(c);
+    put_blank(c);
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          put_blank(c);
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          put_blank(c);
+          put_blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The prefix R (possibly u8R etc.) sits right before.
+          if (i > 0 && text[i - 1] == 'R') {
+            std::size_t j = i + 1;
+            raw_delim = ")";
+            while (j < text.size() && text[j] != '(') raw_delim.push_back(text[j++]);
+            raw_delim.push_back('"');
+            st = State::kRawString;
+          } else {
+            st = State::kString;
+          }
+          put_blank(c);
+        } else if (c == '\'' && !(i > 0 && ident_char(text[i - 1]))) {
+          // Skip digit separators like 1'000 via the ident-char lookbehind.
+          st = State::kChar;
+          put_blank(c);
+        } else {
+          put_code(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') st = State::kCode;
+        put_comment(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          put_comment(c);
+          put_blank(next);
+          ++i;
+          st = State::kCode;
+        } else {
+          put_comment(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          put_blank(c);
+          put_blank(next);
+          ++i;
+        } else {
+          if (c == '"') st = State::kCode;
+          put_blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          put_blank(c);
+          put_blank(next);
+          ++i;
+        } else {
+          if (c == '\'') st = State::kCode;
+          put_blank(c);
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) put_blank(text[i + k]);
+          i += raw_delim.size() - 1;
+          st = State::kCode;
+        } else {
+          put_blank(c);
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+      src.comments.emplace_back();
+      src.line_start.push_back(src.code.size());
+    }
+  }
+
+  // Harvest annotations from the captured comments.
+  for (std::size_t ln = 1; ln < src.comments.size(); ++ln) {
+    const std::string& cm = src.comments[ln];
+    if (cm.find("concord-lint: emit-path") != std::string::npos) src.emit_path = true;
+    if (cm.find("concord-lint: sorted") != std::string::npos) {
+      // Justifies a loop on the same line or the line below.
+      src.suppressions.push_back({ln, ln, "sorted", false});
+      src.suppressions.push_back({ln, ln + 1, "sorted", false});
+    }
+    for (const char* marker : {"NOLINTNEXTLINE(", "NOLINT("}) {
+      const std::size_t at = cm.find(marker);
+      if (at == std::string::npos) continue;
+      const std::size_t open = at + std::string_view(marker).size();
+      const std::size_t close = cm.find(')', open);
+      if (close == std::string::npos) continue;
+      const bool next_line = std::string_view(marker).starts_with("NOLINTNEXTLINE");
+      std::stringstream rules(cm.substr(open, close - open));
+      std::string one;
+      while (std::getline(rules, one, ',')) {
+        const std::size_t b = one.find_first_not_of(" \t");
+        const std::size_t e = one.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        one = one.substr(b, e - b + 1);
+        if (!one.starts_with("concord-")) continue;  // clang-tidy's, not ours
+        src.suppressions.push_back({ln, next_line ? ln + 1 : ln, one, false});
+      }
+      break;  // NOLINTNEXTLINE( contains NOLINT(; don't double-harvest
+    }
+  }
+  return src;
+}
+
+/// True (and marks the suppression used) if `rule` is suppressed at `line`.
+bool suppressed(SourceFile& src, std::size_t line, Rule rule) {
+  bool hit = false;
+  for (Suppression& s : src.suppressions) {
+    if (s.covers != line) continue;
+    if (s.rule == rule_name(rule) || (rule == Rule::kUnorderedEmit && s.rule == "sorted")) {
+      s.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+// ---------------------------------------------------------------------------
+// Small scanning helpers over the blanked code buffer.
+
+std::size_t skip_ws_fwd(const std::string& code, std::size_t i) {
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+  return i;
+}
+
+/// Index of the last non-whitespace char before `i`, or npos.
+std::size_t prev_sig(const std::string& code, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(code[i])) == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// With code[i] == open, returns the index just past the matching closer.
+std::size_t skip_balanced(const std::string& code, std::size_t i, char open, char close) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    else if (code[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Start index of the identifier ending at (and including) `end`.
+std::size_t ident_begin(const std::string& code, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(code[b - 1])) --b;
+  return b;
+}
+
+bool word_at(const std::string& code, std::size_t i, std::string_view word) {
+  if (code.compare(i, word.size(), word) != 0) return false;
+  if (i > 0 && ident_char(code[i - 1])) return false;
+  const std::size_t after = i + word.size();
+  return after >= code.size() || !ident_char(code[after]);
+}
+
+// ---------------------------------------------------------------------------
+// D1 — banned nondeterminism sources.
+
+struct BannedSource {
+  std::string_view needle;
+  std::string_view why;
+};
+
+constexpr BannedSource kBanned[] = {
+    {"std::chrono::system_clock", "wall clock breaks replay determinism"},
+    {"std::chrono::steady_clock", "host clock breaks replay determinism"},
+    {"system_clock", "wall clock breaks replay determinism"},
+    {"steady_clock", "host clock breaks replay determinism"},
+    {"std::random_device", "unseeded entropy breaks replay determinism"},
+    {"random_device", "unseeded entropy breaks replay determinism"},
+    {"gettimeofday(", "wall clock breaks replay determinism"},
+    {"clock_gettime(", "wall clock breaks replay determinism"},
+    {"timespec_get(", "wall clock breaks replay determinism"},
+    {"time(", "wall clock breaks replay determinism"},
+    {"srand(", "libc RNG is global, unseeded state"},
+    {"rand(", "libc RNG is global, unseeded state"},
+};
+
+/// Files allowed to touch real time / real entropy: the seeded RNG itself,
+/// the obs layer (owns the virtual-clock <-> host-clock boundary), the sim
+/// virtual clock, and the real-UDP transport (genuinely wall-clock-driven).
+constexpr std::string_view kDeterminismAllowlist[] = {
+    "common/rng", "src/obs/", "obs/host_clock", "src/sim/", "net/udp_",
+};
+
+bool path_matches(const std::string& path, std::string_view pat) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.find(pat) != std::string::npos;
+}
+
+void check_determinism(SourceFile& src, std::vector<Finding>& out) {
+  for (std::string_view pat : kDeterminismAllowlist) {
+    if (path_matches(src.path, pat)) return;
+  }
+  const std::string& code = src.code;
+  for (const BannedSource& b : kBanned) {
+    for (std::size_t at = code.find(b.needle); at != std::string::npos;
+         at = code.find(b.needle, at + 1)) {
+      // Token boundary: not mid-identifier, and not the tail of a longer
+      // qualified name already matched (e.g. `steady_clock` inside
+      // `std::chrono::steady_clock`).
+      if (at > 0 && (ident_char(code[at - 1]) || code[at - 1] == ':')) continue;
+      const std::size_t ln = src.line_of(at);
+      if (suppressed(src, ln, Rule::kDeterminism)) continue;
+      out.push_back({src.path, ln, Rule::kDeterminism,
+                     std::string(b.needle.substr(0, b.needle.find('('))) + ": " +
+                         std::string(b.why) +
+                         " (use common/rng or the sim virtual clock)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D4 — raw allocation outside the pool allocator.
+
+void check_alloc(SourceFile& src, std::vector<Finding>& out) {
+  if (path_matches(src.path, "common/pool_allocator")) return;
+  const std::string& code = src.code;
+  for (std::string_view fn : {"malloc(", "calloc(", "realloc(", "aligned_alloc(", "free("}) {
+    for (std::size_t at = code.find(fn); at != std::string::npos;
+         at = code.find(fn, at + 1)) {
+      if (at > 0 && ident_char(code[at - 1])) continue;
+      const std::size_t ln = src.line_of(at);
+      if (suppressed(src, ln, Rule::kAlloc)) continue;
+      out.push_back({src.path, ln, Rule::kAlloc,
+                     std::string(fn.substr(0, fn.size() - 1)) +
+                         ": raw allocation; route through common/pool_allocator "
+                         "or a container"});
+    }
+  }
+  for (std::size_t at = code.find("new"); at != std::string::npos;
+       at = code.find("new", at + 3)) {
+    if (!word_at(code, at, "new")) continue;
+    // `operator new` declarations are the allocator's business, not a use.
+    const std::size_t p = prev_sig(code, at);
+    if (p != std::string::npos && ident_char(code[p])) {
+      const std::size_t b = ident_begin(code, p);
+      if (code.compare(b, p - b + 1, "operator") == 0) continue;
+    }
+    // Must look like an expression: followed by a type name or '('.
+    const std::size_t after = skip_ws_fwd(code, at + 3);
+    if (after >= code.size() || (!ident_char(code[after]) && code[after] != '(')) continue;
+    const std::size_t ln = src.line_of(at);
+    if (suppressed(src, ln, Rule::kAlloc)) continue;
+    out.push_back({src.path, ln, Rule::kAlloc,
+                   "new: raw allocation; use make_unique/make_shared, a container, "
+                   "or common/pool_allocator"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — unordered-container iteration on emit paths.
+
+/// Collects names declared with an unordered container type in this file:
+/// `std::unordered_map<K, V> name;` / member `std::unordered_set<T> name_;`.
+std::vector<std::string> unordered_names(const SourceFile& src) {
+  std::vector<std::string> names;
+  const std::string& code = src.code;
+  for (std::string_view kind : {"unordered_map", "unordered_set"}) {
+    for (std::size_t at = code.find(kind); at != std::string::npos;
+         at = code.find(kind, at + kind.size())) {
+      if (at > 0 && ident_char(code[at - 1])) continue;
+      std::size_t i = skip_ws_fwd(code, at + kind.size());
+      if (i >= code.size() || code[i] != '<') continue;
+      i = skip_balanced(code, i, '<', '>');
+      if (i == std::string::npos) continue;
+      i = skip_ws_fwd(code, i);
+      while (i < code.size() && (code[i] == '&' || code[i] == '*')) i = skip_ws_fwd(code, i + 1);
+      const std::size_t b = i;
+      while (i < code.size() && ident_char(code[i])) ++i;
+      if (i > b) names.emplace_back(code.substr(b, i - b));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void check_unordered_emit(SourceFile& src, std::vector<Finding>& out) {
+  if (!src.emit_path) return;
+  const std::vector<std::string> names = unordered_names(src);
+  const std::string& code = src.code;
+  for (std::size_t at = code.find("for"); at != std::string::npos;
+       at = code.find("for", at + 3)) {
+    if (!word_at(code, at, "for")) continue;
+    std::size_t open = skip_ws_fwd(code, at + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = skip_balanced(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::string head = code.substr(open + 1, close - open - 2);
+    // Range-for over an unordered container, or an iterator loop on one.
+    bool flagged = false;
+    std::string which;
+    const std::size_t colon = [&] {
+      int depth = 0;  // ignore ':' inside <>, e.g. std::pair
+      for (std::size_t i = 0; i + 1 < head.size(); ++i) {
+        if (head[i] == '<' || head[i] == '(' || head[i] == '[') ++depth;
+        if ((head[i] == '>' && (i == 0 || head[i - 1] != '-')) || head[i] == ')' ||
+            head[i] == ']') {
+          --depth;
+        }
+        if (depth == 0 && head[i] == ':' && head[i + 1] != ':' &&
+            (i == 0 || head[i - 1] != ':')) {
+          return i;
+        }
+      }
+      return std::string::npos;
+    }();
+    const std::string range = colon == std::string::npos ? "" : head.substr(colon + 1);
+    const std::string& hay = colon == std::string::npos ? head : range;
+    if (hay.find("unordered_") != std::string::npos) {
+      flagged = true;
+      which = "unordered container";
+    } else {
+      for (const std::string& n : names) {
+        std::size_t pos = 0;
+        while ((pos = hay.find(n, pos)) != std::string::npos) {
+          const bool lb = pos == 0 || !ident_char(hay[pos - 1]);
+          const std::size_t after = pos + n.size();
+          const bool rb = after >= hay.size() || !ident_char(hay[after]);
+          if (lb && rb) {
+            // Iterator loops only count when .begin()/.cbegin() is taken;
+            // a range-for counts on the bare name.
+            if (colon != std::string::npos ||
+                hay.compare(after, 7, ".begin(") == 0 ||
+                hay.compare(after, 8, ".cbegin(") == 0) {
+              flagged = true;
+              which = n;
+            }
+          }
+          pos = after;
+        }
+        if (flagged) break;
+      }
+    }
+    if (!flagged) continue;
+    const std::size_t ln = src.line_of(at);
+    if (suppressed(src, ln, Rule::kUnorderedEmit)) continue;
+    out.push_back({src.path, ln, Rule::kUnorderedEmit,
+                   "iteration over " + which +
+                       " on an emit path: order is hash-dependent; sort first or "
+                       "justify with `// concord-lint: sorted`"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D3 — discarded Status / Result<T> values.
+
+/// Pass 1: names of functions declared anywhere in the scan set whose return
+/// type is Status or Result<...>. Names that are *also* declared with a
+/// non-Status builtin return type anywhere (e.g. a `void run()` next to a
+/// `Result<T> run()`) are ambiguous for a name-based pass and are skipped —
+/// the [[nodiscard]] + -Werror compiler layer is the precise check there.
+void collect_status_functions(const SourceFile& src, std::set<std::string>& status_named,
+                              std::set<std::string>& other_named) {
+  const std::string& code = src.code;
+  constexpr std::string_view kOtherTypes[] = {
+      "void", "bool", "int",      "unsigned", "long",     "float",
+      "double", "auto", "size_t", "uint32_t", "uint64_t", "int64_t",
+  };
+  auto harvest = [&](std::string_view type, bool template_args, std::set<std::string>& out) {
+    for (std::size_t at = code.find(type); at != std::string::npos;
+         at = code.find(type, at + type.size())) {
+      if (!word_at(code, at, type)) continue;
+      std::size_t i = skip_ws_fwd(code, at + type.size());
+      if (template_args) {
+        if (i >= code.size() || code[i] != '<') continue;
+        i = skip_balanced(code, i, '<', '>');
+        if (i == std::string::npos) continue;
+        i = skip_ws_fwd(code, i);
+      }
+      const std::size_t b = i;
+      while (i < code.size() && ident_char(code[i])) ++i;
+      if (i == b) continue;
+      const std::size_t after = skip_ws_fwd(code, i);
+      if (after >= code.size() || code[after] != '(') continue;
+      out.insert(code.substr(b, i - b));
+    }
+  };
+  harvest("Status", false, status_named);
+  harvest("Result", true, status_named);
+  for (std::string_view t : kOtherTypes) harvest(t, false, other_named);
+}
+
+void check_status_discard(SourceFile& src, const std::set<std::string>& fns,
+                          std::vector<Finding>& out) {
+  const std::string& code = src.code;
+  for (const std::string& fn : fns) {
+    for (std::size_t at = code.find(fn); at != std::string::npos;
+         at = code.find(fn, at + fn.size())) {
+      if (at > 0 && ident_char(code[at - 1])) continue;
+      std::size_t open = skip_ws_fwd(code, at + fn.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = skip_balanced(code, open, '(', ')');
+      if (close == std::string::npos) continue;
+      // The call's value is consumed unless the next significant char is ';'.
+      const std::size_t after = skip_ws_fwd(code, close);
+      if (after >= code.size() || code[after] != ';') continue;
+      // Walk back over the receiver chain (`a.b->c::` ...) to the start of
+      // the full call expression.
+      std::size_t start = at;
+      for (;;) {
+        const std::size_t p = prev_sig(code, start);
+        if (p == std::string::npos) break;
+        const bool dot = code[p] == '.';
+        const bool arrow = code[p] == '>' && p > 0 && code[p - 1] == '-';
+        const bool scope = code[p] == ':' && p > 0 && code[p - 1] == ':';
+        if (!dot && !arrow && !scope) break;
+        std::size_t q = prev_sig(code, dot ? p : p - 1);
+        if (q == std::string::npos) break;
+        if (code[q] == ')' || code[q] == ']') {
+          // Skip back over a balanced group plus the identifier before it.
+          const char closer = code[q];
+          const char opener = closer == ')' ? '(' : '[';
+          int depth = 0;
+          while (q != std::string::npos) {
+            if (code[q] == closer) ++depth;
+            if (code[q] == opener && --depth == 0) break;
+            if (q == 0) break;
+            --q;
+          }
+          const std::size_t r = prev_sig(code, q);
+          if (r == std::string::npos || !ident_char(code[r])) {
+            start = q;
+            continue;
+          }
+          q = r;
+        }
+        if (ident_char(code[q])) {
+          start = ident_begin(code, q);
+        } else {
+          start = q;
+        }
+        continue;
+      }
+      const std::size_t before = prev_sig(code, start);
+      bool discarded = false;
+      if (before == std::string::npos) {
+        discarded = false;  // file starts with a declaration
+      } else if (ident_char(code[before])) {
+        // Preceding word: `return x()` consumes; `else`/`do x();` discards;
+        // any other identifier means this is a declaration/definition.
+        const std::size_t b = ident_begin(code, before);
+        const std::string word = code.substr(b, before - b + 1);
+        discarded = word == "else" || word == "do";
+      } else if (code[before] == ';' || code[before] == '{' || code[before] == '}') {
+        discarded = true;
+      } else if (code[before] == ')') {
+        // `(void)call();` is an intentional, visible drop; `if (...) call();`
+        // and `(expr) call();` are not.
+        std::size_t q = before;
+        int depth = 0;
+        while (q != std::string::npos) {
+          if (code[q] == ')') ++depth;
+          if (code[q] == '(' && --depth == 0) break;
+          if (q == 0) { q = std::string::npos; break; }
+          --q;
+        }
+        if (q != std::string::npos) {
+          std::string inner = code.substr(q + 1, before - q - 1);
+          inner.erase(std::remove_if(inner.begin(), inner.end(),
+                                     [](char ch) {
+                                       return std::isspace(static_cast<unsigned char>(ch)) != 0;
+                                     }),
+                      inner.end());
+          discarded = inner != "void";
+        } else {
+          discarded = true;
+        }
+      }
+      if (!discarded) continue;
+      const std::size_t ln = src.line_of(at);
+      if (suppressed(src, ln, Rule::kStatus)) continue;
+      out.push_back({src.path, ln, Rule::kStatus,
+                     fn + "(...) returns Status/Result but the value is discarded; "
+                          "handle it or write `(void)` with a reason"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+void check_unused_suppressions(const SourceFile& src, std::vector<Finding>& out) {
+  // `sorted` registers twice (same line + next line); treat the pair as one.
+  std::map<std::pair<std::size_t, std::string>, bool> by_site;
+  for (const Suppression& s : src.suppressions) {
+    auto [it, fresh] = by_site.try_emplace({s.line, s.rule}, s.used);
+    if (!fresh) it->second = it->second || s.used;
+  }
+  for (const auto& [site, used] : by_site) {
+    if (used) continue;
+    const std::string label =
+        site.second == "sorted" ? "`concord-lint: sorted`" : "NOLINT(" + site.second + ")";
+    Finding f{src.path, site.first, Rule::kUnusedSuppression,
+              "unused suppression " + label + ": nothing here triggers it; remove it",
+              /*warning=*/true};
+    out.push_back(std::move(f));
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+int run(const std::vector<std::string>& paths) {
+  std::vector<SourceFile> files;
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "concord-lint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back(load_source(p, ss.str()));
+  }
+
+  std::set<std::string> status_fns, other_fns;
+  for (const SourceFile& f : files) collect_status_functions(f, status_fns, other_fns);
+  for (const std::string& n : other_fns) status_fns.erase(n);
+
+  std::vector<Finding> findings;
+  for (SourceFile& f : files) {
+    check_determinism(f, findings);
+    check_alloc(f, findings);
+    check_unordered_emit(f, findings);
+    check_status_discard(f, status_fns, findings);
+    check_unused_suppressions(f, findings);
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return rule_name(a.rule) < std::string_view(rule_name(b.rule));
+  });
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: %s: [%s] %s\n", f.path.c_str(), f.line,
+                f.warning ? "warning" : "error", rule_name(f.rule), f.message.c_str());
+  }
+  std::printf("concord-lint: %zu file(s), %zu finding(s)\n", files.size(), findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "concord-lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: concord-lint --root <repo> | concord-lint <file>...\n");
+      return 0;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (!root.empty()) {
+    for (const char* sub : {"src", "bench", "examples"}) {
+      const fs::path dir = fs::path(root) / sub;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          paths.push_back(entry.path().string());
+        }
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "concord-lint: nothing to lint (try --root <repo>)\n");
+    return 2;
+  }
+  return run(paths);
+}
