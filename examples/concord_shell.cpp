@@ -320,6 +320,11 @@ struct Shell {
                 static_cast<double>(t.bytes_sent) / 1e3,
                 static_cast<unsigned long long>(t.msgs_dropped),
                 static_cast<unsigned long long>(t.msgs_blackholed));
+    std::printf("overload: %llu shed at ingress, %llu backoff retransmits, "
+                "%llu breaker trips\n",
+                static_cast<unsigned long long>(t.msgs_shed),
+                static_cast<unsigned long long>(t.retransmits),
+                static_cast<unsigned long long>(cluster->fabric().breaker_trips()));
     const core::MembershipView& view = cluster->membership();
     const auto suspected = view.suspected();
     const auto down = cluster->fault().down_nodes();
@@ -360,6 +365,53 @@ struct Shell {
                 static_cast<double>(cluster->fs().total_bytes()) / 1e3,
                 cluster->fs().list().size(),
                 static_cast<double>(cluster->sim().now()) / 1e6);
+  }
+
+  void cmd_pressure() {
+    if (!require_cluster()) return;
+    const core::PressureController* pc = cluster->pressure();
+    if (pc != nullptr) {
+      std::puts("node  depth  credits  budget  quota  deferred  shed-local  throttled");
+      for (const auto& s : pc->snapshot()) {
+        std::printf("%4u  %5zu  %7llu  %6llu  %5llu  %8llu  %10llu  %s\n", raw(s.node),
+                    s.ingress_depth, static_cast<unsigned long long>(s.credits),
+                    static_cast<unsigned long long>(s.update_budget),
+                    static_cast<unsigned long long>(s.flush_quota),
+                    static_cast<unsigned long long>(s.flush_deferred),
+                    static_cast<unsigned long long>(s.shed_local),
+                    s.throttled ? "yes" : "no");
+      }
+    } else {
+      std::puts("pressure controller off (AIMD inactive); fabric view:");
+      std::puts("node  depth  shed  credits");
+      for (std::uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+        const NodeId id = node_id(n);
+        std::printf("%4u  %5zu  %4llu  %7llu\n", n, cluster->fabric().ingress_depth(id),
+                    static_cast<unsigned long long>(cluster->fabric().traffic(id).msgs_shed),
+                    static_cast<unsigned long long>(cluster->daemon(id).batcher().credits()));
+      }
+    }
+    // Breaker map: only non-closed links are interesting.
+    bool any_open = false;
+    for (std::uint32_t s = 0; s < cluster->num_nodes(); ++s) {
+      for (std::uint32_t d = 0; d < cluster->num_nodes(); ++d) {
+        if (s == d) continue;
+        const net::BreakerState st =
+            cluster->fabric().breaker_state(node_id(s), node_id(d));
+        if (st == net::BreakerState::kClosed) continue;
+        if (!any_open) std::puts("breakers:");
+        any_open = true;
+        std::printf("  %u->%u %s\n", s, d,
+                    st == net::BreakerState::kOpen ? "open" : "half-open");
+      }
+    }
+    if (!any_open) std::puts("breakers: all closed");
+    const auto hinted = cluster->detector().hinted();
+    if (!hinted.empty()) {
+      std::printf("suspicion hints:");
+      for (const NodeId n : hinted) std::printf(" %u", raw(n));
+      std::printf("\n");
+    }
   }
 
   void cmd_metrics(std::istringstream& args) {
@@ -414,6 +466,7 @@ struct Shell {
           "partition <a> <b>           toggle a symmetric link cut\n"
           "detect                      run a failure-detection window\n"
           "stats                       traffic / DHT / fs / clock\n"
+          "pressure                    queue depth / credits / breaker state per node\n"
           "metrics [json|csv]          dump the site-wide metrics registry\n"
           "trace <file>                export phase spans as Chrome trace JSON\n"
           "quit");
@@ -435,6 +488,7 @@ struct Shell {
     else if (cmd == "partition") cmd_partition(args);
     else if (cmd == "detect") cmd_detect();
     else if (cmd == "stats") cmd_stats();
+    else if (cmd == "pressure") cmd_pressure();
     else if (cmd == "metrics") cmd_metrics(args);
     else if (cmd == "trace") cmd_trace(args);
     else std::printf("unknown command '%s' (try help)\n", cmd.c_str());
@@ -461,6 +515,7 @@ constexpr const char* kDemoScript[] = {
     "partition 0 3",
     "detect",
     "stats",
+    "pressure",
     "fault 2 restart",
     "partition 0 3",
     "detect",

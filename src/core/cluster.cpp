@@ -42,6 +42,17 @@ Cluster::Cluster(ClusterParams params)
     detector_.on_epoch_change(
         [this](const MembershipView& v) { placement_.set_view(v.epoch, v.alive); });
   }
+  // A tripped circuit breaker is end-to-end evidence that dst has stopped
+  // answering — feed it to the detector as a suspicion hint so the next
+  // window's verdict is visible (shell `pressure`) ahead of time.
+  fabric_.on_breaker_trip([this](NodeId /*src*/, NodeId dst) {
+    detector_.hint_suspect(dst);
+  });
+  if (params_.pressure.enabled) {
+    pressure_ = std::make_unique<PressureController>(fabric_, params_.pressure);
+    for (auto& d : daemons_) pressure_->attach(*d);
+    pressure_->bind_metrics(metrics_);
+  }
 }
 
 mem::MemoryEntity& Cluster::create_entity(NodeId node, EntityKind kind,
@@ -88,6 +99,9 @@ mem::ScanStats Cluster::scan_all() {
     total.throttled_blocks += s.throttled_blocks;
   }
   sim_.run();  // deliver (or lose) every update datagram
+  // Scan boundary: the controller reads this epoch's pressure signals and
+  // adapts budgets/quotas for the next one.
+  if (pressure_ != nullptr) pressure_->after_scan();
   return total;
 }
 

@@ -12,6 +12,7 @@
 #include "core/entity_registry.hpp"
 #include "core/failure_detector.hpp"
 #include "core/membership.hpp"
+#include "core/pressure_controller.hpp"
 #include "core/service_daemon.hpp"
 #include "fs/simfs.hpp"
 #include "net/fault_injector.hpp"
@@ -42,6 +43,11 @@ struct ClusterParams {
   /// Failure-detector timing (heartbeat period, rounds per window, probe
   /// timeout). Defaults suit the emulated fabric's millisecond latencies.
   DetectorParams detector;
+  /// Overload protection: when .enabled, every daemon runs credit-based flow
+  /// control and the PressureController adapts monitor budgets and flush
+  /// quotas each scan epoch. Off by default — unpressured runs keep their
+  /// metric/trace snapshots byte-identical.
+  PressureParams pressure;
 };
 
 class Cluster {
@@ -108,6 +114,13 @@ class Cluster {
   /// monitor stats.
   mem::ScanStats scan_all();
 
+  /// The AIMD overload controller, or nullptr when params.pressure.enabled
+  /// is false.
+  [[nodiscard]] PressureController* pressure() noexcept { return pressure_.get(); }
+  [[nodiscard]] const PressureController* pressure() const noexcept {
+    return pressure_.get();
+  }
+
   /// All live entity ids, in id order.
   [[nodiscard]] std::vector<EntityId> live_entities() const;
 
@@ -125,6 +138,7 @@ class Cluster {
   EntityRegistry registry_;
   net::FaultInjector fault_;
   FailureDetector detector_;
+  std::unique_ptr<PressureController> pressure_;
   std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
   std::vector<std::unique_ptr<mem::MemoryEntity>> entities_;
 };

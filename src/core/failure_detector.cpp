@@ -43,6 +43,20 @@ const MembershipView& FailureDetector::run_window() {
   return view_;
 }
 
+void FailureDetector::hint_suspect(NodeId n) {
+  if (raw(n) >= num_nodes_) return;
+  if (hinted_.size() < num_nodes_) hinted_.resize(num_nodes_, false);
+  hinted_[raw(n)] = true;
+}
+
+std::vector<NodeId> FailureDetector::hinted() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t n = 0; n < hinted_.size(); ++n) {
+    if (hinted_[n]) out.push_back(node_id(n));
+  }
+  return out;
+}
+
 void FailureDetector::probe(NodeId from, NodeId target, ProbeCallback cb) {
   const std::uint64_t id = next_probe_id_++;
   probes_.emplace(id, PendingProbe{std::move(cb), false});
@@ -66,7 +80,11 @@ void FailureDetector::handle_heartbeat(NodeId self, const net::Message& msg) {
   const auto& hb = msg.as<HeartbeatMsg>();
   switch (hb.kind) {
     case HeartbeatMsg::Kind::kBeat:
-      if (window_open_ && raw(msg.src) < heard_.size()) ++heard_[raw(msg.src)];
+      if (window_open_ && raw(msg.src) < heard_.size()) {
+        ++heard_[raw(msg.src)];
+        // A node we hear from is not suspect, whatever the breakers said.
+        if (raw(msg.src) < hinted_.size()) hinted_[raw(msg.src)] = false;
+      }
       break;
     case HeartbeatMsg::Kind::kProbe:
       // Answer from the probed node; the fabric decides whether the reply

@@ -89,6 +89,19 @@ class FailureDetector {
   /// view, after view() already reflects the new epoch.
   void on_epoch_change(EpochListener l) { listeners_.push_back(std::move(l)); }
 
+  /// External suspicion hint (the fabric's circuit breaker feeds this when a
+  /// link trips). Hints do not change the view directly — heartbeats stay
+  /// the single source of truth — but a hinted node that is then heard from
+  /// during the next window clears its hint, while a hinted node that stays
+  /// silent is suspected exactly as the window evidence already dictates.
+  /// The hint set is observable so operators (shell `pressure`) can see
+  /// which nodes the breakers distrust between windows.
+  void hint_suspect(NodeId n);
+
+  /// Currently hinted nodes, ascending. Cleared per node when the node is
+  /// heard from in a detection window.
+  [[nodiscard]] std::vector<NodeId> hinted() const;
+
  private:
   struct PendingProbe {
     ProbeCallback cb;
@@ -103,6 +116,7 @@ class FailureDetector {
   DetectorParams params_;
   MembershipView view_;
   std::vector<std::uint32_t> heard_;  // per node: beats received this window
+  std::vector<bool> hinted_;          // per node: breaker-sourced suspicion
   bool window_open_ = false;
   std::uint64_t next_probe_id_ = 1;
   std::unordered_map<std::uint64_t, PendingProbe> probes_;

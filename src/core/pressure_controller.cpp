@@ -1,0 +1,114 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend
+// on hash-map iteration order.
+#include "core/pressure_controller.hpp"
+
+#include <algorithm>
+
+#include "core/service_daemon.hpp"
+
+namespace concord::core {
+
+void PressureController::attach(ServiceDaemon& daemon) {
+  daemon.batcher().set_flow_control(true, params_.initial_credits);
+  daemon.set_credit_grants(true);
+  Tracked t;
+  t.daemon = &daemon;
+  t.budget = params_.initial_update_budget;
+  t.quota = params_.initial_flush_quota;
+  tracked_.push_back(t);
+  apply(tracked_.back());
+}
+
+void PressureController::bind_metrics(obs::Registry& registry) {
+  for (Tracked& t : tracked_) {
+    const auto node = static_cast<std::int32_t>(raw(t.daemon->id()));
+    t.budget_gauge = &registry.gauge("core", "update_budget", node);
+    t.quota_gauge = &registry.gauge("core", "flush_quota", node);
+    t.credits_gauge = &registry.gauge("core", "flow_credits", node);
+    t.budget_gauge->set(static_cast<std::int64_t>(t.budget));
+    t.quota_gauge->set(static_cast<std::int64_t>(t.quota));
+    t.credits_gauge->set(static_cast<std::int64_t>(t.daemon->batcher().credits()));
+  }
+}
+
+void PressureController::apply(Tracked& t) {
+  t.daemon->monitor().set_update_budget(t.budget);
+  t.daemon->batcher().set_flush_quota(t.quota);
+  if (t.budget_gauge != nullptr) t.budget_gauge->set(static_cast<std::int64_t>(t.budget));
+  if (t.quota_gauge != nullptr) t.quota_gauge->set(static_cast<std::int64_t>(t.quota));
+  if (t.credits_gauge != nullptr) {
+    t.credits_gauge->set(static_cast<std::int64_t>(t.daemon->batcher().credits()));
+  }
+}
+
+void PressureController::after_scan() {
+  // Breaker trips are a site-wide signal: any trip this epoch means some
+  // link is timing out end-to-end, so every sender eases off.
+  const std::uint64_t trips = fabric_.breaker_trips();
+  const bool breaker_pressure = trips > prev_breaker_trips_;
+  prev_breaker_trips_ = trips;
+
+  bool any_throttle = false;
+  for (Tracked& t : tracked_) {
+    UpdateBatcher& batcher = t.daemon->batcher();
+    const std::uint64_t deferred = batcher.deferred_events();
+    const std::uint64_t shed_local = batcher.shed_local_records();
+    const std::uint64_t ingress_shed = fabric_.traffic(t.daemon->id()).msgs_shed;
+    // Pressure means *loss*: records dropped at the local buffer bound or
+    // datagrams tail-dropped at an ingress queue. Deferred flushes are NOT
+    // pressure — deferral is the credit machinery pacing us losslessly, and
+    // clamping down on it would turn backpressure into a death spiral.
+    const std::uint64_t local_pressure = (shed_local - t.prev_shed_local) +
+                                         (ingress_shed - t.prev_ingress_shed);
+    t.prev_deferred = deferred;
+    t.prev_shed_local = shed_local;
+    t.prev_ingress_shed = ingress_shed;
+
+    if (local_pressure > 0 || breaker_pressure) {
+      t.budget = std::max(
+          params_.min_update_budget,
+          static_cast<std::uint64_t>(static_cast<double>(t.budget) *
+                                     params_.multiplicative_decrease));
+      t.quota = std::max(
+          params_.min_flush_quota,
+          static_cast<std::uint64_t>(static_cast<double>(t.quota) *
+                                     params_.multiplicative_decrease));
+      t.throttled = true;
+      any_throttle = true;
+    } else {
+      t.budget = std::min(params_.max_update_budget, t.budget + params_.budget_additive_step);
+      t.quota = std::min(params_.max_flush_quota, t.quota + params_.quota_additive_step);
+      t.throttled = false;
+      // A calm epoch also refills an empty purse. Grants normally ride back
+      // on applied batches, so a sender that shed its entire backlog (nothing
+      // in flight means nothing applied, means no grants) would starve
+      // forever without this liveness escape.
+      if (batcher.credits() == 0) batcher.grant_credits(params_.initial_credits);
+    }
+    apply(t);
+  }
+  if (any_throttle) ++throttle_events_;
+}
+
+std::vector<PressureController::NodeSnapshot> PressureController::snapshot() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(tracked_.size());
+  for (const Tracked& t : tracked_) {
+    const NodeId node = t.daemon->id();
+    const UpdateBatcher& batcher = t.daemon->batcher();
+    NodeSnapshot s;
+    s.node = node;
+    s.update_budget = t.budget;
+    s.flush_quota = t.quota;
+    s.credits = batcher.credits();
+    s.ingress_depth = fabric_.ingress_depth(node);
+    s.shed_at_ingress = fabric_.traffic(node).msgs_shed;
+    s.flush_deferred = batcher.deferred_events();
+    s.shed_local = batcher.shed_local_records();
+    s.throttled = t.throttled;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace concord::core

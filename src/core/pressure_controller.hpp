@@ -1,0 +1,117 @@
+// PressureController: AIMD adaptation of the update pipeline under load.
+//
+// The paper makes monitor throttling a first-class knob (§4.1): content
+// tracking is best-effort and must yield to the applications it serves. This
+// controller closes the loop that the static `set_update_budget` knob left
+// open. Once per scan epoch it reads each daemon's local pressure signals —
+// deferred flushes (credits exhausted), locally shed records (bounded batch
+// buffers), tail-drops at its own ingress queue, and site-wide breaker trips
+// — and runs AIMD over two knobs per daemon:
+//
+//   * the monitor's per-scan update budget (multiplicative decrease under
+//     pressure, additive recovery when calm), and
+//   * the batcher's flush quota (datagrams per scan-boundary flush).
+//
+// So monitors self-throttle when shard owners fall behind instead of
+// amplifying the collapse, and probe their way back up when pressure clears.
+// Everything is deterministic: daemons are visited in attach order (node
+// ascending as the cluster wires them), and the only inputs are counters.
+// concord-lint: emit-path — bytes or messages produced here must not depend
+// on hash-map iteration order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+
+namespace concord::core {
+
+class ServiceDaemon;
+
+struct PressureParams {
+  bool enabled = false;
+
+  // Credit flow control seeded into every attached daemon's batcher.
+  std::uint64_t initial_credits = 8;
+
+  // AIMD over the monitor's per-scan update budget (records emitted).
+  std::uint64_t initial_update_budget = 4096;
+  std::uint64_t min_update_budget = 64;
+  std::uint64_t max_update_budget = 65536;
+  std::uint64_t budget_additive_step = 512;
+  double multiplicative_decrease = 0.5;
+
+  // AIMD over the batcher's per-flush datagram quota.
+  std::uint64_t initial_flush_quota = 32;
+  std::uint64_t min_flush_quota = 1;
+  std::uint64_t max_flush_quota = 256;
+  std::uint64_t quota_additive_step = 4;
+};
+
+class PressureController {
+ public:
+  PressureController(net::Fabric& fabric, PressureParams params)
+      : fabric_(fabric), params_(params) {}
+
+  PressureController(const PressureController&) = delete;
+  PressureController& operator=(const PressureController&) = delete;
+
+  /// Wires a daemon into the loop: enables credit flow control and grants in
+  /// both roles, and installs the initial budget/quota. Attach in ascending
+  /// node order for deterministic adaptation.
+  void attach(ServiceDaemon& daemon);
+
+  /// Publishes per-node update_budget / flush_quota / credits gauges
+  /// (subsystem "core"). Only call when the controller is in use — the
+  /// gauges would otherwise perturb byte-identical unpressured snapshots.
+  void bind_metrics(obs::Registry& registry);
+
+  /// One AIMD step per attached daemon. Call at the scan boundary, after
+  /// the simulation has drained the epoch's traffic.
+  void after_scan();
+
+  /// Point-in-time view for the shell's `pressure` command.
+  struct NodeSnapshot {
+    NodeId node{};
+    std::uint64_t update_budget = 0;
+    std::uint64_t flush_quota = 0;
+    std::uint64_t credits = 0;
+    std::size_t ingress_depth = 0;
+    std::uint64_t shed_at_ingress = 0;   // fabric tail-drops at this node
+    std::uint64_t flush_deferred = 0;    // cumulative deferral events
+    std::uint64_t shed_local = 0;        // records shed at the batch buffer
+    bool throttled = false;              // last step was a decrease
+  };
+  [[nodiscard]] std::vector<NodeSnapshot> snapshot() const;
+
+  [[nodiscard]] const PressureParams& params() const noexcept { return params_; }
+  /// AIMD steps taken so far that decreased at least one daemon's knobs.
+  [[nodiscard]] std::uint64_t throttle_events() const noexcept { return throttle_events_; }
+
+ private:
+  struct Tracked {
+    ServiceDaemon* daemon = nullptr;
+    std::uint64_t budget = 0;
+    std::uint64_t quota = 0;
+    std::uint64_t prev_deferred = 0;
+    std::uint64_t prev_shed_local = 0;
+    std::uint64_t prev_ingress_shed = 0;
+    bool throttled = false;
+    obs::Gauge* budget_gauge = nullptr;
+    obs::Gauge* quota_gauge = nullptr;
+    obs::Gauge* credits_gauge = nullptr;
+  };
+
+  void apply(Tracked& t);
+
+  net::Fabric& fabric_;
+  PressureParams params_;
+  std::vector<Tracked> tracked_;  // attach order == node ascending
+  std::uint64_t prev_breaker_trips_ = 0;
+  std::uint64_t throttle_events_ = 0;
+};
+
+}  // namespace concord::core

@@ -13,7 +13,7 @@ ServiceDaemon::ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMo
       fabric_(fabric),
       store_(max_entities, alloc_mode),
       monitor_(hasher, detect_mode),
-      batcher_(id, fabric, batching) {
+      batcher_(id, fabric, batching, &placement) {
   fabric_.register_node(id_, [this](const net::Message& m) { handle_message(m); });
 }
 
@@ -57,6 +57,19 @@ void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
       DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes));
 }
 
+std::uint64_t ServiceDaemon::compute_grant() const {
+  // Grant what the ingress queue can still absorb: half the headroom (so
+  // several concurrent senders sharing this owner cannot jointly overrun
+  // it), floored at one — a starved sender must always be able to trickle,
+  // or the credit loop deadlocks when grants ride on batches that can no
+  // longer be sent.
+  const std::size_t limit = fabric_.params().ingress_queue_limit;
+  if (limit == 0) return 4;  // no bounded queue: steady modest allowance
+  const std::size_t depth = fabric_.ingress_depth(id_);
+  const std::size_t headroom = depth < limit ? limit - depth : 0;
+  return headroom > 1 ? static_cast<std::uint64_t>(headroom / 2) : 1;
+}
+
 mem::ScanStats ServiceDaemon::scan_and_publish() {
   mem::ScanStats stats =
       monitor_.scan([this](const mem::ContentUpdate& u) { route_update(u); });
@@ -93,6 +106,15 @@ void ServiceDaemon::handle_message(const net::Message& msg) {
     case net::MsgType::kDhtUpdateBatch: {
       const auto& records = msg.as<DhtUpdateBatchMsg>();
       store_.apply_batch(records);
+      if (credit_grants_ && msg.src != id_) {
+        fabric_.send_unreliable(net::make_message(
+            id_, msg.src, net::MsgType::kCreditGrant, CreditGrantMsg{compute_grant()},
+            kCreditGrantBytes));
+      }
+      return;
+    }
+    case net::MsgType::kCreditGrant: {
+      batcher_.grant_credits(msg.as<CreditGrantMsg>().credits);
       return;
     }
     default: {

@@ -33,6 +33,15 @@ struct DhtUpdateMsg {
 };
 inline constexpr std::size_t kDhtUpdateBytes = sizeof(ContentHash) + sizeof(EntityId) + 1;
 
+/// Payload of kCreditGrant datagrams: a shard owner telling an update sender
+/// how many more batch datagrams it is willing to absorb. Control-plane
+/// traffic — it bypasses ingress shedding, since it is the signal that
+/// relieves the pressure.
+struct CreditGrantMsg {
+  std::uint64_t credits = 0;
+};
+inline constexpr std::size_t kCreditGrantBytes = sizeof(std::uint64_t);
+
 class ServiceDaemon {
  public:
   ServiceDaemon(NodeId id, std::uint32_t max_entities, dht::AllocMode alloc_mode,
@@ -98,8 +107,15 @@ class ServiceDaemon {
   [[nodiscard]] const dht::Placement& placement() const noexcept { return placement_; }
   [[nodiscard]] UpdateBatcher& batcher() noexcept { return batcher_; }
 
+  /// When on, this daemon answers every applied update batch with a
+  /// kCreditGrant sized to its ingress headroom — the owner half of the
+  /// credit-based flow-control loop (the sender half lives in the batcher).
+  void set_credit_grants(bool on) noexcept { credit_grants_ = on; }
+  [[nodiscard]] bool credit_grants() const noexcept { return credit_grants_; }
+
  private:
   void route_update(const mem::ContentUpdate& u);
+  [[nodiscard]] std::uint64_t compute_grant() const;
 
   NodeId id_;
   const dht::Placement& placement_;
@@ -107,6 +123,7 @@ class ServiceDaemon {
   dht::DhtStore store_;
   mem::MemoryUpdateMonitor monitor_;
   UpdateBatcher batcher_;
+  bool credit_grants_ = false;
   std::unordered_map<std::uint16_t, ExtraHandler> handlers_;
   obs::Counter* updates_local_ = nullptr;   // shard co-located: applied directly
   obs::Counter* updates_remote_ = nullptr;  // shipped to the owner over the fabric

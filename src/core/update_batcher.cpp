@@ -2,30 +2,121 @@
 // hash-map iteration order.
 #include "core/update_batcher.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace concord::core {
 
+namespace {
+/// Ceiling on banked credits: grants are sized to ingress headroom, so a
+/// long quiet stretch must not accumulate a purse that later defeats the
+/// whole point of flow control.
+constexpr std::uint64_t kMaxCredits = 1u << 20;
+/// Buffered datagrams per destination before local shedding kicks in (only
+/// under flow control; the legacy size-trigger keeps buffers at one batch).
+constexpr std::size_t kPendingCapBatches = 8;
+}  // namespace
+
 void UpdateBatcher::bind_metrics(obs::Registry& registry, std::int32_t node) {
+  registry_ = &registry;
+  metrics_node_ = node;
   obs::Counter* old = updates_batched_;
   updates_batched_ = &registry.counter("core", "updates_batched", node);
   if (old != nullptr) updates_batched_->inc(old->value());
   batch_fill_ = &registry.histogram("net", "batch_fill", node);
+  // Lazy cells: carry any accumulated value into the new registry, but do
+  // not create cells that never fired.
+  for (auto* slot : {&updates_remapped_, &flush_deferred_, &updates_shed_local_}) {
+    obs::Counter* prev = *slot;
+    *slot = nullptr;
+    if (prev != nullptr && prev->value() > 0) {
+      const char* name = slot == &updates_remapped_   ? "updates_remapped"
+                         : slot == &flush_deferred_   ? "flush_deferred"
+                                                      : "updates_shed_local";
+      lazy_counter(*slot, name)->inc(prev->value());
+    }
+  }
+}
+
+obs::Counter* UpdateBatcher::lazy_counter(obs::Counter*& slot, const char* name) {
+  if (slot == nullptr && registry_ != nullptr) {
+    slot = &registry_->counter("core", name, metrics_node_);
+  }
+  return slot;
+}
+
+void UpdateBatcher::set_flow_control(bool enabled, std::uint64_t initial_credits) {
+  flow_control_ = enabled;
+  credits_ = enabled ? std::min(initial_credits, kMaxCredits) : 0;
+}
+
+void UpdateBatcher::grant_credits(std::uint64_t n) {
+  if (!flow_control_) return;
+  credits_ = std::min(credits_ + n, kMaxCredits);
+}
+
+bool UpdateBatcher::consume_credit() {
+  if (!flow_control_) return true;
+  if (credits_ == 0) return false;
+  --credits_;
+  return true;
+}
+
+std::size_t UpdateBatcher::pending_cap() const noexcept {
+  return kPendingCapBatches * policy_.max_records();
 }
 
 void UpdateBatcher::add(NodeId dst, const dht::UpdateRecord& rec) {
   std::vector<dht::UpdateRecord>& buf = pending_[dst];
+  if (flow_control_ && buf.size() >= pending_cap()) {
+    // Bounded buffer: under sustained pressure the newest records are shed
+    // here rather than growing an unbounded queue the owner cannot absorb.
+    obs::Counter* c = lazy_counter(updates_shed_local_, "updates_shed_local");
+    if (c != nullptr) c->inc();
+    return;
+  }
   buf.push_back(rec);
-  if (buf.size() >= policy_.max_records()) ship(dst, buf);
+  if (buf.size() >= policy_.max_records() && (!flow_control_ || credits_ > 0)) {
+    ship(dst, buf, /*quota=*/nullptr);
+  }
+}
+
+void UpdateBatcher::remap_pending() {
+  if (placement_ == nullptr) return;
+  // Records whose owner moved (the buffered-for node died and the epoch
+  // advanced) migrate between buffers; everything else stays put. Collected
+  // first so the pending_ walk never mutates the map mid-iteration.
+  std::vector<std::pair<NodeId, dht::UpdateRecord>> moved;
+  for (auto& [dst, buf] : pending_) {
+    std::size_t kept = 0;
+    for (dht::UpdateRecord& rec : buf) {
+      const NodeId owner = placement_->owner(rec.hash);
+      if (owner == dst) {
+        buf[kept++] = rec;
+      } else {
+        moved.emplace_back(owner, rec);
+      }
+    }
+    buf.resize(kept);
+  }
+  if (moved.empty()) return;
+  obs::Counter* c = lazy_counter(updates_remapped_, "updates_remapped");
+  if (c != nullptr) c->inc(moved.size());
+  for (auto& [owner, rec] : moved) pending_[owner].push_back(rec);
 }
 
 void UpdateBatcher::flush(NodeId dst) {
+  remap_pending();
   const auto it = pending_.find(dst);
   if (it == pending_.end() || it->second.empty()) return;
-  ship(dst, it->second);
+  ship(dst, it->second, /*quota=*/nullptr);
 }
 
 void UpdateBatcher::flush_all() {
+  remap_pending();
+  std::uint64_t quota = flush_quota_;
   for (auto& [dst, buf] : pending_) {
-    if (!buf.empty()) ship(dst, buf);
+    if (!buf.empty()) ship(dst, buf, flush_quota_ > 0 ? &quota : nullptr);
   }
 }
 
@@ -35,14 +126,29 @@ std::size_t UpdateBatcher::pending_records() const noexcept {
   return n;
 }
 
-void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records) {
-  const std::size_t n = records.size();
-  if (updates_batched_ != nullptr) updates_batched_->inc(n);
-  if (batch_fill_ != nullptr) batch_fill_->record(n);
-  fabric_.send_unreliable(net::make_message(
-      self_, dst, net::MsgType::kDhtUpdateBatch, DhtUpdateBatchMsg(std::move(records)),
-      batch_wire_size(n) - net::kWireHeaderBytes));
-  records.clear();  // moved-from: make the reuse explicit
+void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records,
+                         std::uint64_t* quota) {
+  const std::size_t cap = policy_.max_records();
+  std::size_t off = 0;
+  while (off < records.size()) {
+    if (quota != nullptr && *quota == 0) break;  // flush quota exhausted
+    if (!consume_credit()) break;                // owner has granted no room
+    const std::size_t n = std::min(cap, records.size() - off);
+    if (updates_batched_ != nullptr) updates_batched_->inc(n);
+    if (batch_fill_ != nullptr) batch_fill_->record(n);
+    fabric_.send_unreliable(net::make_message(
+        self_, dst, net::MsgType::kDhtUpdateBatch,
+        DhtUpdateBatchMsg(records.begin() + static_cast<std::ptrdiff_t>(off),
+                          records.begin() + static_cast<std::ptrdiff_t>(off + n)),
+        batch_wire_size(n) - net::kWireHeaderBytes));
+    if (quota != nullptr) --*quota;
+    off += n;
+  }
+  if (off < records.size()) {
+    obs::Counter* c = lazy_counter(flush_deferred_, "flush_deferred");
+    if (c != nullptr) c->inc();
+  }
+  records.erase(records.begin(), records.begin() + static_cast<std::ptrdiff_t>(off));
 }
 
 }  // namespace concord::core

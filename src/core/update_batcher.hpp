@@ -13,6 +13,19 @@
 // Loss semantics coarsen with batching: the fabric drops whole datagrams, so
 // one lost datagram now loses every record in the batch (quantified in the
 // fig07 loss sweep).
+//
+// Two robustness layers ride on top of the buffering:
+//   * epoch-aware remap — buffered records are re-routed through the current
+//     dht::Placement view at flush time, so a batch enqueued for an owner
+//     that crashed (and was detected) mid-epoch ships to the successor
+//     instead of the blackhole (counter core/updates_remapped);
+//   * credit-based flow control — when enabled, each shipped datagram spends
+//     one credit granted by shard owners (kCreditGrant, sized by their
+//     ingress headroom). Out of credits, a flush defers (core/flush_deferred)
+//     and the buffer is bounded: past a few datagrams' worth per owner, new
+//     records are shed locally (core/updates_shed_local) rather than
+//     amplifying the overload — the update stream is best-effort by design
+//     (§4.1) and DhtAudit heals whatever pressure dropped.
 // concord-lint: emit-path — bytes or messages produced here must not depend on
 // hash-map iteration order.
 #pragma once
@@ -22,6 +35,7 @@
 
 #include "common/types.hpp"
 #include "dht/dht_store.hpp"
+#include "dht/placement.hpp"
 #include "net/codec.hpp"
 #include "net/fabric.hpp"
 #include "obs/metrics.hpp"
@@ -58,8 +72,12 @@ struct BatchPolicy {
 
 class UpdateBatcher {
  public:
-  UpdateBatcher(NodeId self, net::Fabric& fabric, BatchPolicy policy)
-      : self_(self), fabric_(fabric), policy_(policy) {}
+  /// `placement`, when given, enables the flush-time remap: records buffered
+  /// for a dead owner re-route to the epoch-aware successor instead of
+  /// relying on DhtAudit to heal the loss.
+  UpdateBatcher(NodeId self, net::Fabric& fabric, BatchPolicy policy,
+                const dht::Placement* placement = nullptr)
+      : self_(self), fabric_(fabric), policy_(policy), placement_(placement) {}
 
   /// Routes the batcher's accounting into `registry`: core.updates_batched
   /// (records shipped inside batch datagrams, labeled per node) and
@@ -85,16 +103,60 @@ class UpdateBatcher {
   /// and its un-flushed batches die with it.
   void drop_all() noexcept { pending_.clear(); }
 
+  // --- credit-based flow control (PressureController / daemon surface) ---
+
+  /// Enables credit accounting: every shipped datagram spends one credit and
+  /// flushes defer when the purse is empty. Disabled (the default), credits
+  /// are ignored and behavior is byte-identical to the legacy batcher.
+  void set_flow_control(bool enabled, std::uint64_t initial_credits);
+  /// Adds credits granted by a shard owner (capped; excess is dropped).
+  void grant_credits(std::uint64_t n);
+  [[nodiscard]] std::uint64_t credits() const noexcept { return credits_; }
+  [[nodiscard]] bool flow_control() const noexcept { return flow_control_; }
+
+  /// Caps datagrams shipped per flush_all (0 = unlimited). The
+  /// PressureController's AIMD loop drives this.
+  void set_flush_quota(std::uint64_t per_flush) noexcept { flush_quota_ = per_flush; }
+  [[nodiscard]] std::uint64_t flush_quota() const noexcept { return flush_quota_; }
+
+  /// Cumulative pressure signals (0 until the first event — the counters
+  /// behind them are created lazily).
+  [[nodiscard]] std::uint64_t deferred_events() const noexcept {
+    return flush_deferred_ != nullptr ? flush_deferred_->value() : 0;
+  }
+  [[nodiscard]] std::uint64_t shed_local_records() const noexcept {
+    return updates_shed_local_ != nullptr ? updates_shed_local_->value() : 0;
+  }
+
  private:
-  void ship(NodeId dst, std::vector<dht::UpdateRecord>& records);
+  /// Ships `records` in MTU-sized chunks, spending one credit and one unit
+  /// of `*quota` per datagram; stops (deferring the remainder in place) when
+  /// either runs out.
+  void ship(NodeId dst, std::vector<dht::UpdateRecord>& records, std::uint64_t* quota);
+  /// Re-routes every buffered record through the current placement view.
+  void remap_pending();
+  [[nodiscard]] bool consume_credit();
+  [[nodiscard]] std::size_t pending_cap() const noexcept;
+  obs::Counter* lazy_counter(obs::Counter*& slot, const char* name);
 
   NodeId self_;
   net::Fabric& fabric_;
   BatchPolicy policy_;
+  const dht::Placement* placement_;
   // Ordered map: flush_all must visit destinations in a deterministic order.
   std::map<NodeId, std::vector<dht::UpdateRecord>> pending_;
+  bool flow_control_ = false;
+  std::uint64_t credits_ = 0;
+  std::uint64_t flush_quota_ = 0;  // datagrams per flush_all; 0 = unlimited
+  obs::Registry* registry_ = nullptr;
+  std::int32_t metrics_node_ = obs::Registry::kSiteWide;
   obs::Counter* updates_batched_ = nullptr;
   obs::Histogram* batch_fill_ = nullptr;
+  // Lazy cells: created on first event so unpressured runs keep their
+  // metrics snapshots byte-identical.
+  obs::Counter* updates_remapped_ = nullptr;
+  obs::Counter* flush_deferred_ = nullptr;
+  obs::Counter* updates_shed_local_ = nullptr;
 };
 
 }  // namespace concord::core

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -33,6 +34,36 @@ Fabric::NodeCells& Fabric::cells_for(NodeId node) {
   return it->second;
 }
 
+obs::Counter& Fabric::shed_cell(NodeId node) {
+  obs::Counter*& c = shed_cells_[node];
+  if (c == nullptr) {
+    c = &metrics().counter("net", "msgs_shed", static_cast<std::int32_t>(raw(node)));
+  }
+  return *c;
+}
+
+obs::Histogram& Fabric::depth_hist(NodeId node) {
+  obs::Histogram*& h = depth_hists_[node];
+  if (h == nullptr) {
+    h = &metrics().histogram("net", "ingress_depth", static_cast<std::int32_t>(raw(node)));
+  }
+  return *h;
+}
+
+obs::Counter& Fabric::shed_type_cell(MsgType t) {
+  obs::Counter*& c = shed_type_cells_[static_cast<std::size_t>(t)];
+  if (c == nullptr) {
+    c = &metrics().counter("net", "shed_msgs." + std::string(to_string(t)));
+  }
+  return *c;
+}
+
+obs::Counter& Fabric::site_counter(const char* name) {
+  // Not cached: these sit on cold paths (breaker transitions, in-flight
+  // blackholes) where a map lookup in the registry is fine.
+  return metrics().counter("net", name);
+}
+
 obs::Registry& Fabric::metrics() {
   if (metrics_ != nullptr) return *metrics_;
   if (!own_metrics_) own_metrics_ = std::make_unique<obs::Registry>();
@@ -62,6 +93,28 @@ void Fabric::bind_metrics(obs::Registry& registry) {
     TypeCells& fresh = type_cells(static_cast<MsgType>(t));
     fresh.msgs->inc(old.msgs->value());
     fresh.bytes->inc(old.bytes->value());
+  }
+  // Lazily-created overload cells: carry counters over, re-point histograms
+  // (same policy as the batcher's batch_fill — histograms have no merge).
+  for (auto& [node, cell] : shed_cells_) {
+    obs::Counter* old = cell;
+    cell = &registry.counter("net", "msgs_shed", static_cast<std::int32_t>(raw(node)));
+    cell->inc(old->value());
+  }
+  for (auto& [node, hist] : depth_hists_) {
+    hist = &registry.histogram("net", "ingress_depth", static_cast<std::int32_t>(raw(node)));
+  }
+  for (std::size_t t = 0; t < shed_type_cells_.size(); ++t) {
+    if (shed_type_cells_[t] == nullptr) continue;
+    obs::Counter* old = shed_type_cells_[t];
+    shed_type_cells_[t] = nullptr;
+    shed_type_cell(static_cast<MsgType>(t)).inc(old->value());
+  }
+  if (own_metrics_) {
+    for (const char* name : {"breaker_trips", "breaker_fastfail", "msgs_blackholed_inflight"}) {
+      const std::uint64_t v = own_metrics_->counter_total("net", name);
+      if (v != 0) registry.counter("net", name).inc(v);
+    }
   }
   own_metrics_.reset();
 }
@@ -139,8 +192,56 @@ sim::Time Fabric::transmit(NodeId src, NodeId dst, std::size_t wire_size, bool l
   return free_at + params_.base_latency + jitter;
 }
 
-void Fabric::deliver_at(sim::Time when, Message msg) {
-  sim_.at(when, [this, m = std::move(msg)]() {
+sim::Time Fabric::backoff_base(int failures) const noexcept {
+  sim::Time wait = params_.ack_timeout;
+  for (int i = 1; i < failures; ++i) {
+    wait = static_cast<sim::Time>(static_cast<double>(wait) * params_.backoff_factor);
+    if (wait >= params_.max_backoff) return params_.max_backoff;
+  }
+  return std::min(wait, params_.max_backoff);
+}
+
+sim::Time Fabric::backoff_wait(int failures) {
+  sim::Time wait = backoff_base(failures);
+  if (params_.backoff_jitter > 0) {
+    wait += static_cast<sim::Time>(
+        sim_.rng().below(static_cast<std::uint64_t>(params_.backoff_jitter)));
+  }
+  return wait;
+}
+
+std::size_t Fabric::ingress_depth(NodeId node) const {
+  const auto it = ingress_depth_.find(node);
+  return it == ingress_depth_.end() ? 0 : it->second;
+}
+
+std::optional<Fabric::Delivery> Fabric::admit_ingress(const Message& msg) {
+  if (params_.ingress_queue_limit == 0) return Delivery::kDatagram;
+  if (is_control_plane(msg.type)) return Delivery::kDatagram;  // priority class
+  const std::size_t depth = ingress_depth(msg.dst);
+  if (depth >= params_.ingress_queue_limit) {
+    shed_cell(msg.dst).inc();
+    shed_type_cell(msg.type).inc();
+    return std::nullopt;
+  }
+  return Delivery::kQueued;
+}
+
+sim::Time Fabric::rx_schedule(NodeId dst, sim::Time arrival) {
+  if (params_.ingress_service <= 0) return arrival;
+  sim::Time& free_at = next_rx_free_[dst];
+  free_at = std::max(arrival, free_at) + params_.ingress_service;
+  return free_at;
+}
+
+void Fabric::deliver_at(sim::Time when, Message msg, Delivery how) {
+  if (how == Delivery::kQueued) {
+    std::size_t& depth = ingress_depth_[msg.dst];
+    ++depth;
+    depth_hist(msg.dst).record(depth);
+  }
+  sim_.at(when, [this, how, m = std::move(msg)]() {
+    if (how == Delivery::kQueued) --ingress_depth_[m.dst];
     const auto it = handlers_.find(m.dst);
     if (it == handlers_.end()) {
       log::warn("fabric: message for unregistered node %u dropped", raw(m.dst));
@@ -150,6 +251,10 @@ void Fabric::deliver_at(sim::Time when, Message msg) {
     // datagram was in flight (or a loopback sender may itself be down).
     if (!node_reachable(m.dst)) {
       cells_for(m.dst).msgs_blackholed->inc();
+      // Conservation accounting: unlike an egress blackhole (never counted
+      // sent), this datagram did leave a NIC — track it separately so
+      // sent == received + dropped + shed + blackholed_inflight holds.
+      if (how != Delivery::kLoopback) site_counter("msgs_blackholed_inflight").inc();
       return;
     }
     NodeCells& t = cells_for(m.dst);
@@ -157,6 +262,61 @@ void Fabric::deliver_at(sim::Time when, Message msg) {
     t.bytes_received->inc(m.wire_size);
     it->second(m);
   });
+}
+
+// ------------------------------------------------------------ circuit breaker
+
+Fabric::Breaker* Fabric::breaker_for(NodeId src, NodeId dst) {
+  if (params_.breaker_threshold <= 0) return nullptr;
+  return &breakers_[link_key(src, dst)];
+}
+
+void Fabric::breaker_record_timeout(NodeId src, NodeId dst) {
+  Breaker* b = breaker_for(src, dst);
+  if (b == nullptr) return;
+  if (b->half_open) {
+    // The half-open probe failed: re-open with a doubled (capped) cooldown.
+    b->half_open = false;
+    b->cooldown = std::min<sim::Time>(b->cooldown * 2, 16 * params_.breaker_cooldown);
+    b->open_until = sim_.now() + b->cooldown;
+    site_counter("breaker_trips").inc();
+    if (on_breaker_trip_) on_breaker_trip_(src, dst);
+    return;
+  }
+  ++b->consecutive;
+  if (!b->open && b->consecutive >= params_.breaker_threshold) {
+    b->open = true;
+    b->cooldown = params_.breaker_cooldown;
+    b->open_until = sim_.now() + b->cooldown;
+    site_counter("breaker_trips").inc();
+    if (on_breaker_trip_) on_breaker_trip_(src, dst);
+  }
+}
+
+void Fabric::breaker_record_success(NodeId src, NodeId dst) {
+  if (params_.breaker_threshold <= 0) return;
+  const auto it = breakers_.find(link_key(src, dst));
+  if (it == breakers_.end()) return;
+  it->second.consecutive = 0;
+  it->second.open = false;
+  it->second.half_open = false;
+}
+
+BreakerState Fabric::breaker_state(NodeId src, NodeId dst) const {
+  const auto it = breakers_.find(link_key(src, dst));
+  if (it == breakers_.end() || !it->second.open) return BreakerState::kClosed;
+  return sim_.now() < it->second.open_until ? BreakerState::kOpen : BreakerState::kHalfOpen;
+}
+
+std::uint64_t Fabric::breaker_trips() const {
+  return metrics_ != nullptr ? metrics_->counter_total("net", "breaker_trips")
+         : own_metrics_     ? own_metrics_->counter_total("net", "breaker_trips")
+                            : 0;
+}
+
+std::uint64_t Fabric::shed_of_type(MsgType t) const {
+  const obs::Counter* c = shed_type_cells_[static_cast<std::size_t>(t)];
+  return c == nullptr ? 0 : c->value();
 }
 
 void Fabric::account_send(Message& msg) {
@@ -167,56 +327,94 @@ void Fabric::account_send(Message& msg) {
 
 void Fabric::send_unreliable(Message msg) {
   if (msg.src == msg.dst) {
-    deliver_at(sim_.now() + kLoopbackLatency, std::move(msg));
+    deliver_at(sim_.now() + kLoopbackLatency, std::move(msg), Delivery::kLoopback);
     return;
   }
   account_send(msg);
   const sim::Time arrival = transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true);
   if (arrival < 0) return;  // lost in flight or blackholed
-  deliver_at(arrival, std::move(msg));
+  const std::optional<Delivery> admitted = admit_ingress(msg);
+  if (!admitted.has_value()) return;  // tail-dropped at the full ingress queue
+  deliver_at(rx_schedule(msg.dst, arrival), std::move(msg), *admitted);
 }
 
 void Fabric::send_reliable(Message msg, SendCallback on_done) {
   if (msg.src == msg.dst) {
     // Loopback: intra-node messages never touch the NIC and cannot be lost.
     const sim::Time when = sim_.now() + kLoopbackLatency;
-    deliver_at(when, std::move(msg));
+    deliver_at(when, std::move(msg), Delivery::kLoopback);
     if (on_done) sim_.at(when, [cb = std::move(on_done)]() { cb(Status::kOk); });
     return;
   }
+
+  // Circuit breaker: while the (src, dst) breaker is open, fail fast with
+  // kUnavailable instead of burning a full retransmit chain toward a
+  // destination that has stopped answering. Once the cooldown passes, the
+  // next send is allowed through as the half-open probe.
+  Breaker* br = breaker_for(msg.src, msg.dst);
+  if (br != nullptr && br->open) {
+    if (sim_.now() < br->open_until) {
+      site_counter("breaker_fastfail").inc();
+      if (on_done) sim_.after(0, [cb = std::move(on_done)]() { cb(Status::kUnavailable); });
+      return;
+    }
+    br->half_open = true;
+  }
   account_send(msg);
 
-  // Simulate the ack protocol: geometric number of data attempts (each
-  // costing a timeout on failure), then an acked completion. Ack datagrams
-  // are small; their loss triggers a retransmit of the data as well.
+  // Simulate the ack protocol: data attempts separated by seeded-jitter
+  // exponential backoff (the k-th consecutive failure waits backoff_base(k)
+  // plus jitter, bounded by the per-send retry budget), then an acked
+  // completion. Ack datagrams are small; their loss triggers a retransmit of
+  // the data as well. A tail-drop at the destination's bounded ingress queue
+  // looks exactly like loss to the sender — that is what makes the sender
+  // back off instead of amplifying the overload.
   constexpr std::size_t kAckBytes = kWireHeaderBytes;
+  const NodeId src = msg.src;
+  const NodeId dst = msg.dst;
   sim::Time elapsed = 0;
   int attempt = 0;
-  while (attempt < params_.max_retries) {
+  int failures = 0;
+  bool budget_spent = false;
+  while (attempt < params_.max_retries && !budget_spent) {
     ++attempt;
-    if (attempt > 1) cells_for(msg.src).retransmits->inc();
-    const sim::Time arrival = transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true);
+    if (attempt > 1) cells_for(src).retransmits->inc();
+    sim::Time arrival = transmit(src, dst, msg.wire_size, /*lossy=*/true);
+    std::optional<Delivery> admitted;
+    if (arrival >= 0) {
+      admitted = admit_ingress(msg);
+      if (!admitted.has_value()) arrival = -1;  // shed: indistinguishable from loss
+    }
     if (arrival < 0) {
-      elapsed += params_.ack_timeout;  // sender waits out the timer
+      ++failures;
+      const sim::Time wait = backoff_wait(failures);
+      if (params_.retry_budget > 0 && elapsed + wait >= params_.retry_budget) {
+        elapsed = params_.retry_budget;  // clamp: give up at exactly the budget
+        budget_spent = true;
+      } else {
+        elapsed += wait;  // sender waits out the backoff timer
+      }
       continue;
     }
-    // Data arrived. The receiver acks; a lost ack costs another timeout and
+    // Data arrived. The receiver acks; a lost ack costs another backoff and
     // a retransmission, but the receiver dedups, so deliver only once.
-    const sim::Time deliver_time = arrival + elapsed;
-    const NodeId src = msg.src;
-    const NodeId dst = msg.dst;
-    deliver_at(deliver_time, std::move(msg));
+    const sim::Time deliver_time = rx_schedule(dst, arrival + elapsed);
+    deliver_at(deliver_time, std::move(msg), *admitted);
 
     sim::Time ack_elapsed = 0;
     int ack_attempt = 0;
+    int ack_failures = 0;
     while (ack_attempt < params_.max_retries) {
       ++ack_attempt;
       if (ack_attempt > 1) cells_for(dst).retransmits->inc();
+      // Acks are priority traffic: never shed, never queued behind load.
       const sim::Time ack_arrival = transmit(dst, src, kAckBytes, /*lossy=*/true);
       if (ack_arrival < 0) {
-        ack_elapsed += params_.ack_timeout;
+        ++ack_failures;
+        ack_elapsed += backoff_wait(ack_failures);
         continue;
       }
+      breaker_record_success(src, dst);
       if (on_done) {
         sim_.at(deliver_time + ack_elapsed +
                     std::max<sim::Time>(ack_arrival - sim_.now(), 0),
@@ -225,11 +423,13 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
       return;
     }
     // Ack never made it; report timeout to the sender.
+    breaker_record_timeout(src, dst);
     if (on_done) {
       sim_.at(deliver_time + ack_elapsed, [cb = std::move(on_done)]() { cb(Status::kTimeout); });
     }
     return;
   }
+  breaker_record_timeout(src, dst);
   if (on_done) {
     sim_.at(sim_.now() + elapsed, [cb = std::move(on_done)]() { cb(Status::kTimeout); });
   }
@@ -261,10 +461,15 @@ NodeTraffic Fabric::traffic(NodeId node) const {
   const auto it = traffic_.find(node);
   if (it == traffic_.end()) return NodeTraffic{};
   const NodeCells& c = it->second;
-  return NodeTraffic{c.msgs_sent->value(),     c.bytes_sent->value(),
-                     c.msgs_received->value(), c.bytes_received->value(),
-                     c.msgs_dropped->value(),  c.retransmits->value(),
-                     c.msgs_blackholed->value()};
+  NodeTraffic out{c.msgs_sent->value(),     c.bytes_sent->value(),
+                  c.msgs_received->value(), c.bytes_received->value(),
+                  c.msgs_dropped->value(),  c.retransmits->value(),
+                  c.msgs_blackholed->value()};
+  const auto sit = shed_cells_.find(node);
+  if (sit != shed_cells_.end() && sit->second != nullptr) {
+    out.msgs_shed = sit->second->value();
+  }
+  return out;
 }
 
 NodeTraffic Fabric::total_traffic() const {
@@ -277,6 +482,9 @@ NodeTraffic Fabric::total_traffic() const {
     sum.msgs_dropped += c.msgs_dropped->value();
     sum.retransmits += c.retransmits->value();
     sum.msgs_blackholed += c.msgs_blackholed->value();
+  }
+  for (const auto& [node, cell] : shed_cells_) {
+    if (cell != nullptr) sum.msgs_shed += cell->value();
   }
   return sum;
 }

@@ -11,7 +11,13 @@
 //   * injected faults (net::FaultInjector): unreachable nodes, blocked
 //     (partitioned) directed links, and per-link loss rates. A down node
 //     silently drops all egress and delivery; such datagrams are counted as
-//     msgs_blackholed.
+//     msgs_blackholed;
+//   * overload protection (all off by default, see FabricParams): bounded
+//     per-node ingress queues with deterministic tail-drop (msgs_shed) that
+//     control-plane types bypass, a per-destination ingress service rate,
+//     seeded-jitter exponential backoff with a per-send retry budget on the
+//     reliable class, and a per-(src, dst) circuit breaker that fails fast
+//     after consecutive timeouts and re-probes half-open after a cooldown.
 // All delays are charged to the Simulation's virtual clock. Per-node and
 // per-type traffic is accounted for the Fig. 7 / §5.4 volume results.
 //
@@ -30,6 +36,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -47,8 +54,38 @@ struct FabricParams {
   sim::Time jitter = 20 * sim::kMicrosecond;        // uniform [0, jitter)
   double ns_per_byte = 8.0;                         // ~1 Gbit/s
   double loss_rate = 0.0;                           // unreliable class only
-  sim::Time ack_timeout = 2 * sim::kMillisecond;    // reliable retransmit timer
-  int max_retries = 16;                             // before kTimeout
+  sim::Time ack_timeout = 2 * sim::kMillisecond;    // first retransmit wait
+  int max_retries = 16;                             // attempt budget per send
+
+  // --- overload protection ----------------------------------------------
+  /// Reliable-class retransmit backoff: the k-th consecutive failure of one
+  /// send waits ack_timeout * backoff_factor^(k-1), capped at max_backoff,
+  /// plus a seeded jitter draw in [0, backoff_jitter). factor 1 with zero
+  /// jitter reproduces the legacy fixed timer exactly.
+  double backoff_factor = 2.0;
+  sim::Time max_backoff = 4 * sim::kMillisecond;
+  sim::Time backoff_jitter = 250 * sim::kMicrosecond;
+  /// Per-send retry *time* budget: once the cumulative backoff wait would
+  /// cross this, the send gives up (the final wait is clamped so a fully
+  /// blackholed send reports kTimeout at exactly the budget). 0 = bounded
+  /// by max_retries only.
+  sim::Time retry_budget = 0;
+  /// Bounded per-node ingress queue: at most this many sheddable datagrams
+  /// may be in flight / queued toward one destination; excess arrivals are
+  /// tail-dropped (net/msgs_shed). Control-plane types (is_control_plane)
+  /// bypass the bound. 0 = unbounded (legacy behavior).
+  std::size_t ingress_queue_limit = 0;
+  /// Per-datagram receive-processing cost, charged serially per destination
+  /// (the daemon's ingress service rate — what makes a hot owner actually
+  /// fall behind). 0 = delivery at arrival time (legacy behavior).
+  sim::Time ingress_service = 0;
+  /// Circuit breaker: this many consecutive reliable-send timeouts to one
+  /// destination trip the (src, dst) breaker; further sends fail fast with
+  /// kUnavailable until breaker_cooldown passes, then one half-open probe
+  /// send decides (success closes, failure re-opens with doubled cooldown).
+  /// 0 = disabled.
+  int breaker_threshold = 0;
+  sim::Time breaker_cooldown = 50 * sim::kMillisecond;
 };
 
 /// Intra-node messages bypass the NIC entirely (shared-memory handoff):
@@ -66,7 +103,11 @@ struct NodeTraffic {
   std::uint64_t msgs_dropped = 0;     // unreliable datagrams lost in flight
   std::uint64_t retransmits = 0;      // reliable-class data/ack resends
   std::uint64_t msgs_blackholed = 0;  // silenced by a fault (down node / cut link)
+  std::uint64_t msgs_shed = 0;        // tail-dropped at this node's full ingress queue
 };
+
+/// Per-(src, dst) circuit-breaker state, exposed for tests and the shell.
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
 /// Per-message-type traffic view (registry subsystem "net", site-wide).
 struct TypeTraffic {
@@ -124,6 +165,28 @@ class Fabric {
   /// Changes the i.i.d. loss rate for all *subsequent* transmissions;
   /// datagrams already scheduled for delivery are unaffected.
   void set_loss_rate(double p) noexcept { params_.loss_rate = p; }
+  /// Re-bounds the ingress queues at runtime (0 = unbounded). Operators lift
+  /// the bound once the overload condition ends so recovery traffic (audit
+  /// repair bursts) is not shed; already-shed datagrams stay shed.
+  void set_ingress_queue_limit(std::size_t limit) noexcept {
+    params_.ingress_queue_limit = limit;
+  }
+
+  // --- overload surface --------------------------------------------------
+  /// Backoff wait after the k-th consecutive failure of one reliable send
+  /// (k >= 1), before jitter: min(ack_timeout * factor^(k-1), max_backoff).
+  [[nodiscard]] sim::Time backoff_base(int failures) const noexcept;
+  /// Sheddable datagrams currently in flight / queued toward `node`.
+  [[nodiscard]] std::size_t ingress_depth(NodeId node) const;
+  [[nodiscard]] BreakerState breaker_state(NodeId src, NodeId dst) const;
+  /// Open/half-open transition count, site-wide (0 until the first trip).
+  [[nodiscard]] std::uint64_t breaker_trips() const;
+  /// Datagrams tail-dropped with this message type, site-wide.
+  [[nodiscard]] std::uint64_t shed_of_type(MsgType t) const;
+  /// Fires on every breaker open transition (trip or half-open probe
+  /// failure); wired to membership suspicion by the cluster.
+  using BreakerTripFn = std::function<void(NodeId src, NodeId dst)>;
+  void on_breaker_trip(BreakerTripFn fn) { on_breaker_trip_ = std::move(fn); }
 
   // --- fault surface (driven by net::FaultInjector) ---------------------
   // A node that is not reachable neither sends nor receives: its egress is
@@ -162,6 +225,19 @@ class Fabric {
     obs::Counter* msgs = nullptr;
     obs::Counter* bytes = nullptr;
   };
+  /// Per-(src, dst) breaker. Reliable-send outcomes resolve synchronously at
+  /// send time (the whole retry protocol is simulated inline), so breaker
+  /// state advances in call order — deterministic by construction.
+  struct Breaker {
+    int consecutive = 0;       // timeouts since the last success
+    bool open = false;
+    sim::Time open_until = 0;  // when the next half-open probe is allowed
+    sim::Time cooldown = 0;    // doubles on a failed probe, capped
+    bool half_open = false;    // the in-progress send is the probe
+  };
+  /// How a delivery was scheduled: loopback (no accounting), a plain
+  /// datagram, or one admitted to a bounded ingress queue (depth-tracked).
+  enum class Delivery : std::uint8_t { kLoopback, kDatagram, kQueued };
 
   /// One transmission attempt: charges egress, returns arrival time, or -1
   /// if the datagram is lost (loss is charged to traffic but not delivered).
@@ -170,19 +246,48 @@ class Fabric {
   /// global rate.
   sim::Time transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy);
 
-  void deliver_at(sim::Time when, Message msg);
+  void deliver_at(sim::Time when, Message msg, Delivery how);
+
+  /// Tail-drop admission for a datagram headed to msg.dst. Returns kQueued /
+  /// kDatagram on admission; counts the shed and returns nullopt when the
+  /// destination's bounded queue is full (control-plane types always pass).
+  [[nodiscard]] std::optional<Delivery> admit_ingress(const Message& msg);
+  /// Ingress service serialization: returns the delivery completion time for
+  /// a datagram arriving at `dst` at `arrival` (identity when disabled).
+  sim::Time rx_schedule(NodeId dst, sim::Time arrival);
+  /// Backoff wait for the k-th consecutive failure, jitter included.
+  sim::Time backoff_wait(int failures);
+
+  Breaker* breaker_for(NodeId src, NodeId dst);  // nullptr when disabled
+  void breaker_record_timeout(NodeId src, NodeId dst);
+  void breaker_record_success(NodeId src, NodeId dst);
 
   NodeCells resolve_node_cells(NodeId node);
   NodeCells& cells_for(NodeId node);
   TypeCells& type_cells(MsgType t);
   void account_send(Message& msg);
 
+  // Lazily-created overload cells: these exist in a snapshot only once the
+  // matching event has happened, so unpressured runs stay byte-identical
+  // with pre-overload builds.
+  obs::Counter& shed_cell(NodeId node);
+  obs::Histogram& depth_hist(NodeId node);
+  obs::Counter& shed_type_cell(MsgType t);
+  obs::Counter& site_counter(const char* name);
+
   sim::Simulation& sim_;
   FabricParams params_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, sim::Time> next_tx_free_;
+  std::unordered_map<NodeId, sim::Time> next_rx_free_;     // ingress service
+  std::unordered_map<NodeId, std::size_t> ingress_depth_;  // sheddable in flight
   std::unordered_map<NodeId, NodeCells> traffic_;
+  std::unordered_map<NodeId, obs::Counter*> shed_cells_;
+  std::unordered_map<NodeId, obs::Histogram*> depth_hists_;
   std::array<TypeCells, kNumMsgTypes> type_cells_{};
+  std::array<obs::Counter*, kNumMsgTypes> shed_type_cells_{};
+  std::unordered_map<std::uint64_t, Breaker> breakers_;    // by link_key
+  BreakerTripFn on_breaker_trip_;
   std::unordered_set<std::uint32_t> unreachable_;          // down nodes
   std::unordered_set<std::uint64_t> blocked_links_;        // directed cuts
   std::unordered_map<std::uint64_t, double> lossy_links_;  // per-link loss

@@ -35,6 +35,7 @@ enum class MsgType : std::uint16_t {
   kData,                // bulk content transfer (migration etc.)
   kControl,             // misc control plane
   kHeartbeat,           // failure-detector probe/reply (unreliable)
+  kCreditGrant,         // shard owner -> update sender flow-control credits
 };
 
 /// Stable lower-case label per message type, used by the traffic accounting
@@ -54,12 +55,23 @@ enum class MsgType : std::uint16_t {
     case MsgType::kData: return "data";
     case MsgType::kControl: return "control";
     case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kCreditGrant: return "credit_grant";
   }
   return "unknown";
 }
 
 /// Number of MsgType values (for dense per-type tables).
-inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kHeartbeat) + 1;
+inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kCreditGrant) + 1;
+
+/// Priority (control-plane) traffic bypasses ingress shedding: heartbeats /
+/// probes keep the failure detector honest under overload, phase-completion
+/// acks keep command barriers from deadlocking, and credit grants are the
+/// very signal that relieves the pressure. Everything else — updates, hash
+/// exchange, bulk data — is load, and load is what bounded queues shed.
+[[nodiscard]] constexpr bool is_control_plane(MsgType t) noexcept {
+  return t == MsgType::kHeartbeat || t == MsgType::kCommandAck ||
+         t == MsgType::kCommandControl || t == MsgType::kCreditGrant;
+}
 
 /// Fixed per-datagram overhead we charge on the wire: Ethernet + IP + UDP
 /// headers plus ConCORD's own message header.

@@ -103,6 +103,13 @@ CommandEngine::CommandEngine(core::Cluster& cluster) : cluster_(cluster) {
   install_handlers();
 }
 
+obs::Counter& CommandEngine::pressure_cell() {
+  if (pressure_cell_ == nullptr) {
+    pressure_cell_ = &cluster_.metrics().counter("svc", "pressure_events");
+  }
+  return *pressure_cell_;
+}
+
 void CommandEngine::install_handlers() {
   for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
     core::ServiceDaemon& d = cluster_.daemon(node_id(n));
@@ -493,6 +500,9 @@ void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
                         kDispatchBytes + p.notify->size() * sizeof(NodeId)),
       [this, &d, seq, attempt, cmd](Status s) {
         if (ok(s) || active_ == nullptr) return;
+        // kUnavailable means the circuit breaker fast-failed the dispatch:
+        // overload evidence, distinct from a plain timeout.
+        if (s == Status::kUnavailable) pressure_cell().inc();
         Execution& exr = *active_;
         if (exr.cmd_id != cmd || exr.done) return;
         const auto pit = exr.pending.find(seq);
@@ -746,6 +756,8 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
   const std::uint64_t base_blocks = cells_.local_blocks->value();
   const std::uint64_t base_covered = cells_.local_covered->value();
   const std::uint64_t base_uncovered = cells_.local_uncovered->value();
+  const std::uint64_t base_pressure = pressure_value();
+  const std::uint64_t base_shed = cluster_.fabric().total_traffic().msgs_shed;
   cells_.commands->inc();
 
   ex.stats.start = cluster_.sim().now();
@@ -759,10 +771,17 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
     ex.stats.status = Status::kInternal;  // protocol stalled
     ex.stats.end = cluster_.sim().now();
   }
-  if (!ex.stats.failures.empty()) {
+  // Overload evidence while the command ran: breaker fast-fails on the
+  // dispatch path plus datagrams shed at bounded ingress queues. The
+  // collective phase is best-effort, so pressure degrades the command
+  // rather than failing it — the local ground-truth phase stayed exact.
+  ex.stats.pressure_events = (pressure_value() - base_pressure) +
+                             (cluster_.fabric().total_traffic().msgs_shed - base_shed);
+  if (!ex.stats.failures.empty() || ex.stats.pressure_events > 0) {
     cells_.commands_degraded->inc();
-    // Excluding nodes degrades the command unless something worse already
-    // happened (a surviving node's callback reported a real error).
+    // Excluding nodes (or running under pressure) degrades the command
+    // unless something worse already happened (a surviving node's callback
+    // reported a real error).
     if (ok(ex.stats.status)) ex.stats.status = Status::kDegraded;
   }
 
@@ -783,6 +802,11 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
   tracer.add_arg(ex.cmd_span, "local_blocks", ex.stats.local_blocks);
   tracer.add_arg(ex.cmd_span, "local_covered", ex.stats.local_covered);
   tracer.add_arg(ex.cmd_span, "local_uncovered", ex.stats.local_uncovered);
+  // Only stamped when pressure actually occurred, so unpressured runs keep
+  // their trace snapshots byte-identical.
+  if (ex.stats.pressure_events > 0) {
+    tracer.add_arg(ex.cmd_span, "pressure_events", ex.stats.pressure_events);
+  }
   tracer.end_span(ex.cmd_span, ex.stats.end);
   return ex.stats;
 }

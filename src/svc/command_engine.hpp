@@ -94,6 +94,14 @@ struct CommandStats {
   std::uint64_t local_covered = 0;       // blocks resolved via handled info
   std::uint64_t local_uncovered = 0;     // blocks the service covered itself
 
+  /// Overload evidence accrued while the command ran: breaker fast-fails on
+  /// collective dispatches plus datagrams shed at bounded ingress queues.
+  /// Non-zero ⇒ status degrades to kDegraded (unless something worse
+  /// happened) — the collective phase is advisory, so pressure costs
+  /// efficiency, never correctness: the local ground-truth phase still ran
+  /// exactly.
+  std::uint64_t pressure_events = 0;
+
   [[nodiscard]] sim::Time latency() const noexcept { return end - start; }
 };
 
@@ -156,6 +164,14 @@ class CommandEngine {
     obs::Counter* commands_degraded = nullptr;
   };
   Cells cells_;
+
+  /// svc/pressure_events, created lazily on the first overload event so
+  /// unpressured runs keep their metrics snapshots byte-identical.
+  obs::Counter& pressure_cell();
+  [[nodiscard]] std::uint64_t pressure_value() const noexcept {
+    return pressure_cell_ != nullptr ? pressure_cell_->value() : 0;
+  }
+  obs::Counter* pressure_cell_ = nullptr;
 };
 
 }  // namespace concord::svc

@@ -463,6 +463,63 @@ void run_chaos_sweep(std::uint64_t seed) {
   EXPECT_GE(chaos->total_unique_hashes() * 100, baseline * 99);
 }
 
+TEST(ChaosSweep, MixedOverloadAndPauseConvergesAfterRecovery) {
+  // Overload protection live (bounded ingress, AIMD, breaker, retry budget)
+  // while a node pauses mid-run: full-rate scans overload the fabric, the
+  // paused node goes silent, a command executes through the mess. The
+  // invariants: commands terminate, control traffic is never shed even at
+  // full queues, and once the node resumes and the operator lifts the
+  // ingress bound, the audit converges to ground truth.
+  constexpr std::uint32_t kN = 6;
+  core::ClusterParams p;
+  p.num_nodes = kN;
+  p.max_entities = 64;
+  p.seed = 4242;
+  p.update_batching.mtu_bytes = 512;
+  p.fabric.ingress_queue_limit = 12;
+  p.fabric.ingress_service = 50 * sim::kMicrosecond;
+  p.fabric.retry_budget = 20 * sim::kMillisecond;
+  p.fabric.breaker_threshold = 6;
+  p.pressure.enabled = true;
+  auto c = std::make_unique<core::Cluster>(p);
+  const auto ids = populate(*c, 1, 128);
+
+  svc::CommandEngine engine(*c);
+  for (int round = 0; round < 4; ++round) {
+    for (const EntityId id : ids) {
+      workload::mutate(c->entity(id), 1.0,
+                       static_cast<std::uint64_t>(round) * 97 + raw(id));
+    }
+    if (round == 1) c->fault().pause(node_id(3));
+    if (round == 3) c->fault().resume(node_id(3));
+    (void)c->scan_all();
+    (void)c->detect();
+  }
+  // A command through the pressured, partially-recovered site terminates.
+  DigestService svc_probe;
+  svc::CommandSpec spec;
+  spec.service_entities = ids;
+  const svc::CommandStats s = engine.execute(svc_probe, spec);
+  ASSERT_TRUE(ok(s.status) || s.status == Status::kDegraded) << to_string(s.status);
+
+  // Overload really bit, but the priority class held.
+  EXPECT_GT(c->fabric().total_traffic().msgs_shed, 0u);
+  EXPECT_EQ(c->fabric().shed_of_type(net::MsgType::kHeartbeat), 0u);
+  EXPECT_EQ(c->fabric().shed_of_type(net::MsgType::kCommandControl), 0u);
+  EXPECT_EQ(c->fabric().shed_of_type(net::MsgType::kCommandAck), 0u);
+  EXPECT_EQ(c->fabric().shed_of_type(net::MsgType::kCreditGrant), 0u);
+
+  // Recovery: everyone back, bound lifted, audit closes the gap.
+  c->fault().heal_all();
+  (void)c->detect();
+  (void)c->detect();
+  EXPECT_EQ(c->membership().alive_count(), kN);
+  c->fabric().set_ingress_queue_limit(0);
+  services::DhtAudit audit(*c);
+  (void)audit.run_to_convergence();
+  EXPECT_TRUE(audit.run().clean());
+}
+
 class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSweep, InvariantsHoldUnderRandomFaultSchedule) { run_chaos_sweep(GetParam()); }

@@ -220,8 +220,9 @@ TEST_F(FabricFixture, EgressSerializationDelaysBigBursts) {
 
 TEST_F(FabricFixture, ReliableTimesOutWhenRetriesExhausted) {
   // A cut src->dst link blackholes every data attempt: the sender burns
-  // through max_retries timeouts and reports kTimeout; the receiver never
-  // sees the message.
+  // through max_retries backoff waits and reports kTimeout; the receiver
+  // never sees the message. Jitter is zeroed so the schedule is exact.
+  params.backoff_jitter = 0;
   net::Fabric fabric(simu, params);
   std::vector<std::string> got;
   register_sink(fabric, node_id(0), got);
@@ -235,8 +236,31 @@ TEST_F(FabricFixture, ReliableTimesOutWhenRetriesExhausted) {
   EXPECT_TRUE(got.empty());
   EXPECT_EQ(fabric.traffic(node_id(0)).msgs_blackholed,
             static_cast<std::uint64_t>(params.max_retries));
-  // All retries wait out the ack timer before the sender gives up.
-  EXPECT_EQ(simu.now(), static_cast<sim::Time>(params.max_retries) * params.ack_timeout);
+  // The k-th consecutive failure waits backoff_base(k): exponential from
+  // ack_timeout, capped at max_backoff. The give-up time is the exact sum.
+  sim::Time expect = 0;
+  for (int k = 1; k <= params.max_retries; ++k) expect += fabric.backoff_base(k);
+  EXPECT_EQ(simu.now(), expect);
+  EXPECT_GT(simu.now(), static_cast<sim::Time>(params.max_retries) * params.ack_timeout);
+}
+
+TEST_F(FabricFixture, ReliableRetryBudgetCapsTheWait) {
+  // With a retry budget, a fully-blackholed send gives up at exactly the
+  // budget instead of riding the whole exponential schedule out.
+  params.backoff_jitter = 0;
+  params.retry_budget = 5 * sim::kMillisecond;
+  net::Fabric fabric(simu, params);
+  std::vector<std::string> got;
+  register_sink(fabric, node_id(0), got);
+  register_sink(fabric, node_id(1), got);
+  fabric.set_link_blocked(node_id(0), node_id(1), true);
+  Status status = Status::kOk;
+  fabric.send_reliable(text_msg(node_id(0), node_id(1), "r"),
+                       [&](Status s) { status = s; });
+  simu.run();
+  EXPECT_EQ(status, Status::kTimeout);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(simu.now(), params.retry_budget);
 }
 
 TEST_F(FabricFixture, ReliableAckLossDeliversButReportsTimeout) {
