@@ -34,11 +34,21 @@ constexpr std::uint32_t kNodes = 8;
 constexpr std::size_t kBlocksPerEntity = 64;
 constexpr std::size_t kBlockSize = 256;
 
-std::unique_ptr<core::Cluster> make_cluster(std::uint64_t seed) {
+std::unique_ptr<core::Cluster> make_cluster(std::uint64_t seed, bool smoke) {
   core::ClusterParams p;
   p.num_nodes = kNodes;
   p.max_entities = kNodes + 1;
   p.seed = seed;
+  // Chaos is exactly where the observability plane earns its keep: the
+  // watchdog sweeps the invariants at every scan boundary (reads counters
+  // only, so the measured columns are unchanged), and under --smoke the
+  // run additionally stamps causal trace context on every datagram — that
+  // costs 16 wire bytes per traced datagram, shifting virtual latencies,
+  // so it stays confined to the CI artifact mode — and makes any
+  // invariant violation fatal (CI gates on it).
+  p.trace_propagation = smoke;
+  p.watchdog.enabled = true;
+  p.watchdog.hard_fail = smoke;
   return std::make_unique<core::Cluster>(p);
 }
 
@@ -65,17 +75,20 @@ struct Row {
   int audit_passes = 0;           // passes until clean after heal (<= 3)
   double coverage_pct = 0;        // unique hashes vs fault-free baseline
   std::uint64_t blackholed = 0;   // datagrams eaten by faults, whole run
+  std::uint64_t watchdog_viol = 0;  // invariant violations across the run
+  std::uint64_t blackbox_dumps = 0; // postmortem dumps (degraded commands)
 };
 
-Row run_seed(std::uint64_t seed, bench::MetricsSidecar& sidecar) {
+Row run_seed(std::uint64_t seed, bench::MetricsSidecar& sidecar, bool smoke,
+             bool artifacts) {
   Row r;
   r.seed = seed;
 
-  auto clean = make_cluster(seed);
+  auto clean = make_cluster(seed, smoke);
   (void)populate(*clean);
   const std::size_t baseline = clean->total_unique_hashes();
 
-  auto c = make_cluster(seed);
+  auto c = make_cluster(seed, smoke);
   const auto ses = populate(*c);
   services::ShardRecovery recovery(*c);
   services::NullService null;
@@ -120,6 +133,30 @@ Row run_seed(std::uint64_t seed, bench::MetricsSidecar& sidecar) {
                                        static_cast<double>(baseline);
   r.blackholed = c->fabric().total_traffic().msgs_blackholed;
 
+  // Final sweep at quiescence: the whole fault schedule has played out, so
+  // every conservation-style invariant must balance.
+  (void)c->check_invariants();
+  r.watchdog_viol = c->watchdog().violations();
+  r.blackbox_dumps = c->blackbox().dumps();
+
+  if (artifacts) {
+    // CI artifacts: the full causal trace of this seed (three commands, two
+    // crashes, recovery) and the flight-recorder dump captured at the moment
+    // the first command completed degraded.
+    if (!c->tracer().write_chrome_json("chaos_recovery.trace.json")) {
+      std::fprintf(stderr, "chaos_recovery: cannot write trace artifact\n");
+    }
+    std::FILE* bb = std::fopen("chaos_recovery.blackbox.json", "w");
+    if (bb != nullptr) {
+      const std::string& doc = c->blackbox().last_dump().empty()
+                                   ? c->blackbox().to_json_all("bench_end")
+                                   : c->blackbox().last_dump();
+      std::fwrite(doc.data(), 1, doc.size(), bb);
+      std::fputc('\n', bb);
+      std::fclose(bb);
+    }
+  }
+
   sidecar.add("seed=" + std::to_string(seed), c->metrics());
   return r;
 }
@@ -146,9 +183,13 @@ int main(int argc, char** argv) {
 
   double min_coverage = 100.0;
   std::uint64_t total_republished = 0, total_excluded = 0;
+  std::uint64_t total_watchdog_viol = 0, total_dumps = 0;
   int max_passes = 0;
+  bool first = true;
   for (const std::uint64_t seed : seeds) {
-    const Row r = run_seed(seed, sidecar);
+    const Row r = run_seed(seed, sidecar, /*smoke=*/smoke,
+                           /*artifacts=*/smoke && first);
+    first = false;
     std::printf("%6llu %9.2f %9.2f %11.2f %11.2f %11llu %8llu %7d %8.2f %10llu\n",
                 static_cast<unsigned long long>(r.seed), r.clean_cmd_ms, r.detect_ms,
                 r.degraded_known_ms, r.degraded_probe_ms,
@@ -158,14 +199,19 @@ int main(int argc, char** argv) {
     if (r.coverage_pct < min_coverage) min_coverage = r.coverage_pct;
     total_republished += r.republished;
     total_excluded += r.excluded;
+    total_watchdog_viol += r.watchdog_viol;
+    total_dumps += r.blackbox_dumps;
     if (r.audit_passes > max_passes) max_passes = r.audit_passes;
   }
 
   std::printf(
       "\nAcceptance: post-heal coverage >= 99%% of the fault-free baseline within\n"
       "3 audit passes; every command terminated (probe-based exclusion bounds\n"
-      "each phase). min coverage %.2f%%, worst passes %d.\n",
-      min_coverage, max_passes);
+      "each phase). min coverage %.2f%%, worst passes %d.\n"
+      "Watchdog: %llu violations across all seeds (%llu flight-recorder dumps,\n"
+      "one per degraded command).\n",
+      min_coverage, max_passes, static_cast<unsigned long long>(total_watchdog_viol),
+      static_cast<unsigned long long>(total_dumps));
 
   if (smoke) {
     std::FILE* f = std::fopen("BENCH_pr3.json", "w");
@@ -173,13 +219,17 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "{\"bench\":\"pr3_chaos_recovery\",\"nodes\":%u,\"seeds\":%zu,"
                    "\"min_coverage_pct\":%.4f,\"max_audit_passes\":%d,"
-                   "\"total_republished\":%llu,\"total_excluded\":%llu}\n",
+                   "\"total_republished\":%llu,\"total_excluded\":%llu,"
+                   "\"watchdog_violations\":%llu,\"blackbox_dumps\":%llu}\n",
                    kNodes, seeds.size(), min_coverage, max_passes,
                    static_cast<unsigned long long>(total_republished),
-                   static_cast<unsigned long long>(total_excluded));
+                   static_cast<unsigned long long>(total_excluded),
+                   static_cast<unsigned long long>(total_watchdog_viol),
+                   static_cast<unsigned long long>(total_dumps));
       std::fclose(f);
       std::printf("\n  [BENCH_pr3.json written]\n");
     }
   }
+  if (smoke && total_watchdog_viol > 0) return 1;
   return min_coverage >= 99.0 ? 0 : 1;
 }

@@ -60,6 +60,11 @@ struct Shell {
     p.fabric.loss_rate = loss;
     p.update_batching.enabled = mtu != 0;
     if (mtu != 0) p.update_batching.mtu_bytes = mtu;
+    // The shell is a debugging surface: stamp trace context on datagrams so
+    // `trace <file>` exports show cross-node causal arrows, and let the
+    // watchdog sweep the invariants at every scan boundary.
+    p.trace_propagation = true;
+    p.watchdog.enabled = true;
     recovery.reset();
     cluster = std::make_unique<core::Cluster>(p);
     recovery = std::make_unique<services::ShardRecovery>(*cluster);
@@ -365,6 +370,37 @@ struct Shell {
                 static_cast<double>(cluster->fs().total_bytes()) / 1e3,
                 cluster->fs().list().size(),
                 static_cast<double>(cluster->sim().now()) / 1e6);
+    // The shell is quiescent between commands, so the conservation-style
+    // invariants are checkable right now.
+    const std::size_t viol_now = cluster->check_invariants();
+    const obs::Watchdog& wd = cluster->watchdog();
+    std::printf("watchdog: %zu invariants, %llu runs, %llu violations ever; "
+                "blackbox %llu dumps\n",
+                wd.invariant_count(), static_cast<unsigned long long>(wd.runs()),
+                static_cast<unsigned long long>(wd.violations()),
+                static_cast<unsigned long long>(cluster->blackbox().dumps()));
+    if (viol_now > 0) {
+      for (const auto& f : wd.last_findings()) {
+        std::printf("  ! %s: %s\n", f.invariant.c_str(), f.detail.c_str());
+      }
+    }
+  }
+
+  void cmd_blackbox(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::uint32_t node = 0;
+    if (args >> node) {
+      if (node >= cluster->num_nodes()) {
+        std::puts("no such node");
+        return;
+      }
+      std::printf("node %u: %llu events recorded (ring keeps %zu)\n%s\n", node,
+                  static_cast<unsigned long long>(cluster->blackbox().recorded(node)),
+                  cluster->blackbox().capacity(),
+                  cluster->blackbox().to_json(node).c_str());
+      return;
+    }
+    std::printf("%s\n", cluster->blackbox().to_json_all("shell").c_str());
   }
 
   void cmd_pressure() {
@@ -465,7 +501,8 @@ struct Shell {
           "fault <node> <crash|restart|pause|resume>  inject a node fault\n"
           "partition <a> <b>           toggle a symmetric link cut\n"
           "detect                      run a failure-detection window\n"
-          "stats                       traffic / DHT / fs / clock\n"
+          "stats                       traffic / DHT / fs / clock / watchdog\n"
+          "blackbox [node]             dump the flight-recorder ring(s) as JSON\n"
           "pressure                    queue depth / credits / breaker state per node\n"
           "metrics [json|csv]          dump the site-wide metrics registry\n"
           "trace <file>                export phase spans as Chrome trace JSON\n"
@@ -488,6 +525,7 @@ struct Shell {
     else if (cmd == "partition") cmd_partition(args);
     else if (cmd == "detect") cmd_detect();
     else if (cmd == "stats") cmd_stats();
+    else if (cmd == "blackbox") cmd_blackbox(args);
     else if (cmd == "pressure") cmd_pressure();
     else if (cmd == "metrics") cmd_metrics(args);
     else if (cmd == "trace") cmd_trace(args);

@@ -1,5 +1,9 @@
 #include "core/cluster.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+
 #include "core/cost_model.hpp"
 
 namespace concord::core {
@@ -7,6 +11,8 @@ namespace concord::core {
 Cluster::Cluster(ClusterParams params)
     : params_(params),
       sim_(params.seed),
+      blackbox_(params.num_nodes, params.blackbox_capacity),
+      watchdog_(metrics_),
       fabric_(sim_, params.fabric),
       placement_(params.single_node_dht ? 1 : params.num_nodes),
       registry_(params.max_entities),
@@ -15,6 +21,10 @@ Cluster::Cluster(ClusterParams params)
   // Bind the fabric first so daemon registration resolves cells straight
   // into the shared registry instead of the fabric's private fallback.
   fabric_.bind_metrics(metrics_);
+  blackbox_.bind_metrics(metrics_);
+  fabric_.bind_flight_recorder(&blackbox_);
+  fabric_.bind_tracer(&tracer_);
+  fabric_.set_trace_propagation(params.trace_propagation);
   daemons_.reserve(params_.num_nodes);
   for (std::uint32_t n = 0; n < params_.num_nodes; ++n) {
     daemons_.push_back(std::make_unique<ServiceDaemon>(
@@ -42,10 +52,18 @@ Cluster::Cluster(ClusterParams params)
     detector_.on_epoch_change(
         [this](const MembershipView& v) { placement_.set_view(v.epoch, v.alive); });
   }
+  // Epoch changes are site-wide context for any postmortem: stamp them into
+  // every node's flight-recorder ring.
+  detector_.on_epoch_change([this](const MembershipView& v) {
+    blackbox_.record_all(sim_.now(), obs::FrEvent::kEpochChange, 0, 0, v.epoch);
+  });
   // A tripped circuit breaker is end-to-end evidence that dst has stopped
   // answering — feed it to the detector as a suspicion hint so the next
-  // window's verdict is visible (shell `pressure`) ahead of time.
+  // window's verdict is visible (shell `pressure`) ahead of time. The hint
+  // count is cross-checked against fabric_.breaker_trips() by the watchdog's
+  // wiring invariant.
   fabric_.on_breaker_trip([this](NodeId /*src*/, NodeId dst) {
+    ++breaker_hints_;
     detector_.hint_suspect(dst);
   });
   if (params_.pressure.enabled) {
@@ -53,6 +71,79 @@ Cluster::Cluster(ClusterParams params)
     for (auto& d : daemons_) pressure_->attach(*d);
     pressure_->bind_metrics(metrics_);
   }
+  watchdog_.set_hard_fail(params.watchdog.hard_fail);
+  watchdog_.on_violation([this](const obs::Watchdog::Finding& f) {
+    blackbox_.record_all(sim_.now(), obs::FrEvent::kWatchdogViolation);
+    blackbox_.dump("watchdog:" + f.invariant);
+  });
+  install_invariants();
+}
+
+void Cluster::install_invariants() {
+  // PR-5 conservation identity, valid at quiescent points (scan boundaries,
+  // after sim().run()): every datagram counted sent was received, dropped in
+  // flight, shed at a full ingress queue, blackholed mid-flight, or was a
+  // completed ack (counted sent but consumed by the reliable protocol, never
+  // "received"). Loopback deliveries are received without ever being sent,
+  // hence the correction.
+  watchdog_.add_invariant("net_conservation", [this]() -> std::optional<std::string> {
+    const std::uint64_t sent = metrics_.counter_total("net", "msgs_sent");
+    const std::uint64_t received = metrics_.counter_total("net", "msgs_received");
+    const std::uint64_t dropped = metrics_.counter_total("net", "msgs_dropped");
+    const std::uint64_t shed = metrics_.counter_total("net", "msgs_shed");
+    const std::uint64_t inflight =
+        metrics_.counter_total("net", "msgs_blackholed_inflight");
+    const std::uint64_t acks = fabric_.acks_completed();
+    const std::uint64_t loopback = fabric_.loopback_delivered();
+    const std::uint64_t rhs = received - loopback + dropped + shed + inflight + acks;
+    if (sent == rhs) return std::nullopt;
+    char buf[224];
+    std::snprintf(buf, sizeof buf,
+                  "sent=%" PRIu64 " != %" PRIu64 " (received=%" PRIu64
+                  " - loopback=%" PRIu64 " + dropped=%" PRIu64 " + shed=%" PRIu64
+                  " + inflight_blackholed=%" PRIu64 " + acks=%" PRIu64 ")",
+                  sent, rhs, received, loopback, dropped, shed, inflight, acks);
+    return std::string(buf);
+  });
+  // The per-shard unique_hashes gauges must agree with the stores they
+  // describe — gauge drift means an update path forgot its accounting.
+  watchdog_.add_invariant("dht_gauge_consistency",
+                          [this]() -> std::optional<std::string> {
+    const auto structural = static_cast<std::int64_t>(total_unique_hashes());
+    const std::int64_t gauged = metrics_.gauge_total("dht", "unique_hashes");
+    if (structural == gauged) return std::nullopt;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "stores hold %lld hashes, gauges say %lld",
+                  static_cast<long long>(structural), static_cast<long long>(gauged));
+    return std::string(buf);
+  });
+  // Credit purses and adaptive budgets never go negative; a negative value
+  // means a grant/consume pair went out of balance.
+  watchdog_.add_invariant("pressure_non_negative",
+                          [this]() -> std::optional<std::string> {
+    std::optional<std::string> bad;
+    metrics_.for_each([&](const obs::MetricKey& k, const obs::Registry::Cell& cell) {
+      if (bad.has_value() || k.subsystem != "core") return;
+      if (k.name != "flow_credits" && k.name != "update_budget" &&
+          k.name != "flush_quota") {
+        return;
+      }
+      const auto* g = std::get_if<obs::Gauge>(&cell);
+      if (g != nullptr && g->value() < 0) {
+        bad = k.name + " on node " + std::to_string(k.node) + " = " +
+              std::to_string(g->value());
+      }
+    });
+    return bad;
+  });
+  // Every breaker trip must have produced exactly one suspicion hint.
+  watchdog_.add_invariant("breaker_suspicion_wiring",
+                          [this]() -> std::optional<std::string> {
+    const std::uint64_t trips = fabric_.breaker_trips();
+    if (trips == breaker_hints_) return std::nullopt;
+    return "breaker trips " + std::to_string(trips) + " != suspicion hints " +
+           std::to_string(breaker_hints_);
+  });
 }
 
 mem::MemoryEntity& Cluster::create_entity(NodeId node, EntityKind kind,
@@ -75,6 +166,14 @@ void Cluster::depart_entity(EntityId id) {
 mem::ScanStats Cluster::scan_all() {
   mem::ScanStats total;
   const CostModel& cost = CostModel::instance();
+  // Each scan epoch is the root of its own causal tree: a scan-root id with
+  // the top bit set (disjoint from command ids) becomes the ambient context,
+  // so the update datagrams this epoch ships are linkable in the trace.
+  std::optional<net::Fabric::TraceScope> trace_scope;
+  if (fabric_.trace_propagation()) {
+    trace_scope.emplace(fabric_,
+                        net::TraceContext{(std::uint64_t{1} << 63) | ++next_scan_root_, 0});
+  }
   for (auto& d : daemons_) {
     if (fault_.is_down(d->id())) continue;  // a down node scans nothing
     const auto tid = static_cast<std::uint32_t>(raw(d->id()));
@@ -102,6 +201,8 @@ mem::ScanStats Cluster::scan_all() {
   // Scan boundary: the controller reads this epoch's pressure signals and
   // adapts budgets/quotas for the next one.
   if (pressure_ != nullptr) pressure_->after_scan();
+  // Quiescent point: the conservation identity and its peers hold here.
+  if (params_.watchdog.enabled) watchdog_.evaluate();
   return total;
 }
 

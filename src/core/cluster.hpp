@@ -16,11 +16,23 @@
 #include "core/service_daemon.hpp"
 #include "fs/simfs.hpp"
 #include "net/fault_injector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/simulation.hpp"
 
 namespace concord::core {
+
+/// Invariant-watchdog policy. When enabled the cluster evaluates its
+/// invariant catalog (conservation identity, DHT gauge consistency, credit
+/// non-negativity, breaker/suspicion wiring) at every scan boundary;
+/// hard_fail additionally aborts on the first violation — the mode tests
+/// and bench --smoke runs use.
+struct WatchdogParams {
+  bool enabled = false;
+  bool hard_fail = false;
+};
 
 struct ClusterParams {
   std::uint32_t num_nodes = 8;
@@ -48,6 +60,16 @@ struct ClusterParams {
   /// quotas each scan epoch. Off by default — unpressured runs keep their
   /// metric/trace snapshots byte-identical.
   PressureParams pressure;
+  /// Causal tracing: when true the fabric stamps every datagram from the
+  /// sender's ambient trace context (commands, scans), charges the
+  /// kTraceCtxBytes wire cost, and emits flow events linking send to
+  /// delivery in the tracer. Off by default — wire bytes and trace/metric
+  /// snapshots stay byte-identical to pre-tracing builds.
+  bool trace_propagation = false;
+  /// Per-node flight-recorder ring capacity (events kept per node).
+  std::size_t blackbox_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Invariant watchdog (off by default; see WatchdogParams).
+  WatchdogParams watchdog;
 };
 
 class Cluster {
@@ -87,6 +109,20 @@ class Cluster {
   /// with tracer().write_chrome_json(path).
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// The always-on per-node flight recorder ("black box"): recent message,
+  /// breaker, epoch, and phase events, dumped to JSON on degraded
+  /// completions, watchdog findings, and audit mismatches.
+  [[nodiscard]] obs::FlightRecorder& blackbox() noexcept { return blackbox_; }
+  [[nodiscard]] const obs::FlightRecorder& blackbox() const noexcept { return blackbox_; }
+
+  /// The invariant watchdog. Its catalog is installed at construction;
+  /// evaluated each scan boundary when params.watchdog.enabled, or on
+  /// demand via check_invariants().
+  [[nodiscard]] obs::Watchdog& watchdog() noexcept { return watchdog_; }
+  [[nodiscard]] const obs::Watchdog& watchdog() const noexcept { return watchdog_; }
+  /// Runs the invariant catalog once; returns the violation count.
+  std::size_t check_invariants() { return watchdog_.evaluate(); }
   [[nodiscard]] fs::SimFs& fs() noexcept { return fs_; }
   [[nodiscard]] EntityRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] const EntityRegistry& registry() const noexcept { return registry_; }
@@ -128,10 +164,14 @@ class Cluster {
   [[nodiscard]] std::size_t total_unique_hashes() const;
 
  private:
+  void install_invariants();
+
   ClusterParams params_;
   sim::Simulation sim_;
   obs::Registry metrics_;  // declared before fabric/daemons: they hold cell refs
   obs::Tracer tracer_;
+  obs::FlightRecorder blackbox_;
+  obs::Watchdog watchdog_;
   net::Fabric fabric_;
   fs::SimFs fs_;
   dht::Placement placement_;
@@ -141,6 +181,8 @@ class Cluster {
   std::unique_ptr<PressureController> pressure_;
   std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
   std::vector<std::unique_ptr<mem::MemoryEntity>> entities_;
+  std::uint64_t breaker_hints_ = 0;    // suspicion hints issued for breaker trips
+  std::uint64_t next_scan_root_ = 0;   // scan-root trace ids (top bit set)
 };
 
 }  // namespace concord::core

@@ -105,6 +105,16 @@ void ServiceDaemon::handle_message(const net::Message& msg) {
     }
     case net::MsgType::kDhtUpdateBatch: {
       const auto& records = msg.as<DhtUpdateBatchMsg>();
+      // A traced batch leaves an apply marker on the owner's trace thread so
+      // the flow arrow from the monitor lands on visible work.
+      obs::Tracer* tracer = fabric_.tracer();
+      if (msg.trace.valid() && tracer != nullptr && tracer->enabled()) {
+        const obs::Tracer::SpanId span = tracer->begin_span(
+            "apply_batch", "dht", raw(id_), fabric_.sim().now());
+        tracer->add_arg(span, "root", msg.trace.root);
+        tracer->add_arg(span, "records", records.size());
+        tracer->end_span(span, fabric_.sim().now());
+      }
       store_.apply_batch(records);
       if (credit_grants_ && msg.src != id_) {
         fabric_.send_unreliable(net::make_message(

@@ -3,6 +3,7 @@
 #include "core/update_batcher.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 namespace concord::core {
@@ -76,6 +77,10 @@ void UpdateBatcher::add(NodeId dst, const dht::UpdateRecord& rec) {
     return;
   }
   buf.push_back(rec);
+  if (fabric_.trace_propagation()) {
+    const net::TraceContext ctx = fabric_.ambient_trace_context();
+    if (ctx.valid()) pending_trace_.try_emplace(dst, ctx);
+  }
   if (buf.size() >= policy_.max_records() && (!flow_control_ || credits_ > 0)) {
     ship(dst, buf, /*quota=*/nullptr);
   }
@@ -128,6 +133,11 @@ std::size_t UpdateBatcher::pending_records() const noexcept {
 
 void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records,
                          std::uint64_t* quota) {
+  // Ship under the context the buffer was filled under, not whatever is
+  // ambient now — a deferred batch belongs to the scan that produced it.
+  std::optional<net::Fabric::TraceScope> trace_scope;
+  const auto tit = pending_trace_.find(dst);
+  if (tit != pending_trace_.end()) trace_scope.emplace(fabric_, tit->second);
   const std::size_t cap = policy_.max_records();
   std::size_t off = 0;
   while (off < records.size()) {
@@ -149,6 +159,7 @@ void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records,
     if (c != nullptr) c->inc();
   }
   records.erase(records.begin(), records.begin() + static_cast<std::ptrdiff_t>(off));
+  if (records.empty()) pending_trace_.erase(dst);
 }
 
 }  // namespace concord::core

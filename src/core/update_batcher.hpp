@@ -101,7 +101,10 @@ class UpdateBatcher {
 
   /// Discards every buffered record without shipping it — the node crashed
   /// and its un-flushed batches die with it.
-  void drop_all() noexcept { pending_.clear(); }
+  void drop_all() noexcept {
+    pending_.clear();
+    pending_trace_.clear();
+  }
 
   // --- credit-based flow control (PressureController / daemon surface) ---
 
@@ -145,6 +148,10 @@ class UpdateBatcher {
   const dht::Placement* placement_;
   // Ordered map: flush_all must visit destinations in a deterministic order.
   std::map<NodeId, std::vector<dht::UpdateRecord>> pending_;
+  // Causal context captured when a destination's buffer first receives a
+  // record under a live ambient context: a batch deferred past its scan
+  // epoch still ships attributed to the scan that produced it.
+  std::map<NodeId, net::TraceContext> pending_trace_;
   bool flow_control_ = false;
   std::uint64_t credits_ = 0;
   std::uint64_t flush_quota_ = 0;  // datagrams per flush_all; 0 = unlimited

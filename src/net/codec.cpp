@@ -63,14 +63,21 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_len) {
+void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_len,
+                const TraceContext* trace) {
+  const bool traced = trace != nullptr && trace->valid();
   put_u32(out, kMagic);
-  put_u8(out, kVersion);
+  put_u8(out, traced ? kVersionTraced : kVersion);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u32(out, body_len);
+  if (traced) {
+    put_u64(out, trace->root);
+    put_u64(out, trace->parent);
+  }
 }
 
-/// Validates the header and returns a reader positioned at the body.
+/// Validates the header and returns a reader positioned at the body (past
+/// the trace context, when present).
 [[nodiscard]] Result<Reader> open_body(std::span<const std::byte> datagram, WireType expect_a,
                          WireType expect_b) {
   const Result<WireHeader> h = decode_header(datagram);
@@ -78,23 +85,25 @@ void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_l
   if (h.value().type != expect_a && h.value().type != expect_b) {
     return Status::kInvalidArgument;
   }
-  return Reader(datagram.subspan(kHeaderLen));
+  return Reader(datagram.subspan(kHeaderLen + (h.value().traced ? kTraceCtxBytes : 0)));
 }
 
 }  // namespace
 
-void encode(const DhtUpdate& msg, std::vector<std::byte>& out) {
-  put_header(out, msg.insert ? WireType::kDhtInsert : WireType::kDhtRemove, 16 + 4);
+void encode(const DhtUpdate& msg, std::vector<std::byte>& out, const TraceContext* trace) {
+  put_header(out, msg.insert ? WireType::kDhtInsert : WireType::kDhtRemove, 16 + 4, trace);
   put_u64(out, msg.hash.hi);
   put_u64(out, msg.hash.lo);
   put_u32(out, raw(msg.entity));
 }
 
-void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out) {
+void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out,
+            const TraceContext* trace) {
   const auto count = static_cast<std::uint16_t>(msg.records.size());
   put_header(out, WireType::kDhtUpdateBatch,
              static_cast<std::uint32_t>(kDhtUpdateBatchCountBytes +
-                                        msg.records.size() * kDhtUpdateRecordBytes));
+                                        msg.records.size() * kDhtUpdateRecordBytes),
+             trace);
   put_u16(out, count);
   for (const DhtUpdate& rec : msg.records) {
     put_u8(out, rec.insert ? 1 : 0);
@@ -104,17 +113,17 @@ void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out) {
   }
 }
 
-void encode(const Query& msg, std::vector<std::byte>& out) {
+void encode(const Query& msg, std::vector<std::byte>& out, const TraceContext* trace) {
   put_header(out, msg.want_entities ? WireType::kEntitiesQuery : WireType::kNumCopiesQuery,
-             8 + 16);
+             8 + 16, trace);
   put_u64(out, msg.req_id);
   put_u64(out, msg.hash.hi);
   put_u64(out, msg.hash.lo);
 }
 
-void encode(const QueryReply& msg, std::vector<std::byte>& out) {
+void encode(const QueryReply& msg, std::vector<std::byte>& out, const TraceContext* trace) {
   const auto count = static_cast<std::uint32_t>(msg.entities.size());
-  put_header(out, WireType::kQueryReply, 8 + 4 + 4 + count * 4);
+  put_header(out, WireType::kQueryReply, 8 + 4 + 4 + count * 4, trace);
   put_u64(out, msg.req_id);
   put_u32(out, msg.num_copies);
   put_u32(out, count);
@@ -128,15 +137,30 @@ Result<WireHeader> decode_header(std::span<const std::byte> datagram) {
   if (!r.u32(magic) || !r.u8(version) || !r.u8(type) || !r.u32(body_len)) {
     return Status::kInvalidArgument;
   }
-  if (magic != kMagic || version != kVersion) return Status::kInvalidArgument;
+  if (magic != kMagic) return Status::kInvalidArgument;
+  if (version != kVersion && version != kVersionTraced) return Status::kInvalidArgument;
+  const bool traced = version == kVersionTraced;
   if (type < 1 || type > kMaxWireType) return Status::kInvalidArgument;
-  if (datagram.size() != kHeaderLen + body_len) return Status::kInvalidArgument;
-  return WireHeader{static_cast<WireType>(type), body_len};
+  if (datagram.size() != kHeaderLen + (traced ? kTraceCtxBytes : 0) + body_len) {
+    return Status::kInvalidArgument;
+  }
+  return WireHeader{static_cast<WireType>(type), body_len, traced};
 }
 
-void encode(const CollectiveQuery& msg, std::vector<std::byte>& out) {
+Result<TraceContext> decode_trace_context(std::span<const std::byte> datagram) {
+  const Result<WireHeader> h = decode_header(datagram);
+  if (!h.has_value()) return h.status();
+  if (!h.value().traced) return Status::kNotFound;
+  Reader r(datagram.subspan(kHeaderLen, kTraceCtxBytes));
+  TraceContext ctx;
+  if (!r.u64(ctx.root) || !r.u64(ctx.parent)) return Status::kInvalidArgument;
+  return ctx;
+}
+
+void encode(const CollectiveQuery& msg, std::vector<std::byte>& out,
+            const TraceContext* trace) {
   const auto words = static_cast<std::uint32_t>(msg.scope_words.size());
-  put_header(out, WireType::kCollectiveQuery, 8 + 8 + 1 + 4 + words * 8);
+  put_header(out, WireType::kCollectiveQuery, 8 + 8 + 1 + 4 + words * 8, trace);
   put_u64(out, msg.req_id);
   put_u64(out, msg.k);
   put_u8(out, msg.collect_hashes ? 1 : 0);
@@ -144,9 +168,10 @@ void encode(const CollectiveQuery& msg, std::vector<std::byte>& out) {
   for (const std::uint64_t w : msg.scope_words) put_u64(out, w);
 }
 
-void encode(const CollectiveReply& msg, std::vector<std::byte>& out) {
+void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
+            const TraceContext* trace) {
   const auto count = static_cast<std::uint32_t>(msg.k_hashes.size());
-  put_header(out, WireType::kCollectiveReply, 8 + 5 * 8 + 4 + count * 16);
+  put_header(out, WireType::kCollectiveReply, 8 + 5 * 8 + 4 + count * 16, trace);
   put_u64(out, msg.req_id);
   put_u64(out, msg.total);
   put_u64(out, msg.unique);

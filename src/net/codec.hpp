@@ -23,11 +23,18 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "net/trace_context.hpp"
 
 namespace concord::net::codec {
 
 inline constexpr std::uint32_t kMagic = 0x434e4344;  // "CNCD"
 inline constexpr std::uint8_t kVersion = 1;
+/// Version byte of a datagram carrying a causal trace context: the 16-byte
+/// context (u64 root, u64 parent) sits between the fixed header and the
+/// body, which is otherwise laid out exactly as in version 1. Untraced
+/// datagrams still encode as version 1, so enabling the capability without
+/// tracing changes no byte anywhere.
+inline constexpr std::uint8_t kVersionTraced = 2;
 
 enum class WireType : std::uint8_t {
   kDhtInsert = 1,
@@ -44,6 +51,7 @@ inline constexpr std::uint8_t kMaxWireType = 8;
 struct WireHeader {
   WireType type{};
   std::uint32_t body_len = 0;
+  bool traced = false;  // version kVersionTraced: trace context follows header
 };
 inline constexpr std::size_t kHeaderLen = 4 + 1 + 1 + 4;  // magic, ver, type, len
 
@@ -101,18 +109,30 @@ struct CollectiveReply {
 };
 
 // --- encoders: append header+body to `out` and return the datagram span
-// boundaries (the datagram is out's new suffix).
+// boundaries (the datagram is out's new suffix). Passing a valid `trace`
+// emits the version-2 traced layout; nullptr (or an invalid context) emits
+// bytes identical to the pre-tracing format.
 
-void encode(const DhtUpdate& msg, std::vector<std::byte>& out);
-void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out);
-void encode(const Query& msg, std::vector<std::byte>& out);
-void encode(const QueryReply& msg, std::vector<std::byte>& out);
-void encode(const CollectiveQuery& msg, std::vector<std::byte>& out);
-void encode(const CollectiveReply& msg, std::vector<std::byte>& out);
+void encode(const DhtUpdate& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
+void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
+void encode(const Query& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
+void encode(const QueryReply& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
+void encode(const CollectiveQuery& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
+void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
 
 // --- decoding: header first, then the matching body.
 
 [[nodiscard]] Result<WireHeader> decode_header(std::span<const std::byte> datagram);
+/// The trace context of a traced (version-2) datagram. kNotFound for a
+/// well-formed version-1 datagram; kInvalidArgument for malformed input.
+[[nodiscard]] Result<TraceContext> decode_trace_context(
+    std::span<const std::byte> datagram);
 [[nodiscard]] Result<DhtUpdate> decode_dht_update(std::span<const std::byte> datagram);
 [[nodiscard]] Result<DhtUpdateBatch> decode_dht_update_batch(
     std::span<const std::byte> datagram);

@@ -155,17 +155,20 @@ double Fabric::link_loss(NodeId src, NodeId dst) const {
   return it == lossy_links_.end() ? 0.0 : it->second;
 }
 
-sim::Time Fabric::transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy) {
+sim::Time Fabric::transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy,
+                           MsgType type) {
   // A down endpoint or a cut link silences the attempt before it ever
   // occupies the NIC: no egress charge, no send accounting, just the
   // blackhole count at the source.
   if (!node_reachable(src) || !node_reachable(dst) || link_blocked(src, dst)) {
     cells_for(src).msgs_blackholed->inc();
+    fr_record(src, obs::FrEvent::kMsgBlackholed, type, dst, wire_size);
     return -1;
   }
   NodeCells& t = cells_for(src);
   t.msgs_sent->inc();
   t.bytes_sent->inc(wire_size);
+  fr_record(src, obs::FrEvent::kMsgSend, type, dst, wire_size);
 
   // Egress serialization: this datagram occupies the NIC for tx_time.
   sim::Time& free_at = next_tx_free_[src];
@@ -181,6 +184,7 @@ sim::Time Fabric::transmit(NodeId src, NodeId dst, std::size_t wire_size, bool l
     if (it != lossy_links_.end()) p = p + it->second - p * it->second;
     if (sim_.rng().chance(p)) {
       t.msgs_dropped->inc();
+      fr_record(src, obs::FrEvent::kMsgDrop, type, dst, wire_size);
       return -1;
     }
   }
@@ -222,6 +226,7 @@ std::optional<Fabric::Delivery> Fabric::admit_ingress(const Message& msg) {
   if (depth >= params_.ingress_queue_limit) {
     shed_cell(msg.dst).inc();
     shed_type_cell(msg.type).inc();
+    fr_record(msg.dst, obs::FrEvent::kMsgShed, msg.type, msg.src, msg.wire_size);
     return std::nullopt;
   }
   return Delivery::kQueued;
@@ -251,6 +256,7 @@ void Fabric::deliver_at(sim::Time when, Message msg, Delivery how) {
     // datagram was in flight (or a loopback sender may itself be down).
     if (!node_reachable(m.dst)) {
       cells_for(m.dst).msgs_blackholed->inc();
+      fr_record(m.dst, obs::FrEvent::kMsgBlackholed, m.type, m.src, m.wire_size);
       // Conservation accounting: unlike an egress blackhole (never counted
       // sent), this datagram did leave a NIC — track it separately so
       // sent == received + dropped + shed + blackholed_inflight holds.
@@ -260,8 +266,43 @@ void Fabric::deliver_at(sim::Time when, Message msg, Delivery how) {
     NodeCells& t = cells_for(m.dst);
     t.msgs_received->inc();
     t.bytes_received->inc(m.wire_size);
+    if (how == Delivery::kLoopback) ++loopback_delivered_;
+    note_delivery(m);
+    // The handler runs under the arriving message's context (empty for an
+    // untraced message — deliberately, so its sends don't inherit whatever
+    // context happened to be ambient at the sender's end of this callback).
+    const TraceContext prev = exchange_trace_context(m.trace);
     it->second(m);
+    exchange_trace_context(prev);
   });
+}
+
+void Fabric::maybe_stamp(Message& msg) {
+  if (!trace_propagation_) return;
+  if (!msg.trace.valid()) {
+    if (!ambient_trace_.valid()) return;
+    msg.trace = ambient_trace_;
+    // Loopback never touches the wire, so only inter-node datagrams pay the
+    // version-2 context bytes.
+    if (msg.src != msg.dst) msg.wire_size += kTraceCtxBytes;
+  }
+  if (msg.src != msg.dst && msg.flow_id == 0 && tracer_ != nullptr && tracer_->enabled()) {
+    msg.flow_id = ++next_flow_id_;
+    std::string name("msg:");
+    name += to_string(msg.type);
+    tracer_->flow_event(name, "net", raw(msg.src), sim_.now(), msg.flow_id,
+                        obs::FlowDir::kStart, msg.trace.root);
+  }
+}
+
+void Fabric::note_delivery(const Message& m) {
+  fr_record(m.dst, obs::FrEvent::kMsgRecv, m.type, m.src, m.wire_size);
+  if (m.flow_id != 0 && tracer_ != nullptr && tracer_->enabled()) {
+    std::string name("msg:");
+    name += to_string(m.type);
+    tracer_->flow_event(name, "net", raw(m.dst), sim_.now(), m.flow_id,
+                        obs::FlowDir::kFinish, m.trace.root);
+  }
 }
 
 // ------------------------------------------------------------ circuit breaker
@@ -280,6 +321,9 @@ void Fabric::breaker_record_timeout(NodeId src, NodeId dst) {
     b->cooldown = std::min<sim::Time>(b->cooldown * 2, 16 * params_.breaker_cooldown);
     b->open_until = sim_.now() + b->cooldown;
     site_counter("breaker_trips").inc();
+    if (recorder_ != nullptr) {
+      recorder_->record(raw(src), sim_.now(), obs::FrEvent::kBreakerTrip, 1, raw(dst));
+    }
     if (on_breaker_trip_) on_breaker_trip_(src, dst);
     return;
   }
@@ -289,6 +333,9 @@ void Fabric::breaker_record_timeout(NodeId src, NodeId dst) {
     b->cooldown = params_.breaker_cooldown;
     b->open_until = sim_.now() + b->cooldown;
     site_counter("breaker_trips").inc();
+    if (recorder_ != nullptr) {
+      recorder_->record(raw(src), sim_.now(), obs::FrEvent::kBreakerTrip, 0, raw(dst));
+    }
     if (on_breaker_trip_) on_breaker_trip_(src, dst);
   }
 }
@@ -326,12 +373,14 @@ void Fabric::account_send(Message& msg) {
 }
 
 void Fabric::send_unreliable(Message msg) {
+  maybe_stamp(msg);
   if (msg.src == msg.dst) {
     deliver_at(sim_.now() + kLoopbackLatency, std::move(msg), Delivery::kLoopback);
     return;
   }
   account_send(msg);
-  const sim::Time arrival = transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true);
+  const sim::Time arrival =
+      transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true, msg.type);
   if (arrival < 0) return;  // lost in flight or blackholed
   const std::optional<Delivery> admitted = admit_ingress(msg);
   if (!admitted.has_value()) return;  // tail-dropped at the full ingress queue
@@ -339,6 +388,7 @@ void Fabric::send_unreliable(Message msg) {
 }
 
 void Fabric::send_reliable(Message msg, SendCallback on_done) {
+  maybe_stamp(msg);
   if (msg.src == msg.dst) {
     // Loopback: intra-node messages never touch the NIC and cannot be lost.
     const sim::Time when = sim_.now() + kLoopbackLatency;
@@ -355,6 +405,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
   if (br != nullptr && br->open) {
     if (sim_.now() < br->open_until) {
       site_counter("breaker_fastfail").inc();
+      fr_record(msg.src, obs::FrEvent::kBreakerFastFail, msg.type, msg.dst);
       if (on_done) sim_.after(0, [cb = std::move(on_done)]() { cb(Status::kUnavailable); });
       return;
     }
@@ -379,7 +430,7 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
   while (attempt < params_.max_retries && !budget_spent) {
     ++attempt;
     if (attempt > 1) cells_for(src).retransmits->inc();
-    sim::Time arrival = transmit(src, dst, msg.wire_size, /*lossy=*/true);
+    sim::Time arrival = transmit(src, dst, msg.wire_size, /*lossy=*/true, msg.type);
     std::optional<Delivery> admitted;
     if (arrival >= 0) {
       admitted = admit_ingress(msg);
@@ -408,13 +459,15 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
       ++ack_attempt;
       if (ack_attempt > 1) cells_for(dst).retransmits->inc();
       // Acks are priority traffic: never shed, never queued behind load.
-      const sim::Time ack_arrival = transmit(dst, src, kAckBytes, /*lossy=*/true);
+      const sim::Time ack_arrival =
+          transmit(dst, src, kAckBytes, /*lossy=*/true, MsgType::kCommandAck);
       if (ack_arrival < 0) {
         ++ack_failures;
         ack_elapsed += backoff_wait(ack_failures);
         continue;
       }
       breaker_record_success(src, dst);
+      ++acks_completed_;  // one msgs_sent (the ack) with no msgs_received
       if (on_done) {
         sim_.at(deliver_time + ack_elapsed +
                     std::max<sim::Time>(ack_arrival - sim_.now(), 0),

@@ -44,7 +44,9 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace concord::net {
@@ -188,6 +190,66 @@ class Fabric {
   using BreakerTripFn = std::function<void(NodeId src, NodeId dst)>;
   void on_breaker_trip(BreakerTripFn fn) { on_breaker_trip_ = std::move(fn); }
 
+  // --- causal tracing ----------------------------------------------------
+  /// When on, outgoing messages without a context are stamped from the
+  /// sender's *ambient* trace context (growing by kTraceCtxBytes on the
+  /// wire, exactly the codec's version-2 layout), and each non-loopback
+  /// stamped message emits a flow-event pair in the bound tracer linking
+  /// the send tid to the delivery tid. Off by default: wire bytes, traffic
+  /// accounting, and trace output are byte-identical to a build without
+  /// tracing.
+  void set_trace_propagation(bool on) noexcept { trace_propagation_ = on; }
+  [[nodiscard]] bool trace_propagation() const noexcept { return trace_propagation_; }
+  /// Tracer that receives flow events (optional).
+  void bind_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+  /// Flight recorder that receives per-node message events (optional).
+  void bind_flight_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  /// Installs `ctx` as the ambient context, returning the previous one.
+  /// Deliveries set the ambient context to the arriving message's before
+  /// invoking the handler (and restore it after), so replies and forwarded
+  /// work inherit causality with no plumbing in the handlers themselves.
+  TraceContext exchange_trace_context(TraceContext ctx) noexcept {
+    const TraceContext prev = ambient_trace_;
+    ambient_trace_ = ctx;
+    return prev;
+  }
+  [[nodiscard]] TraceContext ambient_trace_context() const noexcept {
+    return ambient_trace_;
+  }
+  /// RAII ambient-context scope. Deferred work (sim.after callbacks) does
+  /// not run under a delivery handler, so callers that captured a context at
+  /// schedule time reinstall it around their sends with one of these.
+  class TraceScope {
+   public:
+    TraceScope(Fabric& fabric, TraceContext ctx) noexcept
+        : fabric_(fabric), prev_(fabric.exchange_trace_context(ctx)) {}
+    ~TraceScope() { fabric_.exchange_trace_context(prev_); }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+   private:
+    Fabric& fabric_;
+    TraceContext prev_;
+  };
+
+  // --- conservation accounting -------------------------------------------
+  // Plain members, deliberately not registry metrics: they close the PR-5
+  // conservation identity (the watchdog's first invariant) without adding
+  // cells that would perturb metric-snapshot byte-identity.
+  /// Reliable exchanges whose ack reached the sender (each contributes one
+  /// msgs_sent with no msgs_received — the simulated ack datagram).
+  [[nodiscard]] std::uint64_t acks_completed() const noexcept { return acks_completed_; }
+  /// Deliveries that never touched the NIC (msgs_received without
+  /// msgs_sent).
+  [[nodiscard]] std::uint64_t loopback_delivered() const noexcept {
+    return loopback_delivered_;
+  }
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+
   // --- fault surface (driven by net::FaultInjector) ---------------------
   // A node that is not reachable neither sends nor receives: its egress is
   // blackholed at the source and anything addressed to it vanishes in
@@ -243,8 +305,9 @@ class Fabric {
   /// if the datagram is lost (loss is charged to traffic but not delivered).
   /// Checks fault state on the (src, dst) pair: a blocked or down endpoint
   /// blackholes the attempt (counted at src), per-link loss stacks on the
-  /// global rate.
-  sim::Time transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy);
+  /// global rate. `type` feeds the flight recorder only.
+  sim::Time transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy,
+                     MsgType type);
 
   void deliver_at(sim::Time when, Message msg, Delivery how);
 
@@ -266,6 +329,25 @@ class Fabric {
   NodeCells& cells_for(NodeId node);
   TypeCells& type_cells(MsgType t);
   void account_send(Message& msg);
+
+  /// Stamps an untraced message from the ambient context (when propagation is
+  /// on) — the only place a context ever attaches to a message, so the
+  /// kTraceCtxBytes wire charge happens exactly once — and, for non-loopback
+  /// stamped messages with a live tracer, allocates a flow id and emits the
+  /// send-side ("s") flow event.
+  void maybe_stamp(Message& msg);
+  /// Delivery-side recorder + tracer hooks: flight-recorder kMsgRecv and the
+  /// finish-side ("f") flow event matching maybe_stamp's "s".
+  void note_delivery(const Message& m);
+  /// Flight-recorder append, null-safe (recorder events carry the message
+  /// type in `a`, the peer node in `peer`, and the wire size in `d1`).
+  void fr_record(NodeId node, obs::FrEvent type, MsgType mt, NodeId peer,
+                 std::uint64_t d1 = 0) {
+    if (recorder_ != nullptr) {
+      recorder_->record(raw(node), sim_.now(), type,
+                        static_cast<std::uint16_t>(mt), raw(peer), d1);
+    }
+  }
 
   // Lazily-created overload cells: these exist in a snapshot only once the
   // matching event has happened, so unpressured runs stay byte-identical
@@ -293,6 +375,16 @@ class Fabric {
   std::unordered_map<std::uint64_t, double> lossy_links_;  // per-link loss
   obs::Registry* metrics_ = nullptr;           // bound registry, if any
   std::unique_ptr<obs::Registry> own_metrics_; // fallback when unbound
+
+  // Causal tracing (all inert unless trace_propagation_ is set).
+  bool trace_propagation_ = false;
+  TraceContext ambient_trace_{};
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint64_t next_flow_id_ = 0;
+  // Conservation accounting (see the public accessors).
+  std::uint64_t acks_completed_ = 0;
+  std::uint64_t loopback_delivered_ = 0;
 };
 
 }  // namespace concord::net

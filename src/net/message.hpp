@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "net/trace_context.hpp"
 
 namespace concord::net {
 
@@ -83,6 +84,13 @@ struct Message {
   MsgType type{};
   std::size_t wire_size = kWireHeaderBytes;  // total bytes on the wire
   std::any payload;
+  // Causal tracing. `trace` is stamped by the fabric (from the sender's
+  // ambient context) when trace propagation is on — it then also costs
+  // kTraceCtxBytes of wire. `flow_id` is emulation-only bookkeeping pairing
+  // the send-side "s" flow event with the delivery-side "f"; never on the
+  // wire.
+  TraceContext trace{};
+  std::uint64_t flow_id = 0;
 
   template <typename T>
   [[nodiscard]] const T& as() const {

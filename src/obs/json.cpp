@@ -172,4 +172,28 @@ class Parser {
 
 Result<Value> parse(std::string_view text) { return Parser(text).run(); }
 
+void escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+}
+
 }  // namespace concord::obs::json

@@ -66,4 +66,10 @@ class Value {
 /// Parses one complete JSON document (trailing garbage is an error).
 [[nodiscard]] Result<Value> parse(std::string_view text);
 
+/// Appends `s` to `out` as JSON string *content* (no surrounding quotes):
+/// quotes, backslashes, and control characters are escaped so the result
+/// always round-trips through parse(). Every emitter in the observability
+/// layer shares this one definition.
+void escape(std::string& out, std::string_view s);
+
 }  // namespace concord::obs::json

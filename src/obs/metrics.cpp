@@ -6,23 +6,18 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json.hpp"
+
 namespace concord::obs {
 
 namespace {
 
-void append_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
-
 void append_key(std::string& out, const MetricKey& key) {
   char buf[64];
   out += "{\"subsystem\":\"";
-  append_escaped(out, key.subsystem);
+  json::escape(out, key.subsystem);
   out += "\",\"name\":\"";
-  append_escaped(out, key.name);
+  json::escape(out, key.name);
   std::snprintf(buf, sizeof buf, "\",\"node\":%d", key.node);
   out += buf;
 }

@@ -5,16 +5,11 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/json.hpp"
+
 namespace concord::obs {
 
 namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
 
 /// Virtual ns -> trace µs, printed exactly (no floating point) so exports
 /// are byte-identical across runs.
@@ -27,9 +22,9 @@ void append_us(std::string& out, const char* field, sim::Time ns) {
 
 void append_common(std::string& out, const TraceSpan& s) {
   out += "{\"name\":\"";
-  append_escaped(out, s.name);
+  json::escape(out, s.name);
   out += "\",\"cat\":\"";
-  append_escaped(out, s.cat);
+  json::escape(out, s.cat);
   out += "\",";
 }
 
@@ -40,7 +35,7 @@ void append_args(std::string& out, const TraceSpan& s) {
   for (std::size_t i = 0; i < s.args.size(); ++i) {
     if (i != 0) out += ',';
     out += '"';
-    append_escaped(out, s.args[i].key);
+    json::escape(out, s.args[i].key);
     std::snprintf(buf, sizeof buf, "\":%" PRIu64, s.args[i].value);
     out += buf;
   }
@@ -52,37 +47,63 @@ void append_args(std::string& out, const TraceSpan& s) {
 Tracer::SpanId Tracer::begin_span(std::string_view name, std::string_view cat,
                                   std::uint32_t tid, sim::Time ts) {
   if (!enabled_) return kInvalid;
-  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, -1, false, 0, {}});
-  return spans_.size() - 1;
+  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, -1, false, 0, {},
+                             FlowDir::kNone});
+  return base_ + spans_.size() - 1;
 }
 
 Tracer::SpanId Tracer::begin_async(std::string_view name, std::string_view cat,
                                    std::uint32_t tid, sim::Time ts, std::uint64_t id) {
   if (!enabled_) return kInvalid;
-  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, -1, true, id, {}});
-  return spans_.size() - 1;
+  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, -1, true, id, {},
+                             FlowDir::kNone});
+  return base_ + spans_.size() - 1;
 }
 
 void Tracer::end_span(SpanId id, sim::Time ts) {
-  if (id == kInvalid) return;
-  spans_[id].end = ts;
+  if (id == kInvalid || id < base_) return;  // disabled, or cleared mid-span
+  spans_[id - base_].end = ts;
 }
 
 void Tracer::add_arg(SpanId id, std::string_view key, std::uint64_t value) {
-  if (id == kInvalid) return;
-  spans_[id].args.push_back(TraceArg{std::string(key), value});
+  if (id == kInvalid || id < base_) return;  // disabled, or cleared mid-span
+  spans_[id - base_].args.push_back(TraceArg{std::string(key), value});
+}
+
+void Tracer::flow_event(std::string_view name, std::string_view cat, std::uint32_t tid,
+                        sim::Time ts, std::uint64_t flow_id, FlowDir dir,
+                        std::uint64_t root) {
+  if (!enabled_ || dir == FlowDir::kNone) return;
+  spans_.push_back(TraceSpan{std::string(name), std::string(cat), tid, ts, ts, false,
+                             flow_id, {}, dir});
+  if (root != 0) spans_.back().args.push_back(TraceArg{"root", root});
 }
 
 std::string Tracer::to_chrome_json(std::size_t from_span) const {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[96];
   bool first = true;
-  for (std::size_t i = from_span; i < spans_.size(); ++i) {
+  const std::size_t start = from_span <= base_ ? 0 : from_span - base_;
+  for (std::size_t i = start; i < spans_.size(); ++i) {
     const TraceSpan& s = spans_[i];
     if (s.end < s.begin) continue;  // never closed; skip
     if (!first) out += ',';
     first = false;
-    if (s.async) {
+    if (s.flow != FlowDir::kNone) {
+      // Instant flow event: "s" leaves the sender tid, "f" (with
+      // binding-point "e": bind to the enclosing slice's end) lands on the
+      // receiver tid. Perfetto links pairs by id when name+cat match.
+      append_common(out, s);
+      std::snprintf(buf, sizeof buf,
+                    s.flow == FlowDir::kStart
+                        ? "\"ph\":\"s\",\"id\":%" PRIu64 ",\"pid\":0,\"tid\":%u,"
+                        : "\"ph\":\"f\",\"bp\":\"e\",\"id\":%" PRIu64 ",\"pid\":0,\"tid\":%u,",
+                    s.async_id, s.tid);
+      out += buf;
+      append_us(out, "ts", s.begin);
+      append_args(out, s);
+      out += '}';
+    } else if (s.async) {
       // Async pair: "b"/"e" events share cat+id+name and may overlap other
       // spans of the same tid (the pipelined dispatches do).
       append_common(out, s);

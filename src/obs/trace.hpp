@@ -29,6 +29,10 @@ struct TraceArg {
   std::uint64_t value;
 };
 
+/// Direction of a flow event: a "s"/"f" pair with the same id links a send
+/// on one tid to the matching receive on another in the trace viewer.
+enum class FlowDir : std::uint8_t { kNone = 0, kStart, kFinish };
+
 struct TraceSpan {
   std::string name;
   std::string cat;
@@ -38,6 +42,7 @@ struct TraceSpan {
   bool async = false;      // overlapping span: exported as "b"/"e" pair
   std::uint64_t async_id = 0;
   std::vector<TraceArg> args;
+  FlowDir flow = FlowDir::kNone;  // instant flow event instead of a span
 };
 
 class Tracer {
@@ -58,16 +63,34 @@ class Tracer {
   /// Opens an async span (may overlap other spans of the same tid).
   SpanId begin_async(std::string_view name, std::string_view cat, std::uint32_t tid,
                      sim::Time ts, std::uint64_t id);
-  /// Closes a span. Ignores kInvalid, so callers need not guard disabled
-  /// tracers.
+  /// Closes a span. Ignores kInvalid and ids invalidated by clear(), so
+  /// callers need not guard disabled tracers or clears racing open spans.
   void end_span(SpanId id, sim::Time ts);
   /// Attaches a key/value pair shown under the span in the trace viewer.
+  /// Same staleness rules as end_span().
   void add_arg(SpanId id, std::string_view key, std::uint64_t value);
 
-  [[nodiscard]] std::size_t span_count() const noexcept { return spans_.size(); }
-  [[nodiscard]] const TraceSpan& span(SpanId id) const { return spans_[id]; }
+  /// Records an instant flow event ("s" when dir is kStart on the sender
+  /// tid, "f" on the receiver tid). Events sharing `flow_id` (and name+cat,
+  /// which Perfetto requires to match) are drawn as one arrow linking the
+  /// two tids — this is how cross-node message causality appears in the
+  /// exported trace.
+  void flow_event(std::string_view name, std::string_view cat, std::uint32_t tid,
+                  sim::Time ts, std::uint64_t flow_id, FlowDir dir,
+                  std::uint64_t root);
 
-  void clear() noexcept { spans_.clear(); }
+  /// Total spans ever recorded: span ids are absolute and monotonic, so this
+  /// stays a valid `from_span` cursor across clear().
+  [[nodiscard]] std::size_t span_count() const noexcept { return base_ + spans_.size(); }
+  [[nodiscard]] const TraceSpan& span(SpanId id) const { return spans_[id - base_]; }
+
+  /// Drops recorded spans without invalidating bookkeeping held by callers:
+  /// SpanIds handed out before the clear become inert (end_span/add_arg on
+  /// them are no-ops) instead of aliasing newly recorded spans.
+  void clear() noexcept {
+    base_ += spans_.size();
+    spans_.clear();
+  }
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}). Spans before
   /// `from_span` and still-open spans are skipped; timestamps are emitted in
@@ -79,6 +102,7 @@ class Tracer {
 
  private:
   bool enabled_ = true;
+  std::size_t base_ = 0;  // absolute id of spans_[0]; advanced by clear()
   std::vector<TraceSpan> spans_;
 };
 

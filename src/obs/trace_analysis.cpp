@@ -1,0 +1,342 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace concord::obs::trace {
+
+namespace {
+
+double num_or(const json::Value& ev, std::string_view key, double fallback) {
+  const json::Value* v = ev.get(key);
+  return (v != nullptr && v->kind() == json::Value::Kind::kNumber) ? v->as_number()
+                                                                   : fallback;
+}
+
+std::string str_or(const json::Value& ev, std::string_view key) {
+  const json::Value* v = ev.get(key);
+  return (v != nullptr && v->kind() == json::Value::Kind::kString) ? v->as_string()
+                                                                   : std::string();
+}
+
+/// args.<key> as unsigned, 0 when absent.
+std::uint64_t arg_u64(const json::Value& ev, std::string_view key) {
+  const json::Value* args = ev.get("args");
+  if (args == nullptr || args->kind() != json::Value::Kind::kObject) return 0;
+  const json::Value* v = args->get(key);
+  if (v == nullptr || v->kind() != json::Value::Kind::kNumber) return 0;
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+struct XEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  double ts = 0;
+  double dur = 0;
+  std::uint64_t cmd_id = 0;  // args.cmd_id when present
+};
+
+struct AsyncOpen {
+  double ts = 0;
+  std::uint32_t tid = 0;
+};
+
+struct FlowSide {
+  bool started = false;
+  bool finished = false;
+  std::string name;
+  std::uint64_t root = 0;
+  double start_ts = 0;
+  std::uint32_t start_tid = 0;
+  std::uint32_t finish_tid = 0;
+};
+
+struct AsyncSpan {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint32_t tid = 0;
+  double ts = 0;
+  double dur = 0;
+};
+
+void append_ms(std::string& out, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f ms", us / 1000.0);
+  out += buf;
+}
+
+}  // namespace
+
+Result<Analysis> analyze(const json::Value& doc) {
+  const json::Value* events = doc.get("traceEvents");
+  if (events == nullptr || events->kind() != json::Value::Kind::kArray) {
+    return Status::kInvalidArgument;
+  }
+
+  Analysis a;
+  std::vector<XEvent> xs;
+  std::vector<AsyncSpan> asyncs;
+  // Async "b" events awaiting their "e", keyed by (cat, name, id); a stack
+  // per key tolerates same-id reuse across sequential commands.
+  std::map<std::tuple<std::string, std::string, std::uint64_t>, std::vector<AsyncOpen>> open;
+  std::map<std::uint64_t, FlowSide> flows;  // ordered: problems reported in id order
+
+  for (const json::Value& ev : events->as_array()) {
+    if (ev.kind() != json::Value::Kind::kObject) {
+      a.problems.push_back("non-object entry in traceEvents");
+      continue;
+    }
+    ++a.events;
+    const std::string ph = str_or(ev, "ph");
+    const std::string name = str_or(ev, "name");
+    const auto tid = static_cast<std::uint32_t>(num_or(ev, "tid", 0));
+    const double ts = num_or(ev, "ts", -1);
+    if (ts < 0) {
+      a.problems.push_back("event '" + name + "' missing ts");
+      continue;
+    }
+    if (ph == "X") {
+      const double dur = num_or(ev, "dur", -1);
+      if (dur < 0) {
+        a.problems.push_back("span '" + name + "' has negative or missing dur");
+        continue;
+      }
+      ++a.spans;
+      xs.push_back(XEvent{name, tid, ts, dur, arg_u64(ev, "cmd_id")});
+    } else if (ph == "b" || ph == "e") {
+      const auto id = static_cast<std::uint64_t>(num_or(ev, "id", 0));
+      const auto key = std::make_tuple(str_or(ev, "cat"), name, id);
+      if (ph == "b") {
+        open[key].push_back(AsyncOpen{ts, tid});
+      } else {
+        auto it = open.find(key);
+        if (it == open.end() || it->second.empty()) {
+          a.problems.push_back("async end '" + name + "' id " + std::to_string(id) +
+                               " without begin");
+          continue;
+        }
+        const AsyncOpen b = it->second.back();
+        it->second.pop_back();
+        asyncs.push_back(AsyncSpan{name, id, b.tid, b.ts, ts - b.ts});
+      }
+    } else if (ph == "s" || ph == "f") {
+      const auto id = static_cast<std::uint64_t>(num_or(ev, "id", 0));
+      FlowSide& side = flows[id];
+      if (ph == "s") {
+        ++a.flow_starts;
+        side.started = true;
+        side.name = name;
+        side.root = arg_u64(ev, "root");
+        side.start_ts = ts;
+        side.start_tid = tid;
+        ++a.msg_counts[name];
+      } else {
+        ++a.flow_finishes;
+        side.finished = true;
+        side.finish_tid = tid;
+        if (side.name.empty()) side.name = name;
+        if (side.root == 0) side.root = arg_u64(ev, "root");
+      }
+    }
+    // Other phases (metadata etc.) are ignored.
+  }
+
+  for (const auto& [key, stack] : open) {
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      a.problems.push_back("async begin '" + std::get<1>(key) + "' id " +
+                           std::to_string(std::get<2>(key)) + " never ended");
+    }
+  }
+  for (const auto& [id, side] : flows) {
+    if (side.finished && !side.started) {
+      a.problems.push_back("flow finish id " + std::to_string(id) + " ('" + side.name +
+                           "') without start");
+    }
+    if (side.started && side.finished) ++a.flows_matched;
+  }
+
+  // ---- reconstruct commands.
+  for (const XEvent& cmd : xs) {
+    if (cmd.name != "command") continue;
+    CommandProfile p;
+    p.cmd_id = cmd.cmd_id;
+    p.tid = cmd.tid;
+    p.ts = cmd.ts;
+    p.dur = cmd.dur;
+    const double lo = cmd.ts;
+    const double hi = cmd.ts + cmd.dur;
+    std::set<std::uint32_t> nodes{cmd.tid};
+
+    for (const XEvent& x : xs) {
+      if (x.ts < lo || x.ts > hi) continue;
+      if (x.name.rfind("phase:", 0) == 0 && x.tid == cmd.tid) {
+        p.phases.push_back(PhaseStat{x.name, x.ts, x.dur});
+      } else if (x.name == "drive") {
+        nodes.insert(x.tid);
+        if (x.dur > p.max_drive_dur) {
+          p.max_drive_dur = x.dur;
+          p.max_drive_tid = x.tid;
+        }
+      } else if (x.name == "exec" || x.name == "apply_batch") {
+        nodes.insert(x.tid);
+      }
+    }
+    std::sort(p.phases.begin(), p.phases.end(),
+              [](const PhaseStat& l, const PhaseStat& r) { return l.ts < r.ts; });
+
+    for (const AsyncSpan& d : asyncs) {
+      if (d.name != "dispatch" || d.ts < lo || d.ts > hi) continue;
+      ++p.dispatches;
+      if (d.dur > p.max_dispatch_dur) {
+        p.max_dispatch_dur = d.dur;
+        p.max_dispatch_id = d.id;
+      }
+    }
+    for (const auto& [id, side] : flows) {
+      if (!side.started || side.root != p.cmd_id || side.start_ts < lo ||
+          side.start_ts > hi) {
+        continue;
+      }
+      ++p.fanout[side.name];
+      nodes.insert(side.start_tid);
+      if (side.finished) nodes.insert(side.finish_tid);
+    }
+    p.nodes.assign(nodes.begin(), nodes.end());
+
+    // Causal critical path: the phases run strictly in sequence on the
+    // controller, so each contributes its full duration; inside the drive
+    // phase the slowest shard drive (and its longest pipelined dispatch)
+    // is what the barrier waited on.
+    for (const PhaseStat& ph : p.phases) {
+      std::string step = ph.name + " ";
+      append_ms(step, ph.dur);
+      if (ph.name == "phase:drive" && p.max_drive_dur > 0) {
+        step += " <- slowest drive tid " + std::to_string(p.max_drive_tid) + " (";
+        append_ms(step, p.max_drive_dur);
+        step += ")";
+        if (p.max_dispatch_dur > 0) {
+          step += ", longest dispatch seq " + std::to_string(p.max_dispatch_id) + " (";
+          append_ms(step, p.max_dispatch_dur);
+          step += ")";
+        }
+      }
+      p.critical_path.push_back(std::move(step));
+    }
+    if (p.phases.empty()) {
+      a.problems.push_back("command " + std::to_string(p.cmd_id) +
+                           " has no phase spans in its window");
+    }
+    a.commands.push_back(std::move(p));
+  }
+  std::sort(a.commands.begin(), a.commands.end(),
+            [](const CommandProfile& l, const CommandProfile& r) { return l.ts < r.ts; });
+  return a;
+}
+
+Result<Analysis> analyze_text(std::string_view text) {
+  Result<json::Value> doc = json::parse(text);
+  if (!doc.has_value()) return doc.status();
+  return analyze(doc.value());
+}
+
+std::string report(const Analysis& a) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "trace: %zu events (%zu spans), %zu commands, flows %zu sent / %zu "
+                "delivered / %zu matched\n",
+                a.events, a.spans, a.commands.size(), a.flow_starts, a.flow_finishes,
+                a.flows_matched);
+  out += buf;
+  if (!a.msg_counts.empty()) {
+    out += "messages by type:";
+    for (const auto& [name, count] : a.msg_counts) {
+      std::snprintf(buf, sizeof buf, " %s x%" PRIu64, name.c_str(), count);
+      out += buf;
+    }
+    out += '\n';
+  }
+  for (const CommandProfile& c : a.commands) {
+    std::snprintf(buf, sizeof buf,
+                  "\ncommand %" PRIu64 " (controller tid %u): total ", c.cmd_id, c.tid);
+    out += buf;
+    append_ms(out, c.dur);
+    std::snprintf(buf, sizeof buf, ", %zu phases, %zu dispatches, %zu nodes touched\n",
+                  c.phases.size(), c.dispatches, c.nodes.size());
+    out += buf;
+    for (const PhaseStat& p : c.phases) {
+      const double pct = c.dur > 0 ? 100.0 * p.dur / c.dur : 0.0;
+      std::snprintf(buf, sizeof buf, "  %-16s ", p.name.c_str());
+      out += buf;
+      append_ms(out, p.dur);
+      std::snprintf(buf, sizeof buf, "  (%5.1f%%)\n", pct);
+      out += buf;
+    }
+    std::uint64_t msgs = 0;
+    if (!c.fanout.empty()) {
+      out += "  fan-out:";
+      for (const auto& [name, count] : c.fanout) {
+        std::snprintf(buf, sizeof buf, " %s x%" PRIu64, name.c_str(), count);
+        out += buf;
+        msgs += count;
+      }
+      if (c.dispatches > 0) {
+        std::snprintf(buf, sizeof buf, "  (%.2f msgs/dispatch)",
+                      static_cast<double>(msgs) / static_cast<double>(c.dispatches));
+        out += buf;
+      }
+      out += '\n';
+    }
+    out += "  critical path:\n";
+    for (const std::string& step : c.critical_path) out += "    " + step + "\n";
+  }
+  if (!a.problems.empty()) {
+    std::snprintf(buf, sizeof buf, "\n%zu problems:\n", a.problems.size());
+    out += buf;
+    for (const std::string& p : a.problems) out += "  ! " + p + "\n";
+  }
+  return out;
+}
+
+std::string diff(const Analysis& a, const Analysis& b) {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "commands: %zu -> %zu | flows sent: %zu -> %zu\n",
+                a.commands.size(), b.commands.size(), a.flow_starts, b.flow_starts);
+  out += buf;
+  const std::size_t n = std::min(a.commands.size(), b.commands.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CommandProfile& ca = a.commands[i];
+    const CommandProfile& cb = b.commands[i];
+    out += "command #" + std::to_string(i) + ": total ";
+    append_ms(out, ca.dur);
+    out += " -> ";
+    append_ms(out, cb.dur);
+    std::snprintf(buf, sizeof buf, " (%+.3f ms)\n", (cb.dur - ca.dur) / 1000.0);
+    out += buf;
+    // Phase-by-phase where names line up.
+    const std::size_t np = std::min(ca.phases.size(), cb.phases.size());
+    for (std::size_t p = 0; p < np; ++p) {
+      if (ca.phases[p].name != cb.phases[p].name) continue;
+      std::snprintf(buf, sizeof buf, "  %-16s %+.3f ms\n", ca.phases[p].name.c_str(),
+                    (cb.phases[p].dur - ca.phases[p].dur) / 1000.0);
+      out += buf;
+    }
+  }
+  // Message-type deltas over the union of both fan-outs.
+  std::map<std::string, std::int64_t> delta;
+  for (const auto& [name, count] : a.msg_counts) delta[name] -= static_cast<std::int64_t>(count);
+  for (const auto& [name, count] : b.msg_counts) delta[name] += static_cast<std::int64_t>(count);
+  for (const auto& [name, d] : delta) {
+    if (d == 0) continue;
+    std::snprintf(buf, sizeof buf, "msgs %s: %+" PRId64 "\n", name.c_str(), d);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace concord::obs::trace

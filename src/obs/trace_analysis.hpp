@@ -1,0 +1,77 @@
+// Offline analysis of Chrome trace exports (the tracer's own output).
+//
+// The tracer records what happened; this module answers why it took that
+// long. Given a parsed trace document it reconstructs each collective
+// command: per-phase latency breakdown, per-shard drive and dispatch
+// pipelining, message fan-out by type (flow events carry the command's
+// root id), the causal critical path, and the set of nodes the command
+// actually touched. It also self-checks structural well-formedness —
+// every async "e" pairs with a "b", every flow "f" with an "s" — which is
+// what `concord-trace --check` and the CI golden-trace test gate on.
+// Pure function of the document: deterministic output, no I/O.
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/json.hpp"
+
+namespace concord::obs::trace {
+
+/// One phase of a command, microsecond timestamps as exported.
+struct PhaseStat {
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+};
+
+/// One reconstructed collective command.
+struct CommandProfile {
+  std::uint64_t cmd_id = 0;
+  std::uint32_t tid = 0;  // controller node
+  double ts = 0;
+  double dur = 0;
+  std::vector<PhaseStat> phases;          // time order
+  std::size_t dispatches = 0;             // async dispatch pairs in window
+  double max_dispatch_dur = 0;
+  std::uint64_t max_dispatch_id = 0;
+  double max_drive_dur = 0;
+  std::uint32_t max_drive_tid = 0;
+  std::map<std::string, std::uint64_t> fanout;  // flow name -> msgs with root==cmd_id
+  std::vector<std::uint32_t> nodes;             // tids causally reached, ascending
+  std::vector<std::string> critical_path;       // human-readable steps
+};
+
+struct Analysis {
+  std::size_t events = 0;
+  std::size_t spans = 0;         // complete ("X") events
+  std::size_t flow_starts = 0;   // "s"
+  std::size_t flow_finishes = 0; // "f"
+  std::size_t flows_matched = 0; // s/f pairs by id
+  std::map<std::string, std::uint64_t> msg_counts;  // flow name -> starts
+  std::vector<CommandProfile> commands;
+  std::vector<std::string> problems;  // structural defects; empty == well-formed
+};
+
+/// Analyzes one parsed Chrome trace document ({"traceEvents":[...]}).
+/// Returns kInvalidArgument only when the document is not a trace at all;
+/// recoverable defects land in Analysis::problems.
+[[nodiscard]] Result<Analysis> analyze(const json::Value& doc);
+
+/// Convenience: parse + analyze.
+[[nodiscard]] Result<Analysis> analyze_text(std::string_view text);
+
+/// Human-readable report: per-command phase breakdown, fan-out, critical
+/// path, flow health.
+[[nodiscard]] std::string report(const Analysis& a);
+
+/// Compares two analyses (e.g. traces of the same workload before/after a
+/// change): command counts, per-phase latency deltas, fan-out deltas.
+[[nodiscard]] std::string diff(const Analysis& a, const Analysis& b);
+
+}  // namespace concord::obs::trace

@@ -1,0 +1,40 @@
+// concord-lint: emit-path — bytes or messages produced here must not depend on
+// hash-map iteration order.
+#include "obs/watchdog.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace concord::obs {
+
+std::size_t Watchdog::evaluate() {
+  if (runs_cell_ == nullptr) {
+    runs_cell_ = &registry_.counter("obs", "watchdog_runs");
+    violations_cell_ = &registry_.counter("obs", "watchdog_violations");
+  }
+  ++runs_;
+  runs_cell_->inc();
+  last_findings_.clear();
+
+  for (const auto& [name, check] : invariants_) {
+    std::optional<std::string> detail = check();
+    if (!detail.has_value()) continue;
+    last_findings_.push_back(Finding{name, *std::move(detail)});
+    ++violations_;
+    violations_cell_->inc();
+    // Per-invariant counter, created only when that invariant first fires.
+    registry_.counter("obs", "watchdog_viol." + name).inc();
+    if (hook_) hook_(last_findings_.back());
+  }
+
+  if (hard_fail_ && !last_findings_.empty()) {
+    for (const Finding& f : last_findings_) {
+      std::fprintf(stderr, "[watchdog] invariant '%s' violated: %s\n", f.invariant.c_str(),
+                   f.detail.c_str());
+    }
+    std::abort();
+  }
+  return last_findings_.size();
+}
+
+}  // namespace concord::obs

@@ -127,6 +127,15 @@ AuditReport DhtAudit::run() {
 
   simu.run();  // deliver (or lose) the repair datagrams
   report.latency = simu.now() - t0;
+  if (!report.clean()) {
+    // Tracked state drifted from ground truth — a postmortem trigger: stamp
+    // the mismatch into every ring and dump the black box before further
+    // passes repair the evidence away.
+    cluster_.blackbox().record_all(
+        simu.now(), obs::FrEvent::kAuditMismatch, 0, 0,
+        report.missing_repaired + report.stale_removed + report.misplaced_removed);
+    cluster_.blackbox().dump("audit_mismatch");
+  }
   return report;
 }
 

@@ -64,6 +64,7 @@ struct CommandEngine::Execution {
     NodeId shard{};
     std::shared_ptr<const std::vector<NodeId>> notify;  // SE hosts believed to hold it
     obs::Tracer::SpanId span = obs::Tracer::kInvalid;   // async dispatch span
+    net::TraceContext ctx;  // causal context the dispatch (and retries) send under
   };
   std::unordered_map<std::uint64_t, PendingHash> pending;
   std::unordered_map<std::uint32_t, std::size_t> outstanding;  // shard node -> in flight
@@ -139,6 +140,9 @@ void CommandEngine::start_phase(CtlPhase phase, const std::vector<NodeId>& targe
   ex.phase_span = cluster_.tracer().begin_span(
       "phase:" + std::string(phase_name(phase)), "svc",
       raw(ex.spec->controller), cluster_.sim().now());
+  cluster_.blackbox().record(raw(ex.spec->controller), cluster_.sim().now(),
+                             obs::FrEvent::kPhaseStart,
+                             static_cast<std::uint16_t>(phase), 0, ex.cmd_id);
 
   // Nodes already excluded from the command take no further part.
   std::vector<NodeId> live_targets;
@@ -155,6 +159,11 @@ void CommandEngine::start_phase(CtlPhase phase, const std::vector<NodeId>& targe
   }
   ex.barrier_waiting.clear();
   for (const NodeId t : live_targets) ex.barrier_waiting.insert(raw(t));
+  // The command id is the causal root of everything this phase causes; the
+  // phase span is the parent hop. Installed explicitly because the first
+  // phase starts outside any delivery handler.
+  net::Fabric::TraceScope trace_scope(
+      cluster_.fabric(), net::TraceContext{ex.cmd_id, ex.phase_span});
   cluster_.fabric().broadcast_reliable(ex.spec->controller, net::MsgType::kCommandControl,
                                        std::any(CtlMsg{ex.cmd_id, phase}), kCtlBytes,
                                        live_targets);
@@ -241,6 +250,10 @@ void CommandEngine::exclude_node(NodeId n, Status reason) {
   ex.barrier_waiting.erase(raw(n));
   ex.stats.failures.push_back(NodeFailure{n, ex.cur_phase, reason});
   cells_.nodes_excluded->inc();
+  cluster_.blackbox().record(raw(ex.spec->controller), cluster_.sim().now(),
+                             obs::FrEvent::kNodeExcluded,
+                             static_cast<std::uint16_t>(ex.cur_phase), raw(n),
+                             ex.cmd_id);
   log::warn("command %llu: excluding node %u in phase %s (%.*s)",
             static_cast<unsigned long long>(ex.cmd_id), raw(n),
             std::string(phase_name(ex.cur_phase)).c_str(),
@@ -279,6 +292,9 @@ void CommandEngine::advance_after(CtlPhase finished) {
   cluster_.tracer().end_span(ex.phase_span, cluster_.sim().now());
   ex.phase_span = obs::Tracer::kInvalid;
   cells_.phase[static_cast<std::size_t>(finished)]->inc();
+  cluster_.blackbox().record(raw(ex.spec->controller), cluster_.sim().now(),
+                             obs::FrEvent::kPhaseDone,
+                             static_cast<std::uint16_t>(finished), 0, ex.cmd_id);
   switch (finished) {
     case CtlPhase::kInit:
       start_phase(CtlPhase::kCollStart, ex.scope_nodes);
@@ -316,12 +332,19 @@ void CommandEngine::handle_control(core::ServiceDaemon& d, const net::Message& m
   const auto& ctl = m.as<CtlMsg>();
   if (ctl.cmd_id != ex.cmd_id) return;
   const NodeId n = d.id();
+  // Acks go out from deferred callbacks (virtual compute cost), which run
+  // outside any delivery handler — reinstall the control message's context
+  // so the ack datagram stays on the command's causal tree.
+  const net::TraceContext ctx = m.trace;
 
   switch (ctl.phase) {
     case CtlPhase::kInit: {
       const Status st = ex.service->service_init(n, ex.spec->mode, ex.spec->config);
       cluster_.sim().after(core::CostModel::instance().callback_cost(),
-                           [this, &d, st]() { send_ack(d, CtlPhase::kInit, st); });
+                           [this, &d, st, ctx]() {
+                             net::Fabric::TraceScope scope(cluster_.fabric(), ctx);
+                             send_ack(d, CtlPhase::kInit, st);
+                           });
       return;
     }
 
@@ -345,7 +368,10 @@ void CommandEngine::handle_control(core::ServiceDaemon& d, const net::Message& m
         if (!ok(s)) st = s;
         cost += cm.scan_cost(d.store().unique_hashes()) + cm.callback_cost();
       }
-      cluster_.sim().after(cost, [this, &d, st]() { send_ack(d, CtlPhase::kCollStart, st); });
+      cluster_.sim().after(cost, [this, &d, st, ctx]() {
+        net::Fabric::TraceScope scope(cluster_.fabric(), ctx);
+        send_ack(d, CtlPhase::kCollStart, st);
+      });
       return;
     }
 
@@ -362,21 +388,30 @@ void CommandEngine::handle_control(core::ServiceDaemon& d, const net::Message& m
         if (!ok(s)) st = s;
         cost += core::CostModel::instance().callback_cost();
       }
-      cluster_.sim().after(cost, [this, &d, st]() { send_ack(d, CtlPhase::kCollFin, st); });
+      cluster_.sim().after(cost, [this, &d, st, ctx]() {
+        net::Fabric::TraceScope scope(cluster_.fabric(), ctx);
+        send_ack(d, CtlPhase::kCollFin, st);
+      });
       return;
     }
 
     case CtlPhase::kLocal: {
       sim::Time cost = 0;
       const Status st = run_local_phase(d, cost);
-      cluster_.sim().after(cost, [this, &d, st]() { send_ack(d, CtlPhase::kLocal, st); });
+      cluster_.sim().after(cost, [this, &d, st, ctx]() {
+        net::Fabric::TraceScope scope(cluster_.fabric(), ctx);
+        send_ack(d, CtlPhase::kLocal, st);
+      });
       return;
     }
 
     case CtlPhase::kDeinit: {
       const Status st = ex.service->service_deinit(n);
       cluster_.sim().after(core::CostModel::instance().callback_cost(),
-                           [this, &d, st]() { send_ack(d, CtlPhase::kDeinit, st); });
+                           [this, &d, st, ctx]() {
+                             net::Fabric::TraceScope scope(cluster_.fabric(), ctx);
+                             send_ack(d, CtlPhase::kDeinit, st);
+                           });
       return;
     }
   }
@@ -391,6 +426,10 @@ void CommandEngine::drive_shard(core::ServiceDaemon& d) {
   ex.enumerated[raw(n)] = false;
   ex.drive_spans[raw(n)] =
       cluster_.tracer().begin_span("drive", "svc", raw(n), cluster_.sim().now());
+  // Running inside the kDrive control delivery: the ambient context (root =
+  // cmd id) is captured per pending hash so dispatches — which fire from a
+  // deferred callback, possibly retried much later — stay on the tree.
+  const net::TraceContext drive_ctx = cluster_.fabric().ambient_trace_context();
 
   std::vector<std::uint64_t> seqs;
   d.store().for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
@@ -405,6 +444,7 @@ void CommandEngine::drive_shard(core::ServiceDaemon& d) {
       Execution::PendingHash p;
       p.hash = h;
       p.shard = n;
+      p.ctx = drive_ctx;
       auto notify = std::make_shared<std::vector<NodeId>>();
       for (std::size_t w = 0; w < nwords; ++w) {
         std::uint64_t inter = words[w] & ex.scope_set.word(w);
@@ -494,6 +534,7 @@ void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
   // has either completed (not in pending) or been re-dispatched already.
   const std::size_t attempt = p.next;
   const std::uint64_t cmd = ex.cmd_id;
+  net::Fabric::TraceScope trace_scope(d.fabric(), p.ctx);
   d.fabric().send_reliable(
       net::make_message(d.id(), host, net::MsgType::kCommandHashExchange,
                         DispatchMsg{ex.cmd_id, seq, p.hash, chosen, p.notify},
@@ -502,7 +543,11 @@ void CommandEngine::dispatch_hash(core::ServiceDaemon& d, std::uint64_t seq) {
         if (ok(s) || active_ == nullptr) return;
         // kUnavailable means the circuit breaker fast-failed the dispatch:
         // overload evidence, distinct from a plain timeout.
-        if (s == Status::kUnavailable) pressure_cell().inc();
+        if (s == Status::kUnavailable) {
+          pressure_cell().inc();
+          cluster_.blackbox().record(raw(d.id()), cluster_.sim().now(),
+                                     obs::FrEvent::kPressure, 0, 0, seq);
+        }
         Execution& exr = *active_;
         if (exr.cmd_id != cmd || exr.done) return;
         const auto pit = exr.pending.find(seq);
@@ -545,6 +590,10 @@ void CommandEngine::handle_dispatch(core::ServiceDaemon& d, const DispatchMsg& d
                                     NodeId reply_to) {
   Execution& ex = *active_;
   const NodeId n = d.id();
+  // Ambient context of the dispatch delivery: re-installed around the
+  // deferred reply/notify sends, and marked as an "exec" span on the
+  // replica host's trace thread so the dispatch flow arrow lands on work.
+  const net::TraceContext ctx = cluster_.fabric().ambient_trace_context();
 
   bool success = false;
   std::uint64_t private_value = 0;
@@ -578,7 +627,18 @@ void CommandEngine::handle_dispatch(core::ServiceDaemon& d, const DispatchMsg& d
     }
   }();
 
-  cluster_.sim().after(cost, [this, &d, dm, reply_to, success, private_value]() {
+  obs::Tracer& tracer = cluster_.tracer();
+  if (ctx.valid() && tracer.enabled()) {
+    const obs::Tracer::SpanId span =
+        tracer.begin_span("exec", "svc", raw(n), cluster_.sim().now());
+    tracer.add_arg(span, "root", ctx.root);
+    tracer.add_arg(span, "seq", dm.seq);
+    tracer.add_arg(span, "success", success ? 1 : 0);
+    tracer.end_span(span, cluster_.sim().now() + cost);
+  }
+
+  cluster_.sim().after(cost, [this, &d, dm, reply_to, success, private_value, ctx]() {
+    net::Fabric::TraceScope trace_scope(cluster_.fabric(), ctx);
     Execution& exr = *active_;
     if (success) {
       // Redistribute the handled information to the SE hosts the DHT
@@ -783,6 +843,12 @@ CommandStats CommandEngine::execute(ApplicationService& service, const CommandSp
     // unless something worse already happened (a surviving node's callback
     // reported a real error).
     if (ok(ex.stats.status)) ex.stats.status = Status::kDegraded;
+    // A degraded completion is exactly what the black box exists for: dump
+    // the recent per-node event rings while the evidence is still in them.
+    cluster_.blackbox().record_all(cluster_.sim().now(), obs::FrEvent::kDegradedCommand,
+                                   static_cast<std::uint16_t>(ex.stats.status), 0,
+                                   ex.cmd_id);
+    cluster_.blackbox().dump("degraded_command");
   }
 
   ex.stats.distinct_hashes = cells_.distinct_hashes->value() - base_hashes;

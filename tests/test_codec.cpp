@@ -395,5 +395,127 @@ TEST(UdpDhtNode, CollectiveQueryWithoutMembershipIsDropped) {
   EXPECT_FALSE(client.recv(50).has_value());  // no reply
 }
 
+// ------------------------------------------------------ trace context (v2)
+
+TEST(Codec, UntracedBytesAreByteIdenticalToVersion1) {
+  // With tracing off (nullptr or an invalid context), the codec must emit
+  // the exact pre-tracing version-1 layout — checked against a hand-built
+  // datagram so a codec regression cannot hide behind its own decoder.
+  const DhtUpdate msg{{0x1122334455667788ULL, 0x99aabbccddeeff00ULL}, entity_id(42), true};
+  std::vector<std::byte> plain, null_ctx, invalid_ctx;
+  codec::encode(msg, plain);
+  codec::encode(msg, null_ctx, nullptr);
+  const TraceContext empty{};  // root 0: invalid, must not trigger v2
+  codec::encode(msg, invalid_ctx, &empty);
+  EXPECT_EQ(plain, null_ctx);
+  EXPECT_EQ(plain, invalid_ctx);
+
+  const std::uint8_t expect[] = {
+      0x44, 0x43, 0x4e, 0x43,  // magic "CNCD", little-endian
+      0x01,                    // version 1 (untraced)
+      0x01,                    // kDhtInsert
+      0x14, 0x00, 0x00, 0x00,  // body_len = 20
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // hash.hi LE
+      0x00, 0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99,  // hash.lo LE
+      0x2a, 0x00, 0x00, 0x00,  // entity 42
+  };
+  ASSERT_EQ(plain.size(), sizeof expect);
+  for (std::size_t i = 0; i < sizeof expect; ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(plain[i]), expect[i]) << "byte " << i;
+  }
+  const auto h = codec::decode_header(plain);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_FALSE(h.value().traced);
+  EXPECT_EQ(codec::decode_trace_context(plain).status(), Status::kNotFound);
+}
+
+TEST(Codec, TracedDatagramsRoundTripEveryType) {
+  const TraceContext ctx{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const auto check_ctx = [&](const std::vector<std::byte>& wire,
+                             const std::vector<std::byte>& plain) {
+    EXPECT_EQ(wire.size(), plain.size() + kTraceCtxBytes);
+    const auto h = codec::decode_header(wire);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(h.value().traced);
+    const auto back = codec::decode_trace_context(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back.value(), ctx);
+  };
+
+  const DhtUpdate upd{{1, 2}, entity_id(3), false};
+  std::vector<std::byte> wire, plain;
+  codec::encode(upd, wire, &ctx);
+  codec::encode(upd, plain);
+  check_ctx(wire, plain);
+  const auto upd_back = codec::decode_dht_update(wire);
+  ASSERT_TRUE(upd_back.has_value());
+  EXPECT_EQ(upd_back.value().hash, (ContentHash{1, 2}));
+  EXPECT_FALSE(upd_back.value().insert);
+
+  codec::DhtUpdateBatch batch;
+  batch.records = {{{7, 8}, entity_id(1), true}, {{9, 10}, entity_id(2), false}};
+  wire.clear(), plain.clear();
+  codec::encode(batch, wire, &ctx);
+  codec::encode(batch, plain);
+  check_ctx(wire, plain);
+  const auto batch_back = codec::decode_dht_update_batch(wire);
+  ASSERT_TRUE(batch_back.has_value());
+  ASSERT_EQ(batch_back.value().records.size(), 2u);
+  EXPECT_EQ(batch_back.value().records[1].hash, (ContentHash{9, 10}));
+
+  const Query q{77, {5, 6}, true};
+  wire.clear(), plain.clear();
+  codec::encode(q, wire, &ctx);
+  codec::encode(q, plain);
+  check_ctx(wire, plain);
+  EXPECT_EQ(codec::decode_query(wire).value().req_id, 77u);
+
+  const QueryReply qr{9, 3, {entity_id(1), entity_id(5)}};
+  wire.clear(), plain.clear();
+  codec::encode(qr, wire, &ctx);
+  codec::encode(qr, plain);
+  check_ctx(wire, plain);
+  EXPECT_EQ(codec::decode_query_reply(wire).value().entities, qr.entities);
+
+  codec::CollectiveQuery cq;
+  cq.req_id = 4;
+  cq.scope_words = {0xff, 0x01};
+  wire.clear(), plain.clear();
+  codec::encode(cq, wire, &ctx);
+  codec::encode(cq, plain);
+  check_ctx(wire, plain);
+  EXPECT_EQ(codec::decode_collective_query(wire).value().scope_words, cq.scope_words);
+
+  codec::CollectiveReply cr;
+  cr.req_id = 5;
+  cr.unique = 11;
+  cr.k_hashes = {{1, 2}};
+  wire.clear(), plain.clear();
+  codec::encode(cr, wire, &ctx);
+  codec::encode(cr, plain);
+  check_ctx(wire, plain);
+  EXPECT_EQ(codec::decode_collective_reply(wire).value().unique, 11u);
+}
+
+TEST(Codec, TracedTruncationNeverDecodes) {
+  // Every proper prefix of a traced datagram must be rejected by the header
+  // check (the length field covers header + context + body), the context
+  // decoder, and the body decoder — truncation can't smuggle a partial
+  // context through as payload bytes.
+  const TraceContext ctx{42, 7};
+  codec::DhtUpdateBatch batch;
+  batch.records = {{{0xaaaa, 0xbbbb}, entity_id(9), true},
+                   {{0xcccc, 0xdddd}, entity_id(10), false}};
+  std::vector<std::byte> wire;
+  codec::encode(batch, wire, &ctx);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const std::span<const std::byte> prefix(wire.data(), len);
+    EXPECT_FALSE(codec::decode_header(prefix).has_value()) << "prefix " << len;
+    EXPECT_FALSE(codec::decode_trace_context(prefix).has_value()) << "prefix " << len;
+    EXPECT_FALSE(codec::decode_dht_update_batch(prefix).has_value()) << "prefix " << len;
+  }
+  EXPECT_TRUE(codec::decode_dht_update_batch(wire).has_value());
+}
+
 }  // namespace
 }  // namespace concord::net

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cluster.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "services/null_service.hpp"
 #include "svc/command_engine.hpp"
 #include "workload/workloads.hpp"
@@ -291,6 +295,150 @@ TEST(Observability, LegacyStatsViewsMatchRegistry) {
                 m.counter_total("core", "updates_remote"),
             m.counter_total("mem", "inserts_emitted") +
                 m.counter_total("mem", "removes_emitted"));
+}
+
+// ------------------------------------------------------------ clear() fix
+
+TEST(Tracer, ClearInvalidatesOutstandingSpanIds) {
+  obs::Tracer t;
+  const auto stale_open = t.begin_span("old", "c", 0, 100);
+  const auto stale_closed = t.begin_span("older", "c", 0, 150);
+  t.end_span(stale_closed, 180);
+  EXPECT_EQ(t.span_count(), 2u);
+
+  t.clear();
+  EXPECT_EQ(t.span_count(), 2u) << "span ids are absolute: clear() keeps counting";
+
+  // A span recorded after the clear must not be aliased by the stale ids.
+  const auto fresh = t.begin_span("new", "c", 1, 1000);
+  t.end_span(stale_open, 1234);   // inert: would previously have closed `fresh`
+  t.add_arg(stale_open, "k", 9);  // inert: would previously have tagged `fresh`
+  EXPECT_EQ(t.span(fresh).end, sim::Time{-1}) << "fresh span must still be open";
+  EXPECT_TRUE(t.span(fresh).args.empty());
+  t.end_span(fresh, 2000);
+  EXPECT_EQ(t.span(fresh).end, 2000);
+
+  // Export skips everything before the clear: exactly one event survives.
+  const Result<obs::json::Value> doc = obs::json::parse(t.to_chrome_json());
+  ASSERT_TRUE(doc.has_value());
+  const obs::json::Value* events = doc.value().get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 1u);
+  EXPECT_EQ(events->as_array()[0].get("name")->as_string(), "new");
+}
+
+// --------------------------------------------------------- JSON escaping
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty =
+      "quote\" backslash\\ newline\n return\r tab\t bell\x07 nul-adjacent\x01 plain";
+  std::string doc = "{\"k\":\"";
+  obs::json::escape(doc, nasty);
+  doc += "\"}";
+  const Result<obs::json::Value> back = obs::json::parse(doc);
+  ASSERT_TRUE(back.has_value()) << "escaped output must be valid JSON: " << doc;
+  EXPECT_EQ(back.value().get("k")->as_string(), nasty);
+}
+
+TEST(Json, MetricAndTraceExportsEscapeHostileNames) {
+  obs::Registry r;
+  r.counter("net", "evil\"name\\with\ncontrol\x02 bytes").inc(3);
+  const Result<obs::json::Value> metrics = obs::json::parse(r.to_json());
+  ASSERT_TRUE(metrics.has_value()) << "metric export must survive hostile names";
+
+  obs::Tracer t;
+  const auto s = t.begin_span("span\"with\tquotes", "cat\\slash", 0, 10);
+  t.add_arg(s, "arg\nkey", 1);
+  t.end_span(s, 20);
+  const Result<obs::json::Value> trace = obs::json::parse(t.to_chrome_json());
+  ASSERT_TRUE(trace.has_value()) << "trace export must survive hostile names";
+  const obs::json::Value& ev = trace.value().get("traceEvents")->as_array()[0];
+  EXPECT_EQ(ev.get("name")->as_string(), "span\"with\tquotes");
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, RingKeepsNewestAndDumpsDeterministically) {
+  obs::Registry r;
+  obs::FlightRecorder fr(2, /*capacity=*/4);
+  fr.bind_metrics(r);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    fr.record(0, static_cast<sim::Time>(i), obs::FrEvent::kMsgSend,
+              static_cast<std::uint16_t>(i), 1, i);
+  }
+  fr.record(99, 0, obs::FrEvent::kMsgDrop);  // out-of-range node: dropped, no crash
+  EXPECT_EQ(fr.recorded(0), 10u);
+  EXPECT_EQ(fr.recorded(1), 0u);
+
+  const Result<obs::json::Value> ring = obs::json::parse(fr.to_json(0));
+  ASSERT_TRUE(ring.has_value());
+  const obs::json::Value* events = ring.value().get("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 4u) << "ring keeps only the newest capacity events";
+  EXPECT_EQ(events->as_array()[0].get("ts")->as_int(), 6) << "oldest surviving event first";
+  EXPECT_EQ(events->as_array()[3].get("ts")->as_int(), 9);
+
+  EXPECT_EQ(r.counter_total("obs", "blackbox_dumps"), 0u)
+      << "dump counter must not exist before the first dump";
+  std::string sink_reason, sink_json;
+  fr.set_sink([&](std::string_view reason, const std::string& json) {
+    sink_reason = reason;
+    sink_json = json;
+  });
+  fr.record_all(11, obs::FrEvent::kEpochChange, 0, 0, 2);
+  fr.dump("test_trigger");
+  EXPECT_EQ(fr.dumps(), 1u);
+  EXPECT_EQ(fr.last_reason(), "test_trigger");
+  EXPECT_EQ(sink_reason, "test_trigger");
+  EXPECT_EQ(sink_json, fr.last_dump());
+  EXPECT_EQ(r.counter_total("obs", "blackbox_dumps"), 1u);
+
+  const Result<obs::json::Value> doc = obs::json::parse(sink_json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc.value().get("reason")->as_string(), "test_trigger");
+  ASSERT_EQ(doc.value().get("nodes")->as_array().size(), 2u);
+  // record_all reached both rings.
+  const obs::json::Value& node1 = doc.value().get("nodes")->as_array()[1];
+  ASSERT_EQ(node1.get("events")->as_array().size(), 1u);
+  EXPECT_EQ(node1.get("events")->as_array()[0].get("ev")->as_string(), "epoch_change");
+}
+
+// --------------------------------------------------------------- watchdog
+
+TEST(Watchdog, CountsRunsViolationsAndFiresHook) {
+  obs::Registry r;
+  obs::Watchdog wd(r);
+  bool fail = false;
+  wd.add_invariant("always_holds", [] { return std::optional<std::string>{}; });
+  wd.add_invariant("flaky", [&]() -> std::optional<std::string> {
+    if (fail) return "identity broke by 3";
+    return std::nullopt;
+  });
+  EXPECT_EQ(wd.invariant_count(), 2u);
+
+  EXPECT_EQ(wd.evaluate(), 0u);
+  EXPECT_EQ(r.counter_total("obs", "watchdog_runs"), 1u);
+  EXPECT_EQ(r.counter_total("obs", "watchdog_violations"), 0u);
+  EXPECT_EQ(r.counter_total("obs", "watchdog_viol.flaky"), 0u)
+      << "per-invariant cell must not exist before it fires";
+
+  std::vector<std::string> hooked;
+  wd.on_violation([&](const obs::Watchdog::Finding& f) { hooked.push_back(f.invariant); });
+  fail = true;
+  EXPECT_EQ(wd.evaluate(), 1u);
+  EXPECT_EQ(wd.runs(), 2u);
+  EXPECT_EQ(wd.violations(), 1u);
+  EXPECT_EQ(r.counter_total("obs", "watchdog_violations"), 1u);
+  EXPECT_EQ(r.counter_total("obs", "watchdog_viol.flaky"), 1u);
+  ASSERT_EQ(hooked.size(), 1u);
+  EXPECT_EQ(hooked[0], "flaky");
+  ASSERT_EQ(wd.last_findings().size(), 1u);
+  EXPECT_EQ(wd.last_findings()[0].detail, "identity broke by 3");
+
+  fail = false;
+  EXPECT_EQ(wd.evaluate(), 0u);
+  EXPECT_TRUE(wd.last_findings().empty()) << "findings are per-run, totals accumulate";
+  EXPECT_EQ(wd.violations(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// concord-trace: offline analyzer for the tracer's Chrome trace exports.
+//
+// Usage:
+//   concord-trace <trace.json>            report: per-command phase breakdown,
+//                                         fan-out, critical path, flow health
+//   concord-trace --check <trace.json>    structural self-check; exit 1 if the
+//                                         trace has defects (unpaired async
+//                                         events, flow finishes without starts,
+//                                         commands with no phases, ...)
+//   concord-trace --diff <a.json> <b.json> compare two traces of the same
+//                                         workload: per-phase latency deltas,
+//                                         message-count deltas
+//
+// Thin shell over obs::trace::analyze — all reconstruction logic lives in the
+// library so tests and CI exercise the same code path as this binary.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+using concord::Result;
+using concord::Status;
+using concord::obs::trace::Analysis;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: concord-trace <trace.json>\n"
+               "       concord-trace --check <trace.json>\n"
+               "       concord-trace --diff <a.json> <b.json>\n");
+  return 2;
+}
+
+/// Reads a whole file; empty optional-style signalling via Status.
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::kNotFound;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Result<Analysis> load(const std::string& path) {
+  Result<std::string> text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "concord-trace: cannot read %s\n", path.c_str());
+    return text.status();
+  }
+  Result<Analysis> a = concord::obs::trace::analyze_text(text.value());
+  if (!a) {
+    std::fprintf(stderr, "concord-trace: %s is not a Chrome trace (%.*s)\n",
+                 path.c_str(),
+                 static_cast<int>(concord::to_string(a.status()).size()),
+                 concord::to_string(a.status()).data());
+  }
+  return a;
+}
+
+int run_report(const std::string& path) {
+  Result<Analysis> a = load(path);
+  if (!a) return 1;
+  std::fputs(concord::obs::trace::report(a.value()).c_str(), stdout);
+  return 0;
+}
+
+int run_check(const std::string& path) {
+  Result<Analysis> a = load(path);
+  if (!a) return 1;
+  const Analysis& an = a.value();
+  for (const std::string& p : an.problems) {
+    std::fprintf(stderr, "concord-trace: defect: %s\n", p.c_str());
+  }
+  std::printf("%s: %zu events, %zu commands, %zu/%zu flows matched, %zu defects\n",
+              path.c_str(), an.events, an.commands.size(), an.flows_matched,
+              an.flow_starts, an.problems.size());
+  return an.problems.empty() ? 0 : 1;
+}
+
+int run_diff(const std::string& pa, const std::string& pb) {
+  Result<Analysis> a = load(pa);
+  if (!a) return 1;
+  Result<Analysis> b = load(pb);
+  if (!b) return 1;
+  std::fputs(concord::obs::trace::diff(a.value(), b.value()).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view mode = argv[1];
+  if (mode == "--check") {
+    if (argc != 3) return usage();
+    return run_check(argv[2]);
+  }
+  if (mode == "--diff") {
+    if (argc != 4) return usage();
+    return run_diff(argv[2], argv[3]);
+  }
+  if (mode.size() >= 2 && mode.substr(0, 2) == "--") return usage();
+  if (argc != 2) return usage();
+  return run_report(argv[1]);
+}
