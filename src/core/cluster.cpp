@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <optional>
+#include <thread>
 
 #include "core/cost_model.hpp"
 
@@ -41,7 +42,11 @@ Cluster::Cluster(ClusterParams params)
   // A crash loses the node's volatile state: its DHT shard and any updates
   // still buffered for batching. NSM ground truth (entity memory, block
   // maps) survives the reboot, which is what shard recovery republishes.
+  // Batches delivered before the crash were applied in the serial pipeline,
+  // so a staged inbox must land (keeping its counter accounting) before the
+  // shard is wiped.
   fault_.on_crash([this](NodeId n) {
+    daemon(n).apply_staged();
     daemon(n).store().clear();
     daemon(n).drop_pending_updates();
   });
@@ -163,6 +168,18 @@ void Cluster::depart_entity(EntityId id) {
   sim_.run();  // flush the departure's best-effort removes
 }
 
+sim::WorkerPool& Cluster::scan_pool() {
+  if (scan_pool_ == nullptr) {
+    std::size_t n = params_.sim_workers;
+    if (n == 0) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      n = hw == 0 ? 1 : (hw < 8 ? hw : 8);
+    }
+    scan_pool_ = std::make_unique<sim::WorkerPool>(n == 0 ? 1 : n);
+  }
+  return *scan_pool_;
+}
+
 mem::ScanStats Cluster::scan_all() {
   mem::ScanStats total;
   const CostModel& cost = CostModel::instance();
@@ -174,11 +191,45 @@ mem::ScanStats Cluster::scan_all() {
     trace_scope.emplace(fabric_,
                         net::TraceContext{(std::uint64_t{1} << 63) | ++next_scan_root_, 0});
   }
+  // The scan epoch runs the same staged three-phase pipeline for every
+  // sim_workers value, so worker-count invariance holds by construction:
+  //
+  //   1. parallel scan — each live daemon's node-local work (dirty-block
+  //      hashing, update routing, batching) runs on a pool worker, with
+  //      every fabric send captured into that node's index-aligned staging
+  //      buffer and every delivered DHT update buffered per daemon;
+  //   2. sequential merge — staged sends replay in canonical node order
+  //      under each node's scan span, reproducing the serial pipeline's rng
+  //      draws, flow events, and egress bookkeeping byte-for-byte (the
+  //      virtual clock never advances during a scan walk, so deferral is
+  //      unobservable); then the fabric drains the epoch's deliveries;
+  //   3. parallel apply — each daemon replays its staged inbox into its own
+  //      shard, touching only per-node state and metric cells.
+  std::vector<ServiceDaemon*> live;
+  live.reserve(daemons_.size());
   for (auto& d : daemons_) {
-    if (fault_.is_down(d->id())) continue;  // a down node scans nothing
-    const auto tid = static_cast<std::uint32_t>(raw(d->id()));
+    d->set_apply_staging(true);
+    if (!fault_.is_down(d->id())) live.push_back(d.get());
+  }
+  std::vector<mem::ScanStats> stats(live.size());
+  std::vector<std::vector<StagedSend>> sends(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) live[i]->set_send_stage(&sends[i]);
+  scan_pool().run(live.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) stats[i] = live[i]->scan_and_publish();
+  });
+  for (ServiceDaemon* d : live) d->set_send_stage(nullptr);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const mem::ScanStats& s = stats[i];
+    const auto tid = static_cast<std::uint32_t>(raw(live[i]->id()));
     const obs::Tracer::SpanId span = tracer_.begin_span("scan", "mem", tid, sim_.now());
-    const mem::ScanStats s = d->scan_and_publish();
+    for (StagedSend& staged : sends[i]) {
+      // A captured batch context (deferred records shipped under the scan
+      // that produced them) re-wraps its send; everything else replays under
+      // the epoch's ambient scan-root context, exactly like a direct send.
+      std::optional<net::Fabric::TraceScope> send_scope;
+      if (staged.ctx.valid()) send_scope.emplace(fabric_, staged.ctx);
+      fabric_.send_unreliable(std::move(staged.msg));
+    }
     // The scan's virtual cost: what hashing this epoch's blocks would have
     // charged to the node. Spans and the scan_cost_ns histogram stay
     // deterministic because the cost model is fixed per process.
@@ -188,7 +239,7 @@ mem::ScanStats Cluster::scan_all() {
     tracer_.add_arg(span, "removes", s.removes_emitted);
     tracer_.end_span(span, sim_.now() + scan_cost);
     metrics_
-        .histogram("mem", "scan_cost_ns", static_cast<std::int32_t>(raw(d->id())))
+        .histogram("mem", "scan_cost_ns", static_cast<std::int32_t>(raw(live[i]->id())))
         .record(static_cast<std::uint64_t>(scan_cost));
     total.blocks_examined += s.blocks_examined;
     total.blocks_hashed += s.blocks_hashed;
@@ -198,6 +249,13 @@ mem::ScanStats Cluster::scan_all() {
     total.throttled_blocks += s.throttled_blocks;
   }
   sim_.run();  // deliver (or lose) every update datagram
+  // Phase 3: every daemon (crashed ones already drained their inbox in the
+  // crash handler) applies what the epoch delivered to it, in parallel —
+  // shard state and per-node metric cells are disjoint across daemons.
+  scan_pool().run(daemons_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) daemons_[i]->apply_staged();
+  });
+  for (auto& d : daemons_) d->set_apply_staging(false);
   // Scan boundary: the controller reads this epoch's pressure signals and
   // adapts budgets/quotas for the next one.
   if (pressure_ != nullptr) pressure_->after_scan();

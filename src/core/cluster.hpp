@@ -21,6 +21,7 @@
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/simulation.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace concord::core {
 
@@ -52,6 +53,13 @@ struct ClusterParams {
   /// per hardware core (capped). Changes real wall-time only — virtual-clock
   /// costs, metrics, and traces are identical for every value.
   std::size_t hash_workers = 1;
+  /// Host threads sharding per-node scan work across nodes: each worker runs
+  /// whole daemons' scan_and_publish in parallel (sends and DHT applies are
+  /// staged and merged sequentially in canonical node order), so big-cluster
+  /// scans scale with host cores. 1 = serial shard walk, 0 = one per
+  /// hardware core (capped). Like hash_workers, this changes real wall-time
+  /// only — metric, trace, and snapshot bytes are identical for every value.
+  std::size_t sim_workers = 1;
   /// Failure-detector timing (heartbeat period, rounds per window, probe
   /// timeout). Defaults suit the emulated fabric's millisecond latencies.
   DetectorParams detector;
@@ -165,6 +173,9 @@ class Cluster {
 
  private:
   void install_invariants();
+  /// The sharded-scan pool, built on first scan from params_.sim_workers
+  /// (0 = one worker per hardware core, capped at 8).
+  sim::WorkerPool& scan_pool();
 
   ClusterParams params_;
   sim::Simulation sim_;
@@ -179,6 +190,7 @@ class Cluster {
   net::FaultInjector fault_;
   FailureDetector detector_;
   std::unique_ptr<PressureController> pressure_;
+  std::unique_ptr<sim::WorkerPool> scan_pool_;  // lazily built for sim_workers > 1
   std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
   std::vector<std::unique_ptr<mem::MemoryEntity>> entities_;
   std::uint64_t breaker_hints_ = 0;    // suspicion hints issued for breaker trips

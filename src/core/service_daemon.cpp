@@ -52,9 +52,17 @@ void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
     batcher_.add(owner, dht::UpdateRecord{u.hash, u.entity, insert});
     return;
   }
-  fabric_.send_unreliable(net::make_message(
+  net::Message msg = net::make_message(
       id_, owner, insert ? net::MsgType::kDhtInsert : net::MsgType::kDhtRemove,
-      DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes));
+      DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes);
+  if (send_stage_ != nullptr) {
+    // Sharded scan epoch: capture the send for the cluster's sequential
+    // merge pass (stamped from the ambient context at replay, like a direct
+    // send would be).
+    send_stage_->push_back(StagedSend{std::move(msg)});
+    return;
+  }
+  fabric_.send_unreliable(std::move(msg));
 }
 
 std::uint64_t ServiceDaemon::compute_grant() const {
@@ -68,6 +76,13 @@ std::uint64_t ServiceDaemon::compute_grant() const {
   const std::size_t depth = fabric_.ingress_depth(id_);
   const std::size_t headroom = depth < limit ? limit - depth : 0;
   return headroom > 1 ? static_cast<std::uint64_t>(headroom / 2) : 1;
+}
+
+void ServiceDaemon::apply_staged() {
+  for (std::vector<dht::UpdateRecord>& batch : staged_applies_) {
+    store_.apply_batch(batch);
+  }
+  staged_applies_.clear();
 }
 
 mem::ScanStats ServiceDaemon::scan_and_publish() {
@@ -95,11 +110,19 @@ void ServiceDaemon::handle_message(const net::Message& msg) {
   switch (msg.type) {
     case net::MsgType::kDhtInsert: {
       const auto& u = msg.as<DhtUpdateMsg>();
+      if (apply_staging_) {
+        staged_applies_.push_back({dht::UpdateRecord{u.hash, u.entity, true}});
+        return;
+      }
       store_.insert(u.hash, u.entity);
       return;
     }
     case net::MsgType::kDhtRemove: {
       const auto& u = msg.as<DhtUpdateMsg>();
+      if (apply_staging_) {
+        staged_applies_.push_back({dht::UpdateRecord{u.hash, u.entity, false}});
+        return;
+      }
       store_.remove(u.hash, u.entity);
       return;
     }
@@ -115,7 +138,14 @@ void ServiceDaemon::handle_message(const net::Message& msg) {
         tracer->add_arg(span, "records", records.size());
         tracer->end_span(span, fabric_.sim().now());
       }
-      store_.apply_batch(records);
+      if (apply_staging_) {
+        // Epoch-barrier apply: buffer the datagram for the parallel apply
+        // pass. The grant below still reads only fabric ingress state, so
+        // deferring the store mutation leaves it byte-identical.
+        staged_applies_.push_back(records);
+      } else {
+        store_.apply_batch(records);
+      }
       if (credit_grants_ && msg.src != id_) {
         fabric_.send_unreliable(net::make_message(
             id_, msg.src, net::MsgType::kCreditGrant, CreditGrantMsg{compute_grant()},

@@ -113,6 +113,34 @@ class ServiceDaemon {
   void set_credit_grants(bool on) noexcept { credit_grants_ = on; }
   [[nodiscard]] bool credit_grants() const noexcept { return credit_grants_; }
 
+  // --- sharded-scan staging surface (core::Cluster only) ---
+
+  /// While non-null, every fabric send this daemon's scan work produces
+  /// (direct updates and batcher datagrams alike) is appended to `stage`
+  /// instead of being issued, so scan_and_publish can run on a worker
+  /// thread; the cluster replays the buffer in canonical node order.
+  void set_send_stage(std::vector<StagedSend>* stage) noexcept {
+    send_stage_ = stage;
+    batcher_.set_send_stage(stage);
+  }
+
+  /// While on, delivered DHT updates (kDhtInsert/kDhtRemove/kDhtUpdateBatch)
+  /// are buffered in arrival order instead of being applied — the fabric's
+  /// event loop stays pure dispatch, and apply_staged() replays the inbox on
+  /// a worker thread once the epoch's deliveries drain. Delivery-time
+  /// observables (apply-span trace markers, credit grants, which read only
+  /// fabric state) still happen at delivery.
+  void set_apply_staging(bool on) noexcept { apply_staging_ = on; }
+
+  /// Applies the staged inbox in arrival order, preserving per-datagram
+  /// apply_batch grouping. Also the crash path's first step: a batch that
+  /// was delivered before the crash was applied in the serial pipeline, so
+  /// its accounting must land before the shard is wiped.
+  void apply_staged();
+  [[nodiscard]] std::size_t staged_applies() const noexcept {
+    return staged_applies_.size();
+  }
+
  private:
   void route_update(const mem::ContentUpdate& u);
   [[nodiscard]] std::uint64_t compute_grant() const;
@@ -124,6 +152,12 @@ class ServiceDaemon {
   mem::MemoryUpdateMonitor monitor_;
   UpdateBatcher batcher_;
   bool credit_grants_ = false;
+  std::vector<StagedSend>* send_stage_ = nullptr;  // armed during sharded scans
+  bool apply_staging_ = false;
+  // One element per delivered datagram (a single update is a 1-record
+  // batch): batches must not be concatenated, because apply_batch's
+  // per-datagram stable grouping is part of the observable accounting.
+  std::vector<std::vector<dht::UpdateRecord>> staged_applies_;
   std::unordered_map<std::uint16_t, ExtraHandler> handlers_;
   obs::Counter* updates_local_ = nullptr;   // shard co-located: applied directly
   obs::Counter* updates_remote_ = nullptr;  // shipped to the owner over the fabric

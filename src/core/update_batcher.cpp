@@ -135,9 +135,16 @@ void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records,
                          std::uint64_t* quota) {
   // Ship under the context the buffer was filled under, not whatever is
   // ambient now — a deferred batch belongs to the scan that produced it.
+  // When a send stage is armed (sharded scan epoch), the fabric must not be
+  // touched from a worker thread: the datagram is captured with that same
+  // context and replayed by the cluster's sequential merge pass instead.
   std::optional<net::Fabric::TraceScope> trace_scope;
   const auto tit = pending_trace_.find(dst);
-  if (tit != pending_trace_.end()) trace_scope.emplace(fabric_, tit->second);
+  if (tit != pending_trace_.end() && send_stage_ == nullptr) {
+    trace_scope.emplace(fabric_, tit->second);
+  }
+  const net::TraceContext staged_ctx =
+      tit != pending_trace_.end() ? tit->second : net::TraceContext{};
   const std::size_t cap = policy_.max_records();
   std::size_t off = 0;
   while (off < records.size()) {
@@ -146,11 +153,16 @@ void UpdateBatcher::ship(NodeId dst, std::vector<dht::UpdateRecord>& records,
     const std::size_t n = std::min(cap, records.size() - off);
     if (updates_batched_ != nullptr) updates_batched_->inc(n);
     if (batch_fill_ != nullptr) batch_fill_->record(n);
-    fabric_.send_unreliable(net::make_message(
+    net::Message msg = net::make_message(
         self_, dst, net::MsgType::kDhtUpdateBatch,
         DhtUpdateBatchMsg(records.begin() + static_cast<std::ptrdiff_t>(off),
                           records.begin() + static_cast<std::ptrdiff_t>(off + n)),
-        batch_wire_size(n) - net::kWireHeaderBytes));
+        batch_wire_size(n) - net::kWireHeaderBytes);
+    if (send_stage_ != nullptr) {
+      send_stage_->push_back(StagedSend{std::move(msg), staged_ctx});
+    } else {
+      fabric_.send_unreliable(std::move(msg));
+    }
     if (quota != nullptr) --*quota;
     off += n;
   }

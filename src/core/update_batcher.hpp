@@ -46,6 +46,19 @@ namespace concord::core {
 /// arrival order. The receiving shard applies them via DhtStore::apply_batch.
 using DhtUpdateBatchMsg = std::vector<dht::UpdateRecord>;
 
+/// One fabric send captured during a sharded scan epoch instead of being
+/// issued immediately. Workers compute node-local scan work in parallel and
+/// append their sends here (per-node, index-aligned buffers); the cluster's
+/// sequential merge pass then replays them in canonical node order, so the
+/// fabric's rng draws, flow-event stream, and egress bookkeeping are
+/// byte-identical to the serial pipeline. `ctx` carries the causal context a
+/// deferred batch was filled under (invalid = stamp from the ambient context
+/// at replay time, exactly like a direct send).
+struct StagedSend {
+  net::Message msg;
+  net::TraceContext ctx{};
+};
+
 /// Batching knobs shared by every daemon of a cluster.
 struct BatchPolicy {
   bool enabled = true;
@@ -117,6 +130,11 @@ class UpdateBatcher {
   [[nodiscard]] std::uint64_t credits() const noexcept { return credits_; }
   [[nodiscard]] bool flow_control() const noexcept { return flow_control_; }
 
+  /// While non-null, ship() appends its datagrams to `stage` instead of
+  /// touching the fabric — the sharded-scan staging surface. The cluster
+  /// arms this only for the duration of a scan epoch's parallel phase.
+  void set_send_stage(std::vector<StagedSend>* stage) noexcept { send_stage_ = stage; }
+
   /// Caps datagrams shipped per flush_all (0 = unlimited). The
   /// PressureController's AIMD loop drives this.
   void set_flush_quota(std::uint64_t per_flush) noexcept { flush_quota_ = per_flush; }
@@ -152,6 +170,7 @@ class UpdateBatcher {
   // record under a live ambient context: a batch deferred past its scan
   // epoch still ships attributed to the scan that produced it.
   std::map<NodeId, net::TraceContext> pending_trace_;
+  std::vector<StagedSend>* send_stage_ = nullptr;  // sharded-scan staging
   bool flow_control_ = false;
   std::uint64_t credits_ = 0;
   std::uint64_t flush_quota_ = 0;  // datagrams per flush_all; 0 = unlimited

@@ -13,7 +13,6 @@
 namespace concord::dht {
 
 namespace {
-constexpr std::size_t kInitialBuckets = 64;
 
 bool test_bit(const std::uint64_t* words, std::uint32_t bit) noexcept {
   return (words[bit >> 6] >> (bit & 63)) & 1u;
@@ -24,31 +23,49 @@ void set_bit(std::uint64_t* words, std::uint32_t bit) noexcept {
 void clear_bit(std::uint64_t* words, std::uint32_t bit) noexcept {
   words[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
 }
+
+std::uint32_t lo_id(std::uint64_t set) noexcept {
+  return static_cast<std::uint32_t>(set & 0xffffffffu);
+}
+std::uint32_t hi_id(std::uint64_t set) noexcept {
+  return static_cast<std::uint32_t>(set >> 32);
+}
+std::uint64_t pack_ids(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::uint64_t>(a) | (static_cast<std::uint64_t>(b) << 32);
+}
+
 }  // namespace
 
 DhtStore::DhtStore(std::uint32_t max_entities, AllocMode mode)
     : max_entities_(max_entities),
       words_per_entry_((max_entities + 63) / 64),
       mode_(mode),
-      buckets_(kInitialBuckets, nullptr) {
+      hashes_(kMinCapacity),
+      ctrl_(kMinCapacity, kEmpty),
+      sets_(kMinCapacity, 0),
+      scratch_(words_per_entry_, 0) {
   if (mode_ == AllocMode::kPool) {
-    pool_ = std::make_unique<PoolAllocatorBase>(entry_bytes());
+    pool_ = std::make_unique<PoolAllocatorBase>(words_per_entry_ * sizeof(std::uint64_t));
   }
   own_metrics_ = std::make_unique<obs::Registry>();
   metrics_ = own_metrics_.get();
   cells_ = resolve_cells(obs::Registry::kSiteWide);
 }
 
+DhtStore::~DhtStore() { clear(); }
+
 DhtStore::Cells DhtStore::resolve_cells(std::int32_t node) {
   obs::Registry& r = *metrics_;
   return Cells{&r.counter("dht", "inserts", node),       &r.counter("dht", "inserts_new", node),
                &r.counter("dht", "removes", node),       &r.counter("dht", "removes_stale", node),
-               &r.gauge("dht", "unique_hashes", node),   &r.gauge("dht", "memory_bytes", node)};
+               &r.gauge("dht", "unique_hashes", node),   &r.gauge("dht", "memory_bytes", node),
+               &r.gauge("dht", "bytes_per_entry", node), &r.gauge("dht", "load_factor_pct", node)};
 }
 
 void DhtStore::bind_metrics(obs::Registry& registry, std::int32_t node) {
   const Cells old = cells_;
   metrics_ = &registry;
+  node_ = node;
   cells_ = resolve_cells(node);
   cells_.inserts->inc(old.inserts->value());
   cells_.inserts_new->inc(old.inserts_new->value());
@@ -59,90 +76,225 @@ void DhtStore::bind_metrics(obs::Registry& registry, std::int32_t node) {
 }
 
 void DhtStore::update_occupancy() noexcept {
+  const std::size_t bytes = memory_bytes();
   cells_.unique_hashes->set(static_cast<std::int64_t>(size_));
-  cells_.memory_bytes->set(static_cast<std::int64_t>(memory_bytes()));
+  cells_.memory_bytes->set(static_cast<std::int64_t>(bytes));
+  cells_.bytes_per_entry->set(size_ > 0 ? static_cast<std::int64_t>(bytes / size_) : 0);
+  cells_.load_factor_pct->set(
+      ctrl_.empty() ? 0 : static_cast<std::int64_t>(size_ * 100 / ctrl_.size()));
 }
 
-DhtStore::~DhtStore() { clear(); }
+void DhtStore::steal_storage(DhtStore&& o) noexcept {
+  hashes_ = std::move(o.hashes_);
+  ctrl_ = std::move(o.ctrl_);
+  sets_ = std::move(o.sets_);
+  size_ = o.size_;
+  tombstones_ = o.tombstones_;
+  pool_ = std::move(o.pool_);
+  malloc_bytes_ = o.malloc_bytes_;
+  scratch_ = std::move(o.scratch_);
+  o.hashes_.clear();
+  o.ctrl_.clear();
+  o.sets_.clear();
+  o.size_ = 0;
+  o.tombstones_ = 0;
+  o.malloc_bytes_ = 0;
+}
 
-DhtStore::DhtStore(DhtStore&&) noexcept = default;
-DhtStore& DhtStore::operator=(DhtStore&&) noexcept = default;
+DhtStore::DhtStore(DhtStore&& o) noexcept
+    : max_entities_(o.max_entities_),
+      words_per_entry_(o.words_per_entry_),
+      mode_(o.mode_) {
+  steal_storage(std::move(o));
+  metrics_ = o.metrics_;
+  own_metrics_ = std::move(o.own_metrics_);
+  node_ = o.node_;
+  cells_ = o.cells_;
+  o.metrics_ = nullptr;
+  o.cells_ = Cells{};
+}
 
-DhtStore::Entry* DhtStore::allocate_entry() {
+DhtStore& DhtStore::operator=(DhtStore&& o) noexcept {
+  if (this == &o) return *this;
+  const bool dest_bound = own_metrics_ == nullptr && metrics_ != nullptr;
+  obs::Registry* dest_registry = metrics_;
+  const std::int32_t dest_node = node_;
+  const Cells dest_cells = cells_;
+  clear();  // frees this store's spills before its allocator handle goes away
+  max_entities_ = o.max_entities_;
+  words_per_entry_ = o.words_per_entry_;
+  mode_ = o.mode_;
+  steal_storage(std::move(o));
+  if (dest_bound) {
+    // The registry binding belongs to the destination's role — its node
+    // label in the shared registry — not to the data. Keep accounting where
+    // this store always accounted and fold the source's counts in, exactly
+    // like bind_metrics does when a pre-loaded store is first bound.
+    metrics_ = dest_registry;
+    node_ = dest_node;
+    cells_ = dest_cells;
+    if (o.cells_.inserts != nullptr && o.cells_.inserts != cells_.inserts) {
+      cells_.inserts->inc(o.cells_.inserts->value());
+      cells_.inserts_new->inc(o.cells_.inserts_new->value());
+      cells_.removes->inc(o.cells_.removes->value());
+      cells_.removes_stale->inc(o.cells_.removes_stale->value());
+    }
+    update_occupancy();
+  } else {
+    metrics_ = o.metrics_;
+    own_metrics_ = std::move(o.own_metrics_);
+    node_ = o.node_;
+    cells_ = o.cells_;
+  }
+  o.metrics_ = nullptr;
+  o.own_metrics_.reset();
+  o.cells_ = Cells{};
+  return *this;
+}
+
+std::uint64_t* DhtStore::allocate_spill() {
   void* p;
   if (mode_ == AllocMode::kPool) {
     p = pool_->allocate();
   } else {
-    p = ::operator new(entry_bytes());
+    p = ::operator new(words_per_entry_ * sizeof(std::uint64_t));
     malloc_bytes_ += malloc_usable_size(p);
   }
-  auto* e = static_cast<Entry*>(p);
-  std::memset(e->words(), 0, words_per_entry_ * sizeof(std::uint64_t));
-  return e;
+  auto* words = static_cast<std::uint64_t*>(p);
+  std::memset(words, 0, words_per_entry_ * sizeof(std::uint64_t));
+  return words;
 }
 
-void DhtStore::free_entry(Entry* e) noexcept {
+void DhtStore::free_spill(std::uint64_t* words) noexcept {
   if (mode_ == AllocMode::kPool) {
-    pool_->deallocate(e);
+    pool_->deallocate(words);
   } else {
-    malloc_bytes_ -= malloc_usable_size(e);
-    ::operator delete(e);
+    malloc_bytes_ -= malloc_usable_size(words);
+    ::operator delete(words);
   }
 }
 
-DhtStore::Entry* DhtStore::find(const ContentHash& h) const {
-  for (Entry* e = buckets_[bucket_of(h)]; e != nullptr; e = e->next) {
-    if (e->hash == h) return e;
-  }
-  return nullptr;
+void DhtStore::release_slot(std::size_t slot) noexcept {
+  if (ctrl_[slot] == kSpilled) free_spill(spill_of(slot));
+  ctrl_[slot] = kTombstone;
+  sets_[slot] = 0;
+  ++tombstones_;
+  --size_;
 }
 
-void DhtStore::reserve(std::size_t expected_hashes) {
-  std::size_t target = buckets_.size();
-  while (target < expected_hashes) target *= 2;
-  if (target == buckets_.size()) return;
-  std::vector<Entry*> bigger(target, nullptr);
-  for (Entry* e : buckets_) {
-    while (e != nullptr) {
-      Entry* next = e->next;
-      const std::size_t b = e->hash.well_mixed() & (bigger.size() - 1);
-      e->next = bigger[b];
-      bigger[b] = e;
-      e = next;
-    }
+const std::uint64_t* DhtStore::slot_words(std::size_t slot) const {
+  if (ctrl_[slot] == kSpilled) return spill_of(slot);
+  std::fill(scratch_.begin(), scratch_.end(), 0);
+  set_bit(scratch_.data(), lo_id(sets_[slot]));
+  if (ctrl_[slot] == kInline2) set_bit(scratch_.data(), hi_id(sets_[slot]));
+  return scratch_.data();
+}
+
+std::size_t DhtStore::find(const ContentHash& h) const noexcept {
+  const std::size_t mask = ctrl_.size() - 1;
+  std::size_t idx = h.well_mixed() & mask;
+  for (std::size_t probes = 0; probes < ctrl_.size(); ++probes) {
+    const std::uint8_t c = ctrl_[idx];
+    if (c == kEmpty) return kNpos;
+    if (c >= kInline1 && hashes_[idx] == h) return idx;
+    idx = (idx + 1) & mask;
   }
-  buckets_ = std::move(bigger);
+  return kNpos;
+}
+
+std::size_t DhtStore::capacity_for(std::size_t entries) noexcept {
+  const std::size_t wanted = entries < kMinCapacity / 2 ? kMinCapacity : entries * 2;
+  return std::bit_ceil(wanted);
+}
+
+void DhtStore::rehash(std::size_t new_cap) {
+  std::vector<ContentHash> hashes(new_cap);
+  std::vector<std::uint8_t> ctrl(new_cap, kEmpty);
+  std::vector<std::uint64_t> sets(new_cap, 0);
+  const std::size_t mask = new_cap - 1;
+  for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+    if (ctrl_[i] < kInline1) continue;
+    std::size_t idx = hashes_[i].well_mixed() & mask;
+    while (ctrl[idx] != kEmpty) idx = (idx + 1) & mask;
+    hashes[idx] = hashes_[i];
+    ctrl[idx] = ctrl_[i];
+    sets[idx] = sets_[i];
+  }
+  hashes_ = std::move(hashes);
+  ctrl_ = std::move(ctrl);
+  sets_ = std::move(sets);
+  tombstones_ = 0;
 }
 
 void DhtStore::maybe_grow() {
-  if (size_ < buckets_.size()) return;  // load factor 1
-  std::vector<Entry*> bigger(buckets_.size() * 2, nullptr);
-  for (Entry* e : buckets_) {
-    while (e != nullptr) {
-      Entry* next = e->next;
-      const std::size_t b = e->hash.well_mixed() & (bigger.size() - 1);
-      e->next = bigger[b];
-      bigger[b] = e;
-      e = next;
-    }
-  }
-  buckets_ = std::move(bigger);
+  // Grow (and squeeze out tombstones) past 7/8 occupancy, keeping at least
+  // one empty slot so probe loops terminate.
+  if ((size_ + 1 + tombstones_) * 8 <= ctrl_.size() * 7) return;
+  rehash(capacity_for(size_ + 1));
+}
+
+void DhtStore::maybe_shrink() {
+  // Downsize when the table is mostly air (load < 1/8) so a drained or
+  // crashed shard hands its slot memory back.
+  if (ctrl_.size() <= kMinCapacity || size_ * 8 >= ctrl_.size()) return;
+  rehash(capacity_for(size_));
+}
+
+void DhtStore::reserve(std::size_t expected_hashes) {
+  const std::size_t target = capacity_for(expected_hashes);
+  if (target > ctrl_.size()) rehash(target);
 }
 
 bool DhtStore::insert(const ContentHash& h, EntityId entity) {
   assert(raw(entity) < max_entities_);
   cells_.inserts->inc();
-  if (Entry* e = find(h)) {
-    set_bit(e->words(), raw(entity));
-    return false;
+  const std::size_t slot = find(h);
+  if (slot != kNpos) {
+    const std::uint32_t e = raw(entity);
+    switch (ctrl_[slot]) {
+      case kInline1: {
+        const std::uint32_t a = lo_id(sets_[slot]);
+        if (a == e) return false;
+        sets_[slot] = a < e ? pack_ids(a, e) : pack_ids(e, a);
+        ctrl_[slot] = kInline2;
+        return false;
+      }
+      case kInline2: {
+        const std::uint32_t a = lo_id(sets_[slot]);
+        const std::uint32_t b = hi_id(sets_[slot]);
+        if (a == e || b == e) return false;
+        // Third distinct entity: promote the inline pair to a spilled bitmap.
+        std::uint64_t* words = allocate_spill();
+        set_bit(words, a);
+        set_bit(words, b);
+        set_bit(words, e);
+        sets_[slot] = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(words));
+        ctrl_[slot] = kSpilled;
+        update_occupancy();
+        return false;
+      }
+      default: {
+        set_bit(spill_of(slot), e);
+        return false;
+      }
+    }
   }
   maybe_grow();
-  Entry* e = allocate_entry();
-  e->hash = h;
-  const std::size_t b = bucket_of(h);
-  e->next = buckets_[b];
-  buckets_[b] = e;
-  set_bit(e->words(), raw(entity));
+  const std::size_t mask = ctrl_.size() - 1;
+  std::size_t idx = h.well_mixed() & mask;
+  std::size_t place = kNpos;
+  while (ctrl_[idx] != kEmpty) {
+    if (place == kNpos && ctrl_[idx] == kTombstone) place = idx;
+    idx = (idx + 1) & mask;
+  }
+  if (place == kNpos) {
+    place = idx;
+  } else {
+    --tombstones_;  // reuse the deletion marker closest to home
+  }
+  hashes_[place] = h;
+  ctrl_[place] = kInline1;
+  sets_[place] = raw(entity);
   ++size_;
   cells_.inserts_new->inc();
   update_occupancy();
@@ -151,41 +303,65 @@ bool DhtStore::insert(const ContentHash& h, EntityId entity) {
 
 bool DhtStore::remove(const ContentHash& h, EntityId entity) {
   cells_.removes->inc();
-  const std::size_t b = bucket_of(h);
-  Entry** link = &buckets_[b];
-  for (Entry* e = *link; e != nullptr; link = &e->next, e = e->next) {
-    if (e->hash != h) continue;
-    if (!test_bit(e->words(), raw(entity))) {
-      // Stale hit: the DHT was asked to forget a copy it never knew about
-      // (lost insert, or a second remove after churn).
-      cells_.removes_stale->inc();
-      return false;
-    }
-    clear_bit(e->words(), raw(entity));
-    // Erase the entry when no entity holds the content any more.
-    bool any = false;
-    for (std::size_t w = 0; w < words_per_entry_; ++w) {
-      if (e->words()[w] != 0) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) {
-      *link = e->next;
-      free_entry(e);
-      --size_;
-      update_occupancy();
-    }
-    return true;
+  const std::size_t slot = find(h);
+  if (slot == kNpos) {
+    cells_.removes_stale->inc();
+    return false;
   }
-  cells_.removes_stale->inc();
-  return false;
+  const std::uint32_t e = raw(entity);
+  switch (ctrl_[slot]) {
+    case kInline1: {
+      if (lo_id(sets_[slot]) != e) {
+        // Stale hit: the DHT was asked to forget a copy it never knew about
+        // (lost insert, or a second remove after churn).
+        cells_.removes_stale->inc();
+        return false;
+      }
+      release_slot(slot);
+      maybe_shrink();
+      update_occupancy();
+      return true;
+    }
+    case kInline2: {
+      const std::uint32_t a = lo_id(sets_[slot]);
+      const std::uint32_t b = hi_id(sets_[slot]);
+      if (a != e && b != e) {
+        cells_.removes_stale->inc();
+        return false;
+      }
+      sets_[slot] = a == e ? b : a;
+      ctrl_[slot] = kInline1;
+      return true;
+    }
+    default: {
+      std::uint64_t* words = spill_of(slot);
+      if (!test_bit(words, e)) {
+        cells_.removes_stale->inc();
+        return false;
+      }
+      clear_bit(words, e);
+      bool any = false;
+      for (std::size_t w = 0; w < words_per_entry_; ++w) {
+        if (words[w] != 0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        // Erase the entry when no entity holds the content any more.
+        release_slot(slot);
+        maybe_shrink();
+        update_occupancy();
+      }
+      return true;
+    }
+  }
 }
 
 void DhtStore::apply_batch(std::span<const UpdateRecord> records) {
-  // Group same-hash records together so each hash's chain is walked while
-  // hot, sorting indices (not records) to keep the input immutable. The
-  // stable sort preserves the arrival order of same-hash records, which
+  // Group same-hash records together so each hash's probe run is walked
+  // while hot, sorting indices (not records) to keep the input immutable.
+  // The stable sort preserves the arrival order of same-hash records, which
   // insert()/remove() pairs for one (hash, entity) depend on.
   std::vector<std::uint32_t> order(records.size());
   std::iota(order.begin(), order.end(), 0u);
@@ -204,51 +380,87 @@ void DhtStore::apply_batch(std::span<const UpdateRecord> records) {
 }
 
 std::size_t DhtStore::num_entities(const ContentHash& h) const {
-  const Entry* e = find(h);
-  if (e == nullptr) return 0;
-  std::size_t n = 0;
-  for (std::size_t w = 0; w < words_per_entry_; ++w) {
-    n += static_cast<std::size_t>(std::popcount(e->words()[w]));
+  const std::size_t slot = find(h);
+  if (slot == kNpos) return 0;
+  switch (ctrl_[slot]) {
+    case kInline1:
+      return 1;
+    case kInline2:
+      return 2;
+    default: {
+      const std::uint64_t* words = spill_of(slot);
+      std::size_t n = 0;
+      for (std::size_t w = 0; w < words_per_entry_; ++w) {
+        n += static_cast<std::size_t>(std::popcount(words[w]));
+      }
+      return n;
+    }
   }
-  return n;
 }
 
 bool DhtStore::contains(const ContentHash& h, EntityId entity) const {
-  const Entry* e = find(h);
-  return e != nullptr && test_bit(e->words(), raw(entity));
+  const std::size_t slot = find(h);
+  if (slot == kNpos) return false;
+  const std::uint32_t e = raw(entity);
+  switch (ctrl_[slot]) {
+    case kInline1:
+      return lo_id(sets_[slot]) == e;
+    case kInline2:
+      return lo_id(sets_[slot]) == e || hi_id(sets_[slot]) == e;
+    default:
+      return test_bit(spill_of(slot), e);
+  }
 }
 
 std::vector<EntityId> DhtStore::entities(const ContentHash& h) const {
   std::vector<EntityId> out;
-  const Entry* e = find(h);
-  if (e == nullptr) return out;
-  for (std::size_t w = 0; w < words_per_entry_; ++w) {
-    std::uint64_t word = e->words()[w];
-    while (word != 0) {
-      const int bit = std::countr_zero(word);
-      out.push_back(entity_id(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(bit))));
-      word &= word - 1;
+  const std::size_t slot = find(h);
+  if (slot == kNpos) return out;
+  switch (ctrl_[slot]) {
+    case kInline1:
+      out.push_back(entity_id(lo_id(sets_[slot])));
+      return out;
+    case kInline2:
+      out.push_back(entity_id(lo_id(sets_[slot])));
+      out.push_back(entity_id(hi_id(sets_[slot])));
+      return out;
+    default: {
+      const std::uint64_t* words = spill_of(slot);
+      for (std::size_t w = 0; w < words_per_entry_; ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          out.push_back(
+              entity_id(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(bit))));
+          word &= word - 1;
+        }
+      }
+      return out;
     }
   }
-  return out;
 }
 
 std::size_t DhtStore::memory_bytes() const noexcept {
-  const std::size_t bucket_bytes = buckets_.capacity() * sizeof(Entry*);
-  if (mode_ == AllocMode::kPool) return bucket_bytes + pool_->reserved_bytes();
-  return bucket_bytes + malloc_bytes_;
+  const std::size_t table_bytes = hashes_.capacity() * sizeof(ContentHash) +
+                                  ctrl_.capacity() * sizeof(std::uint8_t) +
+                                  sets_.capacity() * sizeof(std::uint64_t);
+  if (mode_ == AllocMode::kPool) {
+    return table_bytes + (pool_ != nullptr ? pool_->reserved_bytes() : 0);
+  }
+  return table_bytes + malloc_bytes_;
 }
 
 void DhtStore::clear() {
-  if (buckets_.empty()) return;  // moved-from
-  for (Entry*& head : buckets_) {
-    while (head != nullptr) {
-      Entry* next = head->next;
-      free_entry(head);
-      head = next;
-    }
+  if (ctrl_.empty()) return;  // moved-from
+  for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+    if (ctrl_[i] == kSpilled) free_spill(spill_of(i));
   }
+  // Fresh minimum-capacity arrays (assign would keep the grown capacity).
+  hashes_ = std::vector<ContentHash>(kMinCapacity);
+  ctrl_ = std::vector<std::uint8_t>(kMinCapacity, kEmpty);
+  sets_ = std::vector<std::uint64_t>(kMinCapacity, 0);
   size_ = 0;
+  tombstones_ = 0;
   update_occupancy();
 }
 

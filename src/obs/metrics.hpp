@@ -8,8 +8,11 @@
 //   * Hot-path cost is one plain add on a pre-resolved cell. Components call
 //     counter()/gauge()/histogram() once at wiring time and keep the
 //     returned reference; no map lookup, lock, or atomic is ever on the
-//     instrumented path (the emulation is single-threaded per Simulation).
-//     Cells live in std::map nodes, so references stay stable forever.
+//     instrumented path. Cells live in std::map nodes, so references stay
+//     stable forever. Resolution itself takes a mutex: the sharded scan
+//     epochs (ClusterParams::sim_workers) may first-fire a lazy cell from a
+//     worker thread, and only the map insertion needs protecting — workers
+//     touch disjoint per-node cells, so increments stay plain adds.
 //   * Snapshots are deterministic: metrics are ordered by (subsystem, name,
 //     node) and serialized with integer-only formatting, so two identical
 //     simulated runs produce byte-identical JSON/CSV.
@@ -23,6 +26,7 @@
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -155,6 +159,8 @@ class Registry {
 
   // std::map node stability is what makes resolved references permanent.
   std::map<MetricKey, Cell> metrics_;
+  // Guards create-on-first-use resolution only; see the header comment.
+  std::mutex resolve_mu_;
 };
 
 }  // namespace concord::obs

@@ -1,17 +1,15 @@
-#include "mem/hash_pool.hpp"
+#include "sim/worker_pool.hpp"
 
-#include <cassert>
+namespace concord::sim {
 
-namespace concord::mem {
-
-HashPool::HashPool(std::size_t workers) : workers_(workers == 0 ? 1 : workers) {
+WorkerPool::WorkerPool(std::size_t workers) : workers_(workers == 0 ? 1 : workers) {
   threads_.reserve(workers_ - 1);
   for (std::size_t slot = 1; slot < workers_; ++slot) {
     threads_.emplace_back([this, slot] { worker_loop(slot); });
   }
 }
 
-HashPool::~HashPool() {
+WorkerPool::~WorkerPool() {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -20,12 +18,12 @@ HashPool::~HashPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-std::pair<std::size_t, std::size_t> HashPool::chunk(std::size_t slot,
-                                                    std::size_t count) const noexcept {
+std::pair<std::size_t, std::size_t> WorkerPool::chunk(std::size_t slot,
+                                                      std::size_t count) const noexcept {
   return {slot * count / workers_, (slot + 1) * count / workers_};
 }
 
-void HashPool::worker_loop(std::size_t slot) {
+void WorkerPool::worker_loop(std::size_t slot) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t)>* fn;
@@ -48,8 +46,8 @@ void HashPool::worker_loop(std::size_t slot) {
   }
 }
 
-void HashPool::run(std::size_t count,
-                   const std::function<void(std::size_t, std::size_t)>& fn) {
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (workers_ == 1 || count == 0) {
     if (count > 0) fn(0, count);
     return;
@@ -71,4 +69,4 @@ void HashPool::run(std::size_t count,
   }
 }
 
-}  // namespace concord::mem
+}  // namespace concord::sim

@@ -2,11 +2,15 @@
 // plus the real-socket UDP transport.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "core/cluster.hpp"
 #include "net/fabric.hpp"
 #include "net/udp_transport.hpp"
 #include "sim/simulation.hpp"
+#include "workload/workloads.hpp"
 
 namespace concord {
 namespace {
@@ -422,6 +426,54 @@ TEST(UdpTransport, MoveTransfersOwnership) {
   EXPECT_EQ(b.port(), port);
   EXPECT_TRUE(b.is_bound());
   EXPECT_FALSE(a.is_bound());  // NOLINT(bugprone-use-after-move) — testing the moved-from state
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scan epochs: worker-count invariance under overload protection.
+// ---------------------------------------------------------------------------
+
+/// Runs full-rate scans against a deliberately undersized fabric (bounded
+/// ingress, slow service, credit flow control, AIMD pressure controller) and
+/// returns the metric snapshot + final virtual clock. The overload machinery
+/// exercises every staging edge the serial scan has: deferred flushes, local
+/// shedding, credit grants at delivery time, and lazily created pressure
+/// counters first firing on scan-pool worker threads.
+std::pair<std::string, sim::Time> pressured_fingerprint(std::size_t workers) {
+  core::ClusterParams p;
+  p.num_nodes = 6;
+  p.max_entities = 64;
+  p.seed = 7117;
+  p.update_batching.mtu_bytes = 512;
+  p.fabric.ingress_queue_limit = 12;
+  p.fabric.ingress_service = 50 * sim::kMicrosecond;
+  p.fabric.retry_budget = 20 * sim::kMillisecond;
+  p.fabric.breaker_threshold = 6;
+  p.pressure.enabled = true;
+  p.sim_workers = workers;
+  auto c = std::make_unique<core::Cluster>(p);
+  for (std::uint32_t n = 0; n < p.num_nodes; ++n) {
+    mem::MemoryEntity& e =
+        c->create_entity(node_id(n), EntityKind::kProcess, 128, 256);
+    workload::fill(e, workload::defaults_for(workload::Kind::kMoldy, n));
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint32_t i = 0; i < c->num_entities(); ++i) {
+      workload::mutate(c->entity(entity_id(i)), 1.0,
+                       static_cast<std::uint64_t>(round) * 97 + i);
+    }
+    (void)c->scan_all();
+  }
+  return {c->metrics().to_json(), c->sim().now()};
+}
+
+TEST(ShardedScan, PressuredRunByteIdenticalAcrossWorkerCounts) {
+  const auto serial = pressured_fingerprint(1);
+  EXPECT_GT(serial.second, 0u);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const auto sharded = pressured_fingerprint(workers);
+    EXPECT_EQ(serial.first, sharded.first) << workers << " workers";
+    EXPECT_EQ(serial.second, sharded.second) << workers << " workers";
+  }
 }
 
 }  // namespace
