@@ -16,12 +16,23 @@
 //   5. heal everything, readmit, audit to convergence, compare coverage.
 //
 // `--smoke` runs the CI subset (3 seeds) and writes BENCH_pr3.json.
+//
+// PR 8 adds a read-availability sweep at replication R = 1/2/3: the same
+// crash -> detect -> heal -> readmit schedule, but with node-wise reads
+// issued at every stage. At R = 1 reads of the crashed shard time out
+// (degraded) until detection remaps and recovery republishes; at R > 1 they
+// fail over to a surviving replica, so `--smoke` additionally gates zero
+// read unavailability at R = 3 and writes BENCH_pr8.json.
 #include <cstring>
 #include <memory>
+#include <set>
 
 #include "bench_util.hpp"
+#include "hash/block_hasher.hpp"
+#include "query/queries.hpp"
 #include "services/dht_audit.hpp"
 #include "services/null_service.hpp"
+#include "services/replica_resync.hpp"
 #include "services/shard_recovery.hpp"
 #include "svc/command_engine.hpp"
 #include "workload/workloads.hpp"
@@ -161,6 +172,85 @@ Row run_seed(std::uint64_t seed, bench::MetricsSidecar& sidecar, bool smoke,
   return r;
 }
 
+// ---- PR 8: read availability through the crash -> heal schedule at R = 1/2/3.
+
+struct AvailRow {
+  std::uint32_t repl = 1;
+  std::uint64_t reads = 0;      // node-wise reads issued across all stages
+  std::uint64_t ok = 0;         // answered by some replica (Status::kOk)
+  std::uint64_t degraded = 0;   // every candidate timed out / refused
+  std::uint64_t failovers = 0;  // extra replica attempts (query/read_failover)
+  std::uint64_t refused = 0;    // dirty-shard refusals (query/read_refused)
+  double mean_read_ms = 0;
+
+  [[nodiscard]] double avail_pct() const noexcept {
+    return reads == 0 ? 100.0
+                      : 100.0 * static_cast<double>(ok) / static_cast<double>(reads);
+  }
+};
+
+AvailRow run_availability(std::uint32_t repl, std::uint64_t seed, bool smoke) {
+  core::ClusterParams p;
+  p.num_nodes = kNodes;
+  p.max_entities = kNodes + 1;
+  p.seed = seed;
+  p.dht_replication = repl;
+  p.watchdog.enabled = true;
+  p.watchdog.hard_fail = smoke;
+  auto c = std::make_unique<core::Cluster>(p);
+  const auto ses = populate(*c);
+  services::ShardRecovery recovery(*c);
+  services::ReplicaResync resync(*c);  // after recovery: republish verdicts settle first
+  query::QueryEngine q(*c);
+
+  // Read set: the first distinct hashes of one entity's ground truth. Homes
+  // spread uniformly over the shard space, so crashing one node covers
+  // roughly 1/kNodes of the set at R = 1 and none of it at R >= 2.
+  std::vector<ContentHash> hashes;
+  {
+    std::set<ContentHash> seen;
+    const hash::BlockHasher hasher(c->params().hash_algorithm);
+    const mem::MemoryEntity& e = c->entity(ses[0]);
+    for (BlockIndex b = 0; b < e.num_blocks() && hashes.size() < 48; ++b) {
+      const ContentHash h = hasher(e.block(b));
+      if (seen.insert(h).second) hashes.push_back(h);
+    }
+  }
+
+  AvailRow r;
+  r.repl = repl;
+  sim::Time read_time = 0;
+  auto sweep = [&]() {
+    for (const ContentHash& h : hashes) {
+      const query::NodewiseAnswer a = q.num_copies(node_id(0), h);
+      ++r.reads;
+      if (a.status == Status::kOk) {
+        ++r.ok;
+      } else {
+        ++r.degraded;
+      }
+      read_time += a.latency;
+    }
+  };
+
+  sweep();                       // stage 1: healthy baseline
+  c->fault().crash(node_id(3));  // crash an owner behind the detector's back
+  sweep();                       // stage 2: reads race detection
+  (void)c->detect();             // epoch change: recovery + resync listeners run
+  sweep();                       // stage 3: post-remap
+  c->fault().heal_all();
+  (void)c->detect();             // readmission window
+  (void)c->detect();             // stability window; rejoiner resynced or republished
+  sweep();                       // stage 4: post-heal
+  (void)c->check_invariants();
+
+  r.failovers = c->metrics().counter_total("query", "read_failover");
+  r.refused = c->metrics().counter_total("query", "read_refused");
+  r.mean_read_ms =
+      r.reads == 0 ? 0.0 : bench::to_ms(read_time) / static_cast<double>(r.reads);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +303,73 @@ int main(int argc, char** argv) {
       min_coverage, max_passes, static_cast<unsigned long long>(total_watchdog_viol),
       static_cast<unsigned long long>(total_dumps));
 
+  // ---- PR 8 availability sweep: same schedule, reads at every stage.
+  std::printf(
+      "\nRead availability through crash -> detect -> heal (node-wise read\n"
+      "sweeps at 4 stages: healthy, crashed-undetected, post-remap, post-heal;\n"
+      "R = replica-group size):\n");
+  std::printf("%3s %7s %5s %9s %9s %8s %8s %9s\n", "R", "reads", "ok", "degraded",
+              "failover", "refused", "avail %", "read ms");
+  const std::vector<std::uint64_t> avail_seeds =
+      smoke ? std::vector<std::uint64_t>{21} : std::vector<std::uint64_t>{21, 22};
+  std::uint64_t r3_degraded = 0;
+  double r3_avail = 100.0;
+  std::vector<AvailRow> avail_rows;
+  for (const std::uint32_t repl : {1u, 2u, 3u}) {
+    AvailRow sum;
+    sum.repl = repl;
+    double ms = 0;
+    for (const std::uint64_t seed : avail_seeds) {
+      const AvailRow r = run_availability(repl, seed, smoke);
+      sum.reads += r.reads;
+      sum.ok += r.ok;
+      sum.degraded += r.degraded;
+      sum.failovers += r.failovers;
+      sum.refused += r.refused;
+      ms += r.mean_read_ms;
+    }
+    sum.mean_read_ms = ms / static_cast<double>(avail_seeds.size());
+    std::printf("%3u %7llu %5llu %9llu %9llu %8llu %8.2f %9.3f\n", sum.repl,
+                static_cast<unsigned long long>(sum.reads),
+                static_cast<unsigned long long>(sum.ok),
+                static_cast<unsigned long long>(sum.degraded),
+                static_cast<unsigned long long>(sum.failovers),
+                static_cast<unsigned long long>(sum.refused), sum.avail_pct(),
+                sum.mean_read_ms);
+    if (repl == 3) {
+      r3_degraded = sum.degraded;
+      r3_avail = sum.avail_pct();
+    }
+    avail_rows.push_back(sum);
+  }
+  std::printf(
+      "\nAcceptance (PR 8): zero degraded reads at R = 3 — every read through the\n"
+      "whole schedule is served by some replica. R = 3 availability %.2f%%.\n",
+      r3_avail);
+
+  if (smoke) {
+    std::FILE* f = std::fopen("BENCH_pr8.json", "w");
+    if (f != nullptr) {
+      std::fprintf(f, "{\"bench\":\"pr8_replica_availability\",\"nodes\":%u,\"rows\":[",
+                   kNodes);
+      for (std::size_t i = 0; i < avail_rows.size(); ++i) {
+        const AvailRow& a = avail_rows[i];
+        std::fprintf(f,
+                     "%s{\"repl\":%u,\"reads\":%llu,\"ok\":%llu,\"degraded\":%llu,"
+                     "\"failovers\":%llu,\"refused\":%llu,\"avail_pct\":%.4f}",
+                     i == 0 ? "" : ",", a.repl,
+                     static_cast<unsigned long long>(a.reads),
+                     static_cast<unsigned long long>(a.ok),
+                     static_cast<unsigned long long>(a.degraded),
+                     static_cast<unsigned long long>(a.failovers),
+                     static_cast<unsigned long long>(a.refused), a.avail_pct());
+      }
+      std::fprintf(f, "]}\n");
+      std::fclose(f);
+      std::printf("\n  [BENCH_pr8.json written]\n");
+    }
+  }
+
   if (smoke) {
     std::FILE* f = std::fopen("BENCH_pr3.json", "w");
     if (f != nullptr) {
@@ -231,5 +388,6 @@ int main(int argc, char** argv) {
     }
   }
   if (smoke && total_watchdog_viol > 0) return 1;
+  if (smoke && r3_degraded > 0) return 1;  // PR 8 gate: full availability at R = 3
   return min_coverage >= 99.0 ? 0 : 1;
 }

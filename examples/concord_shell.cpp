@@ -20,6 +20,7 @@
 #include "services/collective_checkpoint.hpp"
 #include "services/dht_audit.hpp"
 #include "services/migration.hpp"
+#include "services/replica_resync.hpp"
 #include "services/shard_recovery.hpp"
 #include "svc/command_engine.hpp"
 #include "workload/workloads.hpp"
@@ -31,6 +32,7 @@ namespace {
 struct Shell {
   std::unique_ptr<core::Cluster> cluster;
   std::unique_ptr<services::ShardRecovery> recovery;  // auto-runs on epoch change
+  std::unique_ptr<services::ReplicaResync> resync;    // R > 1 only; after recovery
   std::unique_ptr<services::CollectiveCheckpointService> last_ckpt;
 
   bool require_cluster() const {
@@ -53,30 +55,38 @@ struct Shell {
     std::uint32_t nodes = 4;
     double loss = 0.0;
     std::size_t mtu = 1500;  // 0 disables update batching
-    args >> nodes >> loss >> mtu;
+    std::uint32_t repl = 1;  // DHT replica-group size (clamped to nodes)
+    args >> nodes >> loss >> mtu >> repl;
     core::ClusterParams p;
     p.num_nodes = nodes;
     p.max_entities = 256;
     p.fabric.loss_rate = loss;
     p.update_batching.enabled = mtu != 0;
     if (mtu != 0) p.update_batching.mtu_bytes = mtu;
+    p.dht_replication = repl;
     // The shell is a debugging surface: stamp trace context on datagrams so
     // `trace <file>` exports show cross-node causal arrows, and let the
     // watchdog sweep the invariants at every scan boundary.
     p.trace_propagation = true;
     p.watchdog.enabled = true;
+    resync.reset();
     recovery.reset();
     cluster = std::make_unique<core::Cluster>(p);
     recovery = std::make_unique<services::ShardRecovery>(*cluster);
+    if (cluster->placement().replication() > 1) {
+      resync = std::make_unique<services::ReplicaResync>(*cluster);
+    }
     last_ckpt.reset();
     if (mtu != 0) {
       std::printf("cluster: %u nodes, loss %.1f%%, update batching at %zu B MTU "
-                  "(%zu records/datagram)\n",
+                  "(%zu records/datagram)",
                   nodes, loss * 100.0, mtu, p.update_batching.max_records());
     } else {
-      std::printf("cluster: %u nodes, loss %.1f%%, update batching off\n", nodes,
+      std::printf("cluster: %u nodes, loss %.1f%%, update batching off", nodes,
                   loss * 100.0);
     }
+    std::printf(", R=%u%s\n", cluster->placement().replication(),
+                cluster->placement().replication() > 1 ? " (replica resync on)" : "");
   }
 
   void cmd_entity(std::istringstream& args) {
@@ -246,10 +256,16 @@ struct Shell {
     if (!require_cluster()) return;
     services::DhtAudit audit(*cluster);
     const services::AuditReport r = audit.run_to_convergence();
-    std::printf("audit: %llu entries checked, %llu missing repaired, %llu stale removed\n",
+    std::printf("audit: %llu entries checked, %llu missing repaired, %llu stale removed",
                 static_cast<unsigned long long>(r.entries_checked),
                 static_cast<unsigned long long>(r.missing_repaired),
                 static_cast<unsigned long long>(r.stale_removed));
+    if (cluster->placement().replication() > 1) {
+      std::printf(", %llu under- / %llu over-replicated",
+                  static_cast<unsigned long long>(r.under_replicated),
+                  static_cast<unsigned long long>(r.over_replicated));
+    }
+    std::printf("\n");
   }
 
   void cmd_fault(std::istringstream& args) {
@@ -309,10 +325,23 @@ struct Shell {
     std::printf("\n");
     if (v.epoch != before && recovery) {
       const services::RecoveryReport& r = recovery->last_report();
-      std::printf("recovery: %llu ground-truth hashes checked, %llu entries republished "
-                  "(%.2f ms)\n",
+      std::printf("recovery: %llu ground-truth hashes checked, %llu entries republished",
                   static_cast<unsigned long long>(r.hashes_checked),
-                  static_cast<unsigned long long>(r.republished),
+                  static_cast<unsigned long long>(r.republished));
+      if (r.skipped_replicated > 0) {
+        std::printf(", %llu left to replica resync",
+                    static_cast<unsigned long long>(r.skipped_replicated));
+      }
+      std::printf(" (%.2f ms)\n", static_cast<double>(r.latency) / 1e6);
+    }
+    if (v.epoch != before && resync) {
+      const services::ResyncReport& r = resync->last_report();
+      std::printf("resync: %llu dirty shards, %llu synced from donors "
+                  "(%llu records streamed, %llu without donor) (%.2f ms)\n",
+                  static_cast<unsigned long long>(r.shards_examined),
+                  static_cast<unsigned long long>(r.shards_synced),
+                  static_cast<unsigned long long>(r.records_streamed),
+                  static_cast<unsigned long long>(r.no_donor),
                   static_cast<double>(r.latency) / 1e6);
     }
   }
@@ -343,6 +372,18 @@ struct Shell {
     std::printf("\n");
     std::printf("dht: %zu unique hashes across %u shards\n", cluster->total_unique_hashes(),
                 cluster->num_nodes());
+    if (cluster->placement().replication() > 1) {
+      std::printf("replication: R=%u;", cluster->placement().replication());
+      bool any_dirty = false;
+      for (std::uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+        const auto& dirty = cluster->daemon(node_id(n)).dirty_shards();
+        if (dirty.empty()) continue;
+        any_dirty = true;
+        std::printf(" node %u: %zu dirty (refusing reads)", n, dirty.size());
+      }
+      if (!any_dirty) std::printf(" all replicas in sync");
+      std::printf("\n");
+    }
     const std::uint64_t batched =
         cluster->metrics().counter_total("core", "updates_batched");
     std::uint64_t batch_dgrams = 0, batch_max = 0;
@@ -486,7 +527,8 @@ struct Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::puts(
-          "cluster <nodes> [loss] [mtu]  create an emulated site (mtu 0 = unbatched updates)\n"
+          "cluster <nodes> [loss] [mtu] [R]  create an emulated site (mtu 0 = unbatched\n"
+          "                            updates; R > 1 = replicated DHT shards + resync)\n"
           "entity <node> <blocks> [process|vm]\n"
           "fill <id> <moldy|nasty|hpccg|random> [seed]\n"
           "mutate <id> <fraction>      rewrite a fraction of blocks\n"

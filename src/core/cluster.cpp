@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <optional>
@@ -21,6 +22,7 @@ Cluster::Cluster(ClusterParams params)
       detector_(sim_, fabric_, params.num_nodes, params.detector) {
   // Bind the fabric first so daemon registration resolves cells straight
   // into the shared registry instead of the fabric's private fallback.
+  if (!params_.single_node_dht) placement_.set_replication(params_.dht_replication);
   fabric_.bind_metrics(metrics_);
   blackbox_.bind_metrics(metrics_);
   fabric_.bind_flight_recorder(&blackbox_);
@@ -49,6 +51,11 @@ Cluster::Cluster(ClusterParams params)
     daemon(n).apply_staged();
     daemon(n).store().clear();
     daemon(n).drop_pending_updates();
+    // Replicated DHT: the wiped store misses everything it once held, so
+    // every home shard this node replicates goes dirty — reads refuse until
+    // a ReplicaSync stream (or a clean audit pass) catches it back up.
+    // mark_wiped is a no-op at R = 1.
+    daemon(n).mark_wiped(detector_.view().epoch);
   });
   // Epoch changes remap dead nodes' shards to alive successors. With a
   // single-node DHT the placement's node space (1) differs from the
@@ -56,6 +63,35 @@ Cluster::Cluster(ClusterParams params)
   if (!params_.single_node_dht) {
     detector_.on_epoch_change(
         [this](const MembershipView& v) { placement_.set_view(v.epoch, v.alive); });
+  }
+  // Replica dirty marking (R > 1): after placement has installed the new
+  // view (listeners fire in registration order), a node entering a home
+  // shard's replica group — the successor drafted in when a member died, or
+  // a healed member rejoining — has missed every batch since the group last
+  // matched, so it goes dirty for that home until re-synced. Daemons that
+  // came through the change with no dirt are fully caught up to this epoch
+  // (the donor-selection key for resync).
+  if (!params_.single_node_dht && placement_.replication() > 1) {
+    prev_alive_view_.assign(params_.num_nodes, true);
+    detector_.on_epoch_change([this](const MembershipView& v) {
+      for (std::uint32_t home = 0; home < params_.num_nodes; ++home) {
+        const std::vector<NodeId> prev =
+            placement_.shard_replicas_in(prev_alive_view_, home);
+        const std::vector<NodeId> cur = placement_.shard_replicas_in(v.alive, home);
+        for (const NodeId n : cur) {
+          if (std::find(prev.begin(), prev.end(), n) == prev.end()) {
+            daemon(n).mark_shard_dirty(home, v.epoch);
+          }
+        }
+      }
+      for (auto& d : daemons_) {
+        if (v.is_alive(d->id()) && d->dirty_shards().empty()) {
+          d->set_applied_epoch(v.epoch);
+        }
+      }
+      prev_alive_view_ = v.alive.empty() ? std::vector<bool>(params_.num_nodes, true)
+                                         : v.alive;
+    });
   }
   // Epoch changes are site-wide context for any postmortem: stamp them into
   // every node's flight-recorder ring.

@@ -46,6 +46,13 @@ struct ClusterParams {
   /// When true the whole DHT lives on node 0 (the "single" configuration of
   /// Fig. 9); updates and queries all route there.
   bool single_node_dht = false;
+  /// Replica group size R for every home shard (DESIGN.md §14). 1 (the
+  /// default) is the original single-owner DHT, byte-identical to pre-
+  /// replication builds. At R > 1 updates fan out to the first R alive
+  /// successors of each hash's home node, reads fail over across the group,
+  /// and crash recovery prefers ReplicaResync streams over full republish.
+  /// Clamped to [1, num_nodes]; ignored under single_node_dht.
+  std::uint32_t dht_replication = 1;
   /// Owner-batched update datagrams (set .enabled = false to reproduce the
   /// one-datagram-per-update pipeline for comparison runs).
   BatchPolicy update_batching;
@@ -193,6 +200,10 @@ class Cluster {
   std::unique_ptr<sim::WorkerPool> scan_pool_;  // lazily built for sim_workers > 1
   std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
   std::vector<std::unique_ptr<mem::MemoryEntity>> entities_;
+  // Previous epoch's alive view, diffed by the replica dirty-marking epoch
+  // listener to find nodes that just (re)joined a shard's group. Unused
+  // (empty) at R = 1.
+  std::vector<bool> prev_alive_view_;
   std::uint64_t breaker_hints_ = 0;    // suspicion hints issued for breaker trips
   std::uint64_t next_scan_root_ = 0;   // scan-root trace ids (top bit set)
 };

@@ -34,8 +34,29 @@ void ServiceDaemon::bind_metrics(obs::Registry& registry) {
 }
 
 void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
-  const NodeId owner = placement_.owner(u.hash);
   const bool insert = u.op == mem::ContentUpdate::Op::kInsert;
+  if (placement_.replication() > 1) {
+    // Replica fan-out (DESIGN.md §14): one single-phase write per group
+    // member, in deterministic successor order (primary first). No quorum —
+    // a member that misses the write is healed by resync or audit, exactly
+    // like a lost datagram at R = 1.
+    const dht::UpdateRecord rec{u.hash, u.entity, insert};
+    for (const NodeId dst : placement_.replicas(u.hash)) {
+      if (dst == id_) {
+        if (updates_local_ != nullptr) updates_local_->inc();
+        if (insert) {
+          store_.insert(u.hash, u.entity);
+        } else {
+          store_.remove(u.hash, u.entity);
+        }
+      } else {
+        if (updates_remote_ != nullptr) updates_remote_->inc();
+        route_update_to(dst, rec);
+      }
+    }
+    return;
+  }
+  const NodeId owner = placement_.owner(u.hash);
   if (owner == id_) {
     // Local shard: apply directly; no network traffic (intra-node updates
     // bypass the NIC in the real system too).
@@ -48,13 +69,17 @@ void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
     return;
   }
   if (updates_remote_ != nullptr) updates_remote_->inc();
+  route_update_to(owner, dht::UpdateRecord{u.hash, u.entity, insert});
+}
+
+void ServiceDaemon::route_update_to(NodeId dst, const dht::UpdateRecord& rec) {
   if (batcher_.policy().enabled) {
-    batcher_.add(owner, dht::UpdateRecord{u.hash, u.entity, insert});
+    batcher_.add(dst, rec);
     return;
   }
   net::Message msg = net::make_message(
-      id_, owner, insert ? net::MsgType::kDhtInsert : net::MsgType::kDhtRemove,
-      DhtUpdateMsg{u.hash, u.entity, insert}, kDhtUpdateBytes);
+      id_, dst, rec.insert ? net::MsgType::kDhtInsert : net::MsgType::kDhtRemove,
+      DhtUpdateMsg{rec.hash, rec.entity, rec.insert}, kDhtUpdateBytes);
   if (send_stage_ != nullptr) {
     // Sharded scan epoch: capture the send for the cluster's sequential
     // merge pass (stamped from the ambient context at replay, like a direct
@@ -63,6 +88,13 @@ void ServiceDaemon::route_update(const mem::ContentUpdate& u) {
     return;
   }
   fabric_.send_unreliable(std::move(msg));
+}
+
+void ServiceDaemon::mark_wiped(std::uint64_t epoch) {
+  if (placement_.replication() <= 1) return;
+  for (std::uint32_t home = 0; home < placement_.num_nodes(); ++home) {
+    if (placement_.is_replica(home, id_)) dirty_shards_[home] = epoch;
+  }
 }
 
 std::uint64_t ServiceDaemon::compute_grant() const {
@@ -155,6 +187,16 @@ void ServiceDaemon::handle_message(const net::Message& msg) {
     }
     case net::MsgType::kCreditGrant: {
       batcher_.grant_credits(msg.as<CreditGrantMsg>().credits);
+      return;
+    }
+    case net::MsgType::kReplicaSync: {
+      const auto& s = msg.as<ReplicaSyncMsg>();
+      if (apply_staging_) {
+        if (!s.records.empty()) staged_applies_.push_back(s.records);
+      } else if (!s.records.empty()) {
+        store_.apply_batch(s.records);
+      }
+      if (s.last) mark_shard_clean(s.home, s.epoch);
       return;
     }
     default: {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,22 @@ struct CreditGrantMsg {
   std::uint64_t credits = 0;
 };
 inline constexpr std::size_t kCreditGrantBytes = sizeof(std::uint64_t);
+
+/// Payload of kReplicaSync messages: one chunk of a donor replica's replay of
+/// a dirty home shard to a rejoining group member (DESIGN.md §14). `last`
+/// marks the stream's final chunk — receiving it at `epoch` clears the home
+/// shard's dirty counter. Wire layout mirrors codec::ReplicaSync.
+struct ReplicaSyncMsg {
+  std::uint32_t home = 0;
+  std::uint64_t epoch = 0;
+  bool last = false;
+  std::vector<dht::UpdateRecord> records;
+};
+/// Body bytes of a kReplicaSync chunk carrying `records` update records.
+[[nodiscard]] constexpr std::size_t replica_sync_body_bytes(std::size_t records) noexcept {
+  return net::codec::kReplicaSyncFixedBytes +
+         records * net::codec::kDhtUpdateRecordBytes;
+}
 
 class ServiceDaemon {
  public:
@@ -107,6 +124,47 @@ class ServiceDaemon {
   [[nodiscard]] const dht::Placement& placement() const noexcept { return placement_; }
   [[nodiscard]] UpdateBatcher& batcher() noexcept { return batcher_; }
 
+  // --- replica dirty-shard surface (R > 1 only; Harmonia-style counters) ---
+  //
+  // A home shard is *dirty* on this daemon when the daemon may have missed
+  // update batches for it: it just joined the shard's replica group after an
+  // epoch change, or its store was wiped by a crash. Dirty shards refuse
+  // read service (the query engine fails over to an in-sync replica) until a
+  // ReplicaSync stream — or a clean site-wide DhtAudit pass — clears them.
+  // All of this state stays empty at R = 1, where the single owner is
+  // authoritative by definition.
+
+  /// True when this daemon may serve reads for `home` (always true at R=1).
+  [[nodiscard]] bool shard_insync(std::uint32_t home) const noexcept {
+    return dirty_shards_.find(home) == dirty_shards_.end();
+  }
+  /// Marks `home` dirty as of membership `epoch` (join/wipe path).
+  void mark_shard_dirty(std::uint32_t home, std::uint64_t epoch) {
+    dirty_shards_[home] = epoch;
+  }
+  /// Clears `home`'s dirty counter (resync stream completed at `epoch`).
+  void mark_shard_clean(std::uint32_t home, std::uint64_t epoch) {
+    dirty_shards_.erase(home);
+    if (dirty_shards_.empty() && epoch > applied_epoch_) applied_epoch_ = epoch;
+  }
+  /// Crash path: the wiped store misses everything, so every home shard this
+  /// daemon replicates under the current view goes dirty. No-op at R = 1.
+  void mark_wiped(std::uint64_t epoch);
+  /// Convergence oracle (clean DhtAudit pass at R>1): everything is in sync.
+  void mark_all_insync(std::uint64_t epoch) {
+    dirty_shards_.clear();
+    if (epoch > applied_epoch_) applied_epoch_ = epoch;
+  }
+  /// Highest membership epoch this daemon is known fully caught up to —
+  /// the donor-selection key for replica re-sync.
+  [[nodiscard]] std::uint64_t applied_epoch() const noexcept { return applied_epoch_; }
+  void set_applied_epoch(std::uint64_t epoch) noexcept {
+    if (epoch > applied_epoch_) applied_epoch_ = epoch;
+  }
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& dirty_shards() const noexcept {
+    return dirty_shards_;
+  }
+
   /// When on, this daemon answers every applied update batch with a
   /// kCreditGrant sized to its ingress headroom — the owner half of the
   /// credit-based flow-control loop (the sender half lives in the batcher).
@@ -143,6 +201,7 @@ class ServiceDaemon {
 
  private:
   void route_update(const mem::ContentUpdate& u);
+  void route_update_to(NodeId dst, const dht::UpdateRecord& rec);
   [[nodiscard]] std::uint64_t compute_grant() const;
 
   NodeId id_;
@@ -158,6 +217,11 @@ class ServiceDaemon {
   // batch): batches must not be concatenated, because apply_batch's
   // per-datagram stable grouping is part of the observable accounting.
   std::vector<std::vector<dht::UpdateRecord>> staged_applies_;
+  // Dirty home shards (home index -> epoch dirtied) and the highest epoch
+  // this daemon is fully caught up to. Ordered map: the resync service and
+  // shell status iterate it on emit paths. Always empty at R = 1.
+  std::map<std::uint32_t, std::uint64_t> dirty_shards_;
+  std::uint64_t applied_epoch_ = 0;
   std::unordered_map<std::uint16_t, ExtraHandler> handlers_;
   obs::Counter* updates_local_ = nullptr;   // shard co-located: applied directly
   obs::Counter* updates_remote_ = nullptr;  // shipped to the owner over the fabric

@@ -91,15 +91,24 @@ void UpdateBatcher::remap_pending() {
   // Records whose owner moved (the buffered-for node died and the epoch
   // advanced) migrate between buffers; everything else stays put. Collected
   // first so the pending_ walk never mutates the map mid-iteration.
+  //
+  // At R > 1 the same hash is legitimately buffered for several replicas at
+  // once, so the keep test is group membership, not primary equality —
+  // re-routing every copy to the primary would collapse the fan-out into R
+  // duplicate records for one node. A record whose destination fell out of
+  // the group (the buffered-for replica died) re-routes to the primary.
+  const bool replicated = placement_->replication() > 1;
   std::vector<std::pair<NodeId, dht::UpdateRecord>> moved;
   for (auto& [dst, buf] : pending_) {
     std::size_t kept = 0;
     for (dht::UpdateRecord& rec : buf) {
-      const NodeId owner = placement_->owner(rec.hash);
-      if (owner == dst) {
+      const bool keep = replicated
+                            ? placement_->is_replica(placement_->home(rec.hash), dst)
+                            : placement_->owner(rec.hash) == dst;
+      if (keep) {
         buf[kept++] = rec;
       } else {
-        moved.emplace_back(owner, rec);
+        moved.emplace_back(placement_->owner(rec.hash), rec);
       }
     }
     buf.resize(kept);

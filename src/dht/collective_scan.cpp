@@ -7,7 +7,8 @@ namespace concord::dht {
 
 ScanPartial collective_scan(const DhtStore& store, const Bitmap& query_set,
                             std::span<const std::uint32_t> entity_host, std::size_t k,
-                            bool collect_hashes) {
+                            bool collect_hashes,
+                            const std::function<bool(const ContentHash&)>& serve_hash) {
   ScanPartial p;
 
   // Scratch for the per-hash node split; entities-per-hash is small, so a
@@ -20,6 +21,7 @@ ScanPartial collective_scan(const DhtStore& store, const Bitmap& query_set,
 
   store.for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
                            std::size_t nwords) {
+    if (serve_hash && !serve_hash(h)) return;  // another replica counts this hash
     std::uint64_t copies = 0;
     touched.clear();
     for (std::size_t w = 0; w < nwords; ++w) {

@@ -8,6 +8,7 @@
 // real-UDP node (net/udp_node.hpp).
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -43,8 +44,16 @@ struct ScanPartial {
 ///                     treated as unplaced and skipped
 /// @param k            threshold for the k-copy counters (pass ~0 to disable)
 /// @param collect_hashes  fill k_hashes as well as k_count
-[[nodiscard]] ScanPartial collective_scan(const DhtStore& store, const Bitmap& query_set,
-                                          std::span<const std::uint32_t> entity_host,
-                                          std::size_t k, bool collect_hashes);
+/// @param serve_hash   optional per-hash admission filter. In a replicated
+///                     DHT (R > 1) the same hash lives on R shards, so a
+///                     naive all-shards sum counts every copy R times; each
+///                     shard passes a canonical-reader predicate (am I this
+///                     hash's primary owner?) so exactly one shard counts
+///                     it. Empty (the default) admits every entry — the
+///                     single-owner behavior.
+[[nodiscard]] ScanPartial collective_scan(
+    const DhtStore& store, const Bitmap& query_set,
+    std::span<const std::uint32_t> entity_host, std::size_t k, bool collect_hashes,
+    const std::function<bool(const ContentHash&)>& serve_hash = {});
 
 }  // namespace concord::dht

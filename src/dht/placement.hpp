@@ -1,4 +1,4 @@
-// Zero-hop shard placement, epoch-aware.
+// Zero-hop shard placement, epoch-aware, with optional replica groups.
 //
 // Every ConCORD daemon knows the full (low-churn) membership of the site, so
 // the owner of a content hash is computed locally: one hash evaluation, one
@@ -13,6 +13,14 @@
 // successor (home+1, home+2, ... mod N). Every survivor computes the same
 // owner from the same epoch-stamped view, and ownership returns to the home
 // node as soon as it is observed alive again.
+//
+// Replication (R > 1, DESIGN.md §14) generalizes the single owner to a
+// *replica group*: the first R distinct alive nodes on the successor walk
+// from home. owner() is always the group's first member (the primary), so
+// R = 1 reproduces the original single-owner placement bit-for-bit. The
+// group is a pure function of (hash, view, R) — every survivor computes the
+// same set, which is what makes single-phase write fan-out and local read
+// failover possible without any group-membership protocol.
 #pragma once
 
 #include <cassert>
@@ -30,7 +38,14 @@ class Placement {
     assert(num_nodes_ > 0);
   }
 
-  /// Owner under the currently installed view.
+  /// Home shard index of a hash: the modulo-N node the successor walk
+  /// starts from. Never changes with membership — it names the *shard*,
+  /// while owner()/replicas() name who currently serves it.
+  [[nodiscard]] std::uint32_t home(const ContentHash& h) const noexcept {
+    return static_cast<std::uint32_t>(h.well_mixed() % num_nodes_);
+  }
+
+  /// Owner (primary replica) under the currently installed view.
   [[nodiscard]] NodeId owner(const ContentHash& h) const noexcept {
     return owner_in(alive_, h);
   }
@@ -41,12 +56,71 @@ class Placement {
   /// the home node is returned.
   [[nodiscard]] NodeId owner_in(const std::vector<bool>& alive,
                                 const ContentHash& h) const noexcept {
-    const auto home = static_cast<std::uint32_t>(h.well_mixed() % num_nodes_);
+    const std::uint32_t home_idx = home(h);
     for (std::uint32_t probe = 0; probe < num_nodes_; ++probe) {
-      const std::uint32_t cand = (home + probe) % num_nodes_;
+      const std::uint32_t cand = (home_idx + probe) % num_nodes_;
       if (cand >= alive.size() || alive[cand]) return node_id(cand);
     }
-    return node_id(home);
+    return node_id(home_idx);
+  }
+
+  // --- replica groups (R >= 1) -------------------------------------------
+
+  /// Replica group size. Clamped to [1, num_nodes]; 1 (the default) is the
+  /// original single-owner behavior.
+  void set_replication(std::uint32_t r) noexcept {
+    replication_ = r < 1 ? 1 : (r > num_nodes_ ? num_nodes_ : r);
+  }
+  [[nodiscard]] std::uint32_t replication() const noexcept { return replication_; }
+
+  /// The hash's replica group under the current view: the first R distinct
+  /// alive nodes on the successor walk from home, primary first (so
+  /// replicas(h)[0] == owner(h) always). If every node is dead the home
+  /// node alone is returned, mirroring owner_in.
+  [[nodiscard]] std::vector<NodeId> replicas(const ContentHash& h) const {
+    return shard_replicas_in(alive_, home(h));
+  }
+  [[nodiscard]] std::vector<NodeId> replicas_in(const std::vector<bool>& alive,
+                                                const ContentHash& h) const {
+    return shard_replicas_in(alive, home(h));
+  }
+
+  /// Replica group of a home shard index (replicas() without re-hashing;
+  /// per-shard enumeration during resync walks all homes once).
+  [[nodiscard]] std::vector<NodeId> shard_replicas(std::uint32_t home_idx) const {
+    return shard_replicas_in(alive_, home_idx);
+  }
+  [[nodiscard]] std::vector<NodeId> shard_replicas_in(const std::vector<bool>& alive,
+                                                      std::uint32_t home_idx) const {
+    std::vector<NodeId> out;
+    out.reserve(replication_);
+    for (std::uint32_t probe = 0;
+         probe < num_nodes_ && out.size() < replication_; ++probe) {
+      const std::uint32_t cand = (home_idx + probe) % num_nodes_;
+      if (cand >= alive.size() || alive[cand]) out.push_back(node_id(cand));
+    }
+    if (out.empty()) out.push_back(node_id(home_idx));
+    return out;
+  }
+
+  /// Allocation-free membership test: is `n` in home's replica group under
+  /// the current view? (Hot path of the batcher's flush-time remap.)
+  [[nodiscard]] bool is_replica(std::uint32_t home_idx, NodeId n) const noexcept {
+    return is_replica_in(alive_, home_idx, n);
+  }
+  [[nodiscard]] bool is_replica_in(const std::vector<bool>& alive,
+                                   std::uint32_t home_idx, NodeId n) const noexcept {
+    std::uint32_t found = 0;
+    for (std::uint32_t probe = 0;
+         probe < num_nodes_ && found < replication_; ++probe) {
+      const std::uint32_t cand = (home_idx + probe) % num_nodes_;
+      if (cand >= alive.size() || alive[cand]) {
+        if (cand == raw(n)) return true;
+        ++found;
+      }
+    }
+    // All-dead fallback: the group degenerates to the home node alone.
+    return found == 0 && home_idx == raw(n);
   }
 
   /// Installs a membership view. An empty alive vector means everyone up.
@@ -62,6 +136,7 @@ class Placement {
 
  private:
   std::uint32_t num_nodes_;
+  std::uint32_t replication_ = 1;
   std::uint64_t epoch_ = 0;
   std::vector<bool> alive_;  // indexed by raw(NodeId)
 };

@@ -230,6 +230,56 @@ Result<CollectiveReply> decode_collective_reply(std::span<const std::byte> datag
   return msg;
 }
 
+void encode(const ReplicaSync& msg, std::vector<std::byte>& out,
+            const TraceContext* trace) {
+  const auto count = static_cast<std::uint16_t>(msg.records.size());
+  put_header(out, WireType::kReplicaSync,
+             static_cast<std::uint32_t>(kReplicaSyncFixedBytes +
+                                        msg.records.size() * kDhtUpdateRecordBytes),
+             trace);
+  put_u32(out, msg.home);
+  put_u64(out, msg.epoch);
+  put_u8(out, msg.last ? 1 : 0);
+  put_u16(out, count);
+  for (const DhtUpdate& rec : msg.records) {
+    put_u8(out, rec.insert ? 1 : 0);
+    put_u64(out, rec.hash.hi);
+    put_u64(out, rec.hash.lo);
+    put_u32(out, raw(rec.entity));
+  }
+}
+
+Result<ReplicaSync> decode_replica_sync(std::span<const std::byte> datagram) {
+  Result<Reader> body =
+      open_body(datagram, WireType::kReplicaSync, WireType::kReplicaSync);
+  if (!body.has_value()) return body.status();
+  ReplicaSync msg;
+  Reader& r = body.value();
+  std::uint8_t last = 0;
+  std::uint16_t count = 0;
+  if (!r.u32(msg.home) || !r.u64(msg.epoch) || !r.u8(last) || !r.u16(count)) {
+    return Status::kInvalidArgument;
+  }
+  if (last > 1) return Status::kInvalidArgument;
+  if (count > kMaxDhtBatchRecords) return Status::kInvalidArgument;
+  msg.last = last == 1;
+  msg.records.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    DhtUpdate rec;
+    std::uint8_t op = 0;
+    std::uint32_t entity = 0;
+    if (!r.u8(op) || !r.u64(rec.hash.hi) || !r.u64(rec.hash.lo) || !r.u32(entity)) {
+      return Status::kInvalidArgument;
+    }
+    if (op > 1) return Status::kInvalidArgument;
+    rec.insert = op == 1;
+    rec.entity = entity_id(entity);
+    msg.records.push_back(rec);
+  }
+  if (!r.done()) return Status::kInvalidArgument;
+  return msg;
+}
+
 Result<DhtUpdate> decode_dht_update(std::span<const std::byte> datagram) {
   Result<Reader> body = open_body(datagram, WireType::kDhtInsert, WireType::kDhtRemove);
   if (!body.has_value()) return body.status();

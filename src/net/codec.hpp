@@ -45,8 +45,9 @@ enum class WireType : std::uint8_t {
   kCollectiveQuery = 6,
   kCollectiveReply = 7,
   kDhtUpdateBatch = 8,
+  kReplicaSync = 9,
 };
-inline constexpr std::uint8_t kMaxWireType = 8;
+inline constexpr std::uint8_t kMaxWireType = 9;
 
 struct WireHeader {
   WireType type{};
@@ -78,6 +79,20 @@ inline constexpr std::size_t kDhtUpdateRecordBytes = 1 + 16 + 4;
 inline constexpr std::size_t kDhtUpdateBatchCountBytes = 2;
 /// Decode-side sanity bound; 4096 records already exceeds any UDP datagram.
 inline constexpr std::size_t kMaxDhtBatchRecords = 4096;
+
+/// One chunk of a replica re-sync stream: a donor replica replaying a dirty
+/// home shard's records to a rejoining group member (DESIGN.md §14). Body
+/// layout: u32 home shard index, u64 membership epoch the stream was cut at,
+/// u8 last-chunk flag, u16 record count, then kDhtUpdateBatch-layout records.
+struct ReplicaSync {
+  std::uint32_t home = 0;
+  std::uint64_t epoch = 0;
+  bool last = false;
+  std::vector<DhtUpdate> records;
+};
+
+/// Fixed ReplicaSync body overhead (home + epoch + last flag + record count).
+inline constexpr std::size_t kReplicaSyncFixedBytes = 4 + 8 + 1 + 2;
 
 struct Query {
   std::uint64_t req_id = 0;
@@ -125,6 +140,8 @@ void encode(const CollectiveQuery& msg, std::vector<std::byte>& out,
             const TraceContext* trace = nullptr);
 void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
             const TraceContext* trace = nullptr);
+void encode(const ReplicaSync& msg, std::vector<std::byte>& out,
+            const TraceContext* trace = nullptr);
 
 // --- decoding: header first, then the matching body.
 
@@ -141,6 +158,8 @@ void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
 [[nodiscard]] Result<CollectiveQuery> decode_collective_query(
     std::span<const std::byte> datagram);
 [[nodiscard]] Result<CollectiveReply> decode_collective_reply(
+    std::span<const std::byte> datagram);
+[[nodiscard]] Result<ReplicaSync> decode_replica_sync(
     std::span<const std::byte> datagram);
 
 }  // namespace concord::net::codec

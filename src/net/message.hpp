@@ -37,6 +37,7 @@ enum class MsgType : std::uint16_t {
   kControl,             // misc control plane
   kHeartbeat,           // failure-detector probe/reply (unreliable)
   kCreditGrant,         // shard owner -> update sender flow-control credits
+  kReplicaSync,         // donor replica -> rejoining replica shard stream (reliable)
 };
 
 /// Stable lower-case label per message type, used by the traffic accounting
@@ -57,12 +58,13 @@ enum class MsgType : std::uint16_t {
     case MsgType::kControl: return "control";
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kCreditGrant: return "credit_grant";
+    case MsgType::kReplicaSync: return "replica_sync";
   }
   return "unknown";
 }
 
 /// Number of MsgType values (for dense per-type tables).
-inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kCreditGrant) + 1;
+inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kReplicaSync) + 1;
 
 /// Priority (control-plane) traffic bypasses ingress shedding: heartbeats /
 /// probes keep the failure detector honest under overload, phase-completion

@@ -61,6 +61,29 @@ bool UdpDhtNode::poll_once(int timeout_ms) {
       return true;
     }
 
+    case codec::WireType::kReplicaSync: {
+      // A standalone UDP node has no replica-group state; a resync chunk is
+      // applied like a batch (the dirty-counter bookkeeping lives in the
+      // emulated daemons and a future multi-node deployment's daemon shell).
+      const Result<codec::ReplicaSync> sync = codec::decode_replica_sync(data);
+      if (!sync.has_value()) {
+        ++stats_.malformed_dropped;
+        return true;
+      }
+      std::vector<dht::UpdateRecord> records;
+      records.reserve(sync.value().records.size());
+      for (const codec::DhtUpdate& u : sync.value().records) {
+        if (raw(u.entity) >= store_.max_entities()) {
+          ++stats_.malformed_dropped;  // never index past the bitmap
+          continue;
+        }
+        records.push_back(dht::UpdateRecord{u.hash, u.entity, u.insert});
+      }
+      store_.apply_batch(records);
+      stats_.updates_applied += records.size();
+      return true;
+    }
+
     case codec::WireType::kNumCopiesQuery:
     case codec::WireType::kEntitiesQuery: {
       const Result<codec::Query> q = codec::decode_query(data);

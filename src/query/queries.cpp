@@ -1,5 +1,6 @@
 #include "query/queries.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -31,6 +32,11 @@ struct NodeQueryReplyMsg {
   std::size_t num_copies;
   std::vector<EntityId> entities;
   sim::Time compute_time;
+  // R > 1 only: the replica's shard is dirty (it missed update batches and
+  // has not been re-synced), so it refuses to serve a possibly-stale read.
+  // The flag byte rides the wire only in replicated clusters, keeping R = 1
+  // reply sizes byte-identical to pre-replication builds.
+  bool refused = false;
 };
 
 struct CollectiveReqMsg {
@@ -58,7 +64,17 @@ QueryEngine::CollectivePartial QueryEngine::compute_partial(const core::ServiceD
   std::vector<std::uint32_t> hosts(reg.size());
   for (std::uint32_t i = 0; i < reg.size(); ++i) hosts[i] = raw(reg.host_of(entity_id(i)));
 
-  dht::ScanPartial p = dht::collective_scan(d.store(), query_set, hosts, k, collect_hashes);
+  // Replicated DHT: every hash lives on R shards, so each shard only counts
+  // the hashes it primarily owns — the all-shards sum then sees each hash
+  // exactly once, as in the single-owner layout.
+  const dht::Placement& pl = cluster_.placement();
+  std::function<bool(const ContentHash&)> serve_hash;
+  if (pl.replication() > 1) {
+    const NodeId self = d.id();
+    serve_hash = [&pl, self](const ContentHash& h) { return pl.owner(h) == self; };
+  }
+  dht::ScanPartial p =
+      dht::collective_scan(d.store(), query_set, hosts, k, collect_hashes, serve_hash);
   return CollectivePartial{p.total, p.unique, p.intra, p.inter, p.k_count,
                            std::move(p.k_hashes)};
 }
@@ -75,34 +91,77 @@ NodewiseAnswer QueryEngine::entities_impl(NodeId from, const ContentHash& h,
                                           bool want_entities) {
   sim::Simulation& simu = cluster_.sim();
   net::Fabric& fabric = cluster_.fabric();
-  const NodeId owner = cluster_.placement().owner(h);
+  const dht::Placement& pl = cluster_.placement();
+  const std::uint32_t repl = pl.replication();
   const std::uint64_t req_id = next_req_id_++;
 
   NodewiseAnswer answer;
   bool done = false;
+  std::uint64_t refusals = 0;
   const sim::Time t0 = simu.now();
 
-  // Install one-shot handlers: owner computes, requester collects.
-  cluster_.daemon(owner).set_handler(
-      net::MsgType::kNodeQuery, [&](core::ServiceDaemon& d, const net::Message& m) {
-        const auto& q = m.as<NodeQueryMsg>();
-        NodeQueryReplyMsg reply{q.req_id, 0, {}, 0};
-        reply.compute_time = timed([&] {
-          reply.num_copies = d.store().num_entities(q.hash);
-          if (q.want_entities) reply.entities = d.store().entities(q.hash);
+  // Candidate servers in preference order. R = 1: the single zero-hop owner
+  // (legacy path). R > 1: the whole replica group — the requester itself
+  // first when it is a member (loopback beats a network hop), then successor
+  // order, with nodes the current view or the detector's hint set suspects
+  // moved to the back: suspicion can be stale, so suspects are tried last,
+  // never dropped.
+  std::vector<NodeId> candidates;
+  if (repl <= 1) {
+    candidates.push_back(pl.owner(h));
+  } else {
+    candidates = pl.replicas(h);
+    const std::vector<NodeId> hinted = cluster_.detector().hinted();
+    auto suspect = [&](NodeId n) {
+      return !cluster_.membership().is_alive(n) ||
+             std::find(hinted.begin(), hinted.end(), n) != hinted.end();
+    };
+    std::stable_partition(candidates.begin(), candidates.end(),
+                          [&](NodeId n) { return !suspect(n); });
+    std::stable_partition(candidates.begin(), candidates.end(),
+                          [&](NodeId n) { return n == from && !suspect(n); });
+  }
+
+  // Install handlers: each candidate can serve (or refuse), the requester
+  // collects. At R = 1 this installs exactly the legacy owner handler.
+  for (const NodeId cand : candidates) {
+    cluster_.daemon(cand).set_handler(
+        net::MsgType::kNodeQuery, [&](core::ServiceDaemon& d, const net::Message& m) {
+          const auto& q = m.as<NodeQueryMsg>();
+          NodeQueryReplyMsg reply{q.req_id, 0, {}, 0, false};
+          if (repl > 1 && !d.shard_insync(pl.home(q.hash))) {
+            // Harmonia-style dirty gate: this replica missed batches for the
+            // hash's home shard and has not been re-synced — serving now
+            // could return stale or empty data as truth. Refuse cheaply (no
+            // compute charge) and let the requester fail over.
+            reply.refused = true;
+            const std::size_t body = 8 + 8 + 8 + 1;
+            d.fabric().send_reliable(net::make_message(
+                d.id(), m.src, net::MsgType::kNodeQueryReply, std::move(reply), body));
+            return;
+          }
+          reply.compute_time = timed([&] {
+            reply.num_copies = d.store().num_entities(q.hash);
+            if (q.want_entities) reply.entities = d.store().entities(q.hash);
+          });
+          const std::size_t body = 8 + 8 + reply.entities.size() * sizeof(EntityId) + 8 +
+                                   (repl > 1 ? 1 : 0);
+          // Charge the local computation before the reply leaves the node.
+          simu.after(reply.compute_time, [&d, m, reply = std::move(reply), body]() mutable {
+            d.fabric().send_reliable(
+                net::make_message(d.id(), m.src, net::MsgType::kNodeQueryReply,
+                                  std::move(reply), body));
+          });
         });
-        const std::size_t body = 8 + 8 + reply.entities.size() * sizeof(EntityId) + 8;
-        // Charge the local computation before the reply leaves the node.
-        simu.after(reply.compute_time, [&d, m, reply = std::move(reply), body]() mutable {
-          d.fabric().send_reliable(
-              net::make_message(d.id(), m.src, net::MsgType::kNodeQueryReply,
-                                std::move(reply), body));
-        });
-      });
+  }
   cluster_.daemon(from).set_handler(
       net::MsgType::kNodeQueryReply, [&](core::ServiceDaemon&, const net::Message& m) {
         const auto& r = m.as<NodeQueryReplyMsg>();
         if (r.req_id != req_id) return;
+        if (r.refused) {
+          ++refusals;
+          return;
+        }
         answer.num_copies = r.num_copies;
         answer.entities = r.entities;
         answer.compute_time = r.compute_time;
@@ -110,11 +169,30 @@ NodewiseAnswer QueryEngine::entities_impl(NodeId from, const ContentHash& h,
         done = true;
       });
 
-  fabric.send_reliable(net::make_message(from, owner, net::MsgType::kNodeQuery,
-                                         NodeQueryMsg{req_id, h, want_entities},
-                                         kNodeQueryBytes));
-  simu.run();
-  if (!done) answer.latency = simu.now() - t0;  // reply lost beyond retries
+  // Try candidates in order until one serves. Each attempt resolves inside
+  // one simu.run(): a breaker fast-fail (kUnavailable) resolves at send
+  // time, a timeout after the retry budget, a refusal via the reply handler.
+  std::size_t attempts = 0;
+  for (const NodeId cand : candidates) {
+    fabric.send_reliable(net::make_message(from, cand, net::MsgType::kNodeQuery,
+                                           NodeQueryMsg{req_id, h, want_entities},
+                                           kNodeQueryBytes));
+    simu.run();
+    ++attempts;
+    if (done) break;
+  }
+  if (!done) answer.latency = simu.now() - t0;  // every candidate failed
+  answer.status = done ? Status::kOk : Status::kDegraded;
+  if (repl > 1) {
+    // Lazy site-wide counters: cells exist only once a failover or refusal
+    // actually happened, so fault-free replicated runs add no snapshot rows.
+    if (attempts > 1) {
+      cluster_.metrics().counter("query", "read_failover").inc(attempts - 1);
+    }
+    if (refusals > 0) {
+      cluster_.metrics().counter("query", "read_refused").inc(refusals);
+    }
+  }
   return answer;
 }
 

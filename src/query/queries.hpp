@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.hpp"
 #include "core/cluster.hpp"
 #include "sim/simulation.hpp"
 
@@ -35,6 +36,10 @@ struct NodewiseAnswer {
   std::vector<EntityId> entities;      // filled by entities(); empty otherwise
   sim::Time latency = 0;               // request -> answer, virtual
   sim::Time compute_time = 0;          // time at the answering node
+  /// kOk when some replica served the read; kDegraded when every candidate
+  /// timed out, fast-failed, or refused (dirty shard) — the answer fields
+  /// are then defaults. At R = 1 this is simply "did the owner answer".
+  Status status = Status::kOk;
 };
 
 /// Result of the sharing()/intra_sharing()/inter_sharing() family. One

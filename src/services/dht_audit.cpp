@@ -20,6 +20,7 @@ AuditReport DhtAudit::run() {
   AuditReport report;
   sim::Simulation& simu = cluster_.sim();
   const core::CostModel& cm = core::CostModel::instance();
+  const bool replicated = cluster_.placement().replication() > 1;
   const sim::Time t0 = simu.now();
 
   // ---- pass 1: find missing entries (host side drives).
@@ -34,19 +35,26 @@ AuditReport DhtAudit::run() {
                                   const std::vector<mem::BlockLocation>& locs) {
       std::set<std::uint32_t> entities_here;  // ordered: repair inserts are emitted per entity
       for (const mem::BlockLocation& loc : locs) entities_here.insert(raw(loc.entity));
-      const NodeId owner = cluster_.placement().owner(h);
+      // Every group member must hold the pair (at R = 1 the group is just
+      // the owner, and this degenerates to the single-owner check).
+      const std::vector<NodeId> group = cluster_.placement().replicas(h);
       for (const std::uint32_t e : entities_here) {
         if (!cluster_.registry().alive(entity_id(e))) continue;  // NSM lag
         ++report.entries_checked;
-        ++batch_pairs[raw(owner)];
         scan += cm.callback_cost();
-        if (!cluster_.daemon(owner).store().contains(h, entity_id(e))) {
-          // Missing: repair through the normal update interface.
-          cluster_.fabric().send_unreliable(net::make_message(
-              node_id(n), owner, net::MsgType::kDhtInsert,
-              core::DhtUpdateMsg{h, entity_id(e), true}, core::kDhtUpdateBytes));
-          ++report.missing_repaired;
+        bool missing_any = false;
+        for (const NodeId member : group) {
+          ++batch_pairs[raw(member)];
+          if (!cluster_.daemon(member).store().contains(h, entity_id(e))) {
+            // Missing: repair through the normal update interface.
+            cluster_.fabric().send_unreliable(net::make_message(
+                node_id(n), member, net::MsgType::kDhtInsert,
+                core::DhtUpdateMsg{h, entity_id(e), true}, core::kDhtUpdateBytes));
+            ++report.missing_repaired;
+            missing_any = true;
+          }
         }
+        if (replicated && missing_any) ++report.under_replicated;
       }
     });
 
@@ -74,8 +82,11 @@ AuditReport DhtAudit::run() {
       // Ownership may have moved with the membership epoch: entries left at
       // a node placement no longer maps this hash to are unreachable by
       // queries, so they are scrubbed here (pass 1 re-inserts at the
-      // current owner from ground truth).
-      const bool here = cluster_.placement().owner(h) == node_id(n);
+      // current owner from ground truth). At R > 1 any current group member
+      // is a legitimate holder — only non-members are misplaced.
+      const dht::Placement& pl = cluster_.placement();
+      const bool here = replicated ? pl.is_replica(pl.home(h), node_id(n))
+                                   : pl.owner(h) == node_id(n);
       for (std::size_t w = 0; w < nwords; ++w) {
         std::uint64_t bits = words[w];
         while (bits != 0) {
@@ -121,12 +132,25 @@ AuditReport DhtAudit::run() {
     for (const auto& [h, e] : misplaced) {
       owner.store().remove(h, e);
       ++report.misplaced_removed;
+      if (replicated) ++report.over_replicated;
     }
     simu.run_until(simu.now() + scan);
   }
 
   simu.run();  // deliver (or lose) the repair datagrams
   report.latency = simu.now() - t0;
+  if (replicated && report.clean()) {
+    // A clean pass certified every alive replica against ground truth, so
+    // the audit doubles as the convergence oracle for dirty-shard markers:
+    // a shard whose whole group died (no resync donor) would otherwise
+    // refuse reads forever. Releasing the markers here is safe precisely
+    // because nothing needed repair.
+    const std::uint64_t epoch = cluster_.membership().epoch;
+    for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
+      if (cluster_.fault().is_down(node_id(n))) continue;  // unaudited: keep drift
+      cluster_.daemon(node_id(n)).mark_all_insync(epoch);
+    }
+  }
   if (!report.clean()) {
     // Tracked state drifted from ground truth — a postmortem trigger: stamp
     // the mismatch into every ring and dump the black box before further
@@ -147,6 +171,8 @@ AuditReport DhtAudit::run_to_convergence(int max_passes) {
     total.missing_repaired += r.missing_repaired;
     total.stale_removed += r.stale_removed;
     total.misplaced_removed += r.misplaced_removed;
+    total.under_replicated += r.under_replicated;
+    total.over_replicated += r.over_replicated;
     total.latency += r.latency;
     if (r.clean()) break;
   }

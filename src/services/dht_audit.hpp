@@ -24,9 +24,15 @@ namespace concord::services {
 
 struct AuditReport {
   std::uint64_t entries_checked = 0;     // (hash, entity) pairs examined
-  std::uint64_t missing_repaired = 0;    // inserts issued
+  std::uint64_t missing_repaired = 0;    // inserts issued (one per missing replica)
   std::uint64_t stale_removed = 0;       // removes issued
   std::uint64_t misplaced_removed = 0;   // entries at a node placement no longer maps to
+  // R > 1 columns (always 0 at R = 1): ground-truth pairs held by fewer /
+  // more group members than placement prescribes. Under-replication is
+  // repaired by pass-1 inserts at the missing replicas; over-replication is
+  // the misplaced-removal path seen from the replica-group angle.
+  std::uint64_t under_replicated = 0;
+  std::uint64_t over_replicated = 0;
   sim::Time latency = 0;
 
   [[nodiscard]] bool clean() const noexcept {
@@ -45,7 +51,10 @@ class DhtAudit {
   /// cluster heals and a detection window restores the view. Entries
   /// sitting at a node the current placement no longer maps their hash to
   /// (ownership moved with the epoch) are removed as misplaced; the host
-  /// side re-inserts them at the current owner.
+  /// side re-inserts them at the current owner. At R > 1 pass 1 checks and
+  /// repairs every replica-group member (non-members are the misplaced
+  /// set), and a clean pass releases any surviving dirty-shard markers on
+  /// audited daemons — the audit is the replication convergence oracle.
   AuditReport run();
 
   /// Runs audit passes until a pass finds nothing to repair (or

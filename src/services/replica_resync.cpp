@@ -1,0 +1,149 @@
+#include "services/replica_resync.hpp"
+
+#include <bit>
+#include <memory>
+#include <utility>
+
+#include "core/cost_model.hpp"
+#include "core/service_daemon.hpp"
+
+namespace concord::services {
+
+namespace {
+
+/// Flattens one home shard's slice of a store into update records, in the
+/// store's deterministic entry order.
+std::vector<dht::UpdateRecord> shard_records(const dht::DhtStore& store,
+                                             const dht::Placement& pl,
+                                             std::uint32_t home) {
+  std::vector<dht::UpdateRecord> out;
+  store.for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
+                           std::size_t nwords) {
+    if (pl.home(h) != home) return;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const auto idx = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        out.push_back(dht::UpdateRecord{h, entity_id(idx), true});
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+ReplicaResync::ReplicaResync(core::Cluster& cluster, bool auto_resync)
+    : cluster_(cluster) {
+  if (auto_resync) {
+    // Registered after the cluster's dirty-marking listener (and after any
+    // ShardRecovery constructed earlier), so dirty state and any fallback
+    // republish decisions are already settled when this fires.
+    cluster_.detector().on_epoch_change(
+        [this](const core::MembershipView&) { last_ = resync(); });
+  }
+}
+
+obs::Counter* ReplicaResync::lazy(obs::Counter*& slot, const char* name) {
+  if (slot == nullptr) slot = &cluster_.metrics().counter("dht", name);
+  return slot;
+}
+
+ResyncReport ReplicaResync::resync() {
+  ResyncReport rep;
+  const dht::Placement& pl = cluster_.placement();
+  const core::MembershipView& view = cluster_.membership();
+  rep.epoch = view.epoch;
+  if (pl.replication() <= 1) return rep;  // single-owner DHT: nothing to sync
+
+  sim::Simulation& simu = cluster_.sim();
+  const sim::Time t0 = simu.now();
+  lazy(runs_, "resync_runs")->inc();
+  const std::size_t chunk_records = cluster_.params().update_batching.max_records();
+
+  for (std::uint32_t home = 0; home < pl.num_nodes(); ++home) {
+    const std::vector<NodeId> group = pl.shard_replicas(home);
+
+    std::vector<NodeId> targets;
+    for (const NodeId n : group) {
+      if (view.is_alive(n) && !cluster_.daemon(n).shard_insync(home)) {
+        targets.push_back(n);
+      }
+    }
+    if (targets.empty()) continue;
+    ++rep.shards_examined;
+
+    // Donor: the alive in-sync group member with the highest applied epoch
+    // (ties broken by successor order — the first such member wins). An
+    // in-sync member by definition holds everything the group was sent.
+    core::ServiceDaemon* donor = nullptr;
+    for (const NodeId n : group) {
+      if (!view.is_alive(n)) continue;
+      core::ServiceDaemon& d = cluster_.daemon(n);
+      if (!d.shard_insync(home)) continue;
+      if (donor == nullptr || d.applied_epoch() > donor->applied_epoch()) donor = &d;
+    }
+    if (donor == nullptr) {
+      // Whole group lost or dirty: only a full ShardRecovery republish from
+      // NSM ground truth can rebuild this shard.
+      ++rep.no_donor;
+      continue;
+    }
+
+    const auto records = std::make_shared<const std::vector<dht::UpdateRecord>>(
+        shard_records(donor->store(), pl, home));
+    // One donor-side shard walk per stream, charged like any shard scan.
+    const sim::Time scan_cost =
+        core::CostModel::instance().scan_cost(donor->store().unique_hashes());
+
+    for (const NodeId target : targets) {
+      if (target == donor->id()) continue;  // an in-sync donor is never a target
+      // The target's slice of this home shard is replaced, not merged: it
+      // may hold stale entries from an earlier group membership, and the
+      // donor's copy is the authority. Direct store access — the same
+      // surface DhtAudit repairs through — keeps the wipe atomic with
+      // respect to the stream that follows.
+      core::ServiceDaemon& t = cluster_.daemon(target);
+      for (const dht::UpdateRecord& rec :
+           shard_records(t.store(), pl, home)) {
+        t.store().remove(rec.hash, rec.entity);
+      }
+
+      ++rep.shards_synced;
+      rep.records_streamed += records->size();
+      lazy(shards_, "resync_shards")->inc();
+      lazy(records_, "resync_records")->inc(records->size());
+
+      // Stream in MTU-sized reliable chunks; an empty shard still sends its
+      // last-chunk marker so the target can flip clean.
+      const NodeId donor_id = donor->id();
+      const std::uint64_t epoch = view.epoch;
+      net::Fabric& fabric = cluster_.fabric();
+      simu.after(scan_cost, [records, chunk_records, donor_id, target, home, epoch,
+                             &fabric]() {
+        std::size_t off = 0;
+        do {
+          const std::size_t n =
+              std::min(chunk_records, records->size() - off);
+          core::ReplicaSyncMsg msg{home, epoch, off + n >= records->size(),
+                                   std::vector<dht::UpdateRecord>(
+                                       records->begin() + static_cast<std::ptrdiff_t>(off),
+                                       records->begin() +
+                                           static_cast<std::ptrdiff_t>(off + n))};
+          fabric.send_reliable(net::make_message(
+              donor_id, target, net::MsgType::kReplicaSync, std::move(msg),
+              core::replica_sync_body_bytes(n)));
+          off += n;
+        } while (off < records->size());
+      });
+    }
+  }
+
+  simu.run();  // deliver (or lose, beyond retries) every stream chunk
+  rep.latency = simu.now() - t0;
+  return rep;
+}
+
+}  // namespace concord::services

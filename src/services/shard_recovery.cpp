@@ -1,5 +1,6 @@
 #include "services/shard_recovery.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/service_daemon.hpp"
@@ -26,15 +27,60 @@ RecoveryReport ShardRecovery::recover() {
   runs_->inc();
 
   const dht::Placement& placement = cluster_.placement();
+  const bool replicated = placement.replication() > 1;
+  // R > 1: the per-home decision — skip (group unchanged), skip (an alive
+  // in-sync replica survives; ReplicaResync streams the shard), or
+  // republish (the group lost every in-sync member) — is the same for every
+  // hash of a home, so it is computed once and cached.
+  enum class HomeVerdict : std::uint8_t { kUnknown, kUnchanged, kHasDonor, kRepublish };
+  std::vector<HomeVerdict> verdicts(
+      replicated ? placement.num_nodes() : 0, HomeVerdict::kUnknown);
+  auto verdict_for = [&](std::uint32_t home) {
+    HomeVerdict& v = verdicts[home];
+    if (v != HomeVerdict::kUnknown) return v;
+    const std::vector<NodeId> prev = placement.shard_replicas_in(prev_alive_, home);
+    const std::vector<NodeId> cur = placement.shard_replicas(home);
+    if (prev == cur) return v = HomeVerdict::kUnchanged;
+    for (const NodeId n : cur) {
+      if (std::find(prev.begin(), prev.end(), n) == prev.end()) continue;
+      if (!view.is_alive(n)) continue;
+      if (cluster_.daemon(n).shard_insync(home)) return v = HomeVerdict::kHasDonor;
+    }
+    return v = HomeVerdict::kRepublish;
+  };
+  std::unordered_set<std::uint32_t> republished_homes;
+
   for (std::uint32_t n = 0; n < cluster_.num_nodes(); ++n) {
     if (!view.is_alive(node_id(n))) continue;  // the dead publish nothing
     core::ServiceDaemon& d = cluster_.daemon(node_id(n));
     d.block_map().for_each([&](const ContentHash& h,
                                const std::vector<mem::BlockLocation>& locs) {
       ++rep.hashes_checked;
-      // Only hashes whose ownership moved between the views need
-      // re-publishing; everything else is already where queries will look.
-      if (placement.owner_in(prev_alive_, h) == placement.owner(h)) return;
+      if (replicated) {
+        const std::uint32_t home = placement.home(h);
+        switch (verdict_for(home)) {
+          case HomeVerdict::kUnchanged:
+            return;  // the group still matches; nothing moved
+          case HomeVerdict::kHasDonor:
+            // A surviving in-sync replica covers this shard: the cheap
+            // ReplicaResync stream repairs it, full republish would only
+            // race it with duplicate traffic.
+            ++rep.skipped_replicated;
+            if (skipped_replicated_ == nullptr) {
+              skipped_replicated_ =
+                  &cluster_.metrics().counter("dht", "recovery_skipped_replicated");
+            }
+            skipped_replicated_->inc();
+            return;
+          default:
+            republished_homes.insert(home);
+            break;  // fall through to republish from ground truth
+        }
+      } else {
+        // Only hashes whose ownership moved between the views need
+        // re-publishing; everything else is already where queries will look.
+        if (placement.owner_in(prev_alive_, h) == placement.owner(h)) return;
+      }
       std::unordered_set<std::uint32_t> seen;
       for (const mem::BlockLocation& loc : locs) {
         if (!cluster_.registry().alive(loc.entity)) continue;
@@ -52,6 +98,16 @@ RecoveryReport ShardRecovery::recover() {
     prev_alive_[i] = view.alive[i];
   }
   cluster_.sim().run();  // deliver (or lose) the republish batches
+  // A fallback-republished home has been rebuilt from NSM ground truth at
+  // every alive group member: nothing cheaper will arrive, so the members
+  // flip clean here (best-effort, like the republish itself — a later audit
+  // pass remains the convergence oracle).
+  for (const std::uint32_t home : republished_homes) {
+    for (const NodeId member : placement.shard_replicas(home)) {
+      if (!view.is_alive(member)) continue;
+      cluster_.daemon(member).mark_shard_clean(home, view.epoch);
+    }
+  }
   rep.latency = cluster_.sim().now() - t0;
   return rep;
 }

@@ -29,6 +29,9 @@ struct RecoveryReport {
   std::uint64_t epoch = 0;            // view the recovery ran against
   std::uint64_t hashes_checked = 0;   // ground-truth hashes examined
   std::uint64_t republished = 0;      // (hash, entity) pairs re-published
+  /// R > 1 only: hashes whose group changed but which still have an alive
+  /// in-sync replica — republish skipped, ReplicaResync streams them instead.
+  std::uint64_t skipped_replicated = 0;
   sim::Time latency = 0;
 };
 
@@ -58,6 +61,9 @@ class ShardRecovery {
   RecoveryReport last_;
   obs::Counter* runs_ = nullptr;
   obs::Counter* republished_ = nullptr;
+  // Lazy (R > 1 only): dht/recovery_skipped_replicated — created on first
+  // skip so R = 1 snapshots keep their exact pre-replication cell set.
+  obs::Counter* skipped_replicated_ = nullptr;
 };
 
 }  // namespace concord::services

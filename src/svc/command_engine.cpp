@@ -357,8 +357,14 @@ void CommandEngine::handle_control(core::ServiceDaemon& d, const net::Message& m
         // Advisory partial set: hashes in *this* shard believed to belong
         // to e — a "slice of life" of the whole machine (§3.3).
         std::vector<ContentHash> partial;
+        // Replicated DHT: only the hashes this shard primarily owns go into
+        // the advisory set, so an SE hears about each hash from one shard,
+        // not R of them.
+        const dht::Placement& pl = cluster_.placement();
+        const bool replicated = pl.replication() > 1;
         d.store().for_each_entry(
             [&](const ContentHash& h, const std::uint64_t* words, std::size_t nwords) {
+              if (replicated && pl.owner(h) != n) return;
               const std::uint32_t bit = raw(e);
               if ((bit >> 6) < nwords && ((words[bit >> 6] >> (bit & 63)) & 1u)) {
                 partial.push_back(h);
@@ -432,8 +438,13 @@ void CommandEngine::drive_shard(core::ServiceDaemon& d) {
   const net::TraceContext drive_ctx = cluster_.fabric().ambient_trace_context();
 
   std::vector<std::uint64_t> seqs;
+  // Replicated DHT: every replica of a hash would otherwise drive it,
+  // dispatching R duplicate work requests; only the primary owner drives.
+  const dht::Placement& pl = cluster_.placement();
+  const bool replicated = pl.replication() > 1;
   d.store().for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
                                std::size_t nwords) {
+      if (replicated && pl.owner(h) != n) return;
       // Only hashes believed to exist in at least one SE are driven.
       bool in_se = false;
       for (std::size_t w = 0; w < nwords && !in_se; ++w) {

@@ -159,6 +159,98 @@ TEST(Codec, DhtUpdateBatchRejectsOversizeCount) {
   EXPECT_FALSE(codec::decode_dht_update_batch(wire).has_value());
 }
 
+TEST(Codec, ReplicaSyncRoundTrip) {
+  codec::ReplicaSync sync;
+  sync.home = 5;
+  sync.epoch = 0x1122334455667788ULL;
+  sync.last = true;
+  for (std::uint32_t i = 0; i < 37; ++i) {
+    sync.records.push_back(
+        DhtUpdate{{0x5000 + i, 0x6000 + i}, entity_id(i % 11), true});
+  }
+  std::vector<std::byte> wire;
+  codec::encode(sync, wire);
+  EXPECT_EQ(wire.size(), codec::kHeaderLen + codec::kReplicaSyncFixedBytes +
+                             sync.records.size() * codec::kDhtUpdateRecordBytes);
+  const auto back = codec::decode_replica_sync(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back.value().home, sync.home);
+  EXPECT_EQ(back.value().epoch, sync.epoch);
+  EXPECT_EQ(back.value().last, sync.last);
+  ASSERT_EQ(back.value().records.size(), sync.records.size());
+  for (std::size_t i = 0; i < sync.records.size(); ++i) {
+    EXPECT_EQ(back.value().records[i].hash, sync.records[i].hash);
+    EXPECT_EQ(back.value().records[i].entity, sync.records[i].entity);
+    EXPECT_EQ(back.value().records[i].insert, sync.records[i].insert);
+  }
+}
+
+TEST(Codec, ReplicaSyncEmptyChunkRoundTrip) {
+  // An empty shard still streams one last-chunk marker so the target can
+  // flip clean — the empty payload must survive the wire.
+  codec::ReplicaSync sync;
+  sync.home = 2;
+  sync.epoch = 9;
+  sync.last = true;
+  std::vector<std::byte> wire;
+  codec::encode(sync, wire);
+  const auto back = codec::decode_replica_sync(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back.value().home, 2u);
+  EXPECT_EQ(back.value().epoch, 9u);
+  EXPECT_TRUE(back.value().last);
+  EXPECT_TRUE(back.value().records.empty());
+}
+
+TEST(Codec, ReplicaSyncRejectsMalformed) {
+  codec::ReplicaSync sync;
+  sync.home = 1;
+  sync.epoch = 2;
+  sync.last = false;
+  sync.records.push_back(DhtUpdate{{1, 2}, entity_id(3), true});
+  std::vector<std::byte> wire;
+  codec::encode(sync, wire);
+  ASSERT_TRUE(codec::decode_replica_sync(wire).has_value());
+
+  // Truncated body.
+  auto bad = wire;
+  bad.pop_back();
+  EXPECT_FALSE(codec::decode_replica_sync(bad).has_value());
+
+  // Last-chunk flag outside {0, 1}.
+  bad = wire;
+  bad[codec::kHeaderLen + 12] = std::byte{2};
+  EXPECT_FALSE(codec::decode_replica_sync(bad).has_value());
+
+  // Record op byte outside {0, 1}: first op sits after the fixed fields.
+  bad = wire;
+  bad[codec::kHeaderLen + codec::kReplicaSyncFixedBytes] = std::byte{2};
+  EXPECT_FALSE(codec::decode_replica_sync(bad).has_value());
+
+  // Tampered count in both directions.
+  bad = wire;
+  bad[codec::kHeaderLen + 13] = std::byte{0};
+  EXPECT_FALSE(codec::decode_replica_sync(bad).has_value());
+  bad = wire;
+  bad[codec::kHeaderLen + 13] = std::byte{2};
+  EXPECT_FALSE(codec::decode_replica_sync(bad).has_value());
+
+  // Type confusion with the update batch.
+  EXPECT_FALSE(codec::decode_dht_update_batch(wire).has_value());
+  std::vector<std::byte> batch_wire;
+  codec::encode(codec::DhtUpdateBatch{}, batch_wire);
+  EXPECT_FALSE(codec::decode_replica_sync(batch_wire).has_value());
+}
+
+TEST(Codec, ReplicaSyncRejectsOversizeCount) {
+  codec::ReplicaSync sync;
+  sync.records.resize(codec::kMaxDhtBatchRecords + 1,
+                      DhtUpdate{{7, 8}, entity_id(0), true});
+  std::vector<std::byte> wire;
+  codec::encode(sync, wire);
+  EXPECT_FALSE(codec::decode_replica_sync(wire).has_value());
+}
+
 TEST(Codec, FuzzedBytesNeverDecode) {
   Rng rng(31337);
   int decoded = 0;
