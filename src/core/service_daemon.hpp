@@ -211,11 +211,19 @@ class ServiceDaemon {
   mem::MemoryUpdateMonitor monitor_;
   UpdateBatcher batcher_;
   bool credit_grants_ = false;
+  // concord-lint: unguarded(staged-send discipline: armed/disarmed by the
+  // cluster on the simulation thread; during the parallel phase exactly one
+  // worker owns this daemon and appends to the stage — daemons are never
+  // shared across workers, so the buffer needs no lock)
   std::vector<StagedSend>* send_stage_ = nullptr;  // armed during sharded scans
   bool apply_staging_ = false;
   // One element per delivered datagram (a single update is a 1-record
   // batch): batches must not be concatenated, because apply_batch's
   // per-datagram stable grouping is part of the observable accounting.
+  // concord-lint: unguarded(staged-apply discipline: filled by the fabric's
+  // event loop on the simulation thread, drained by apply_staged() — which
+  // the cluster runs one-worker-per-daemon after deliveries quiesce; the two
+  // phases never overlap)
   std::vector<std::vector<dht::UpdateRecord>> staged_applies_;
   // Dirty home shards (home index -> epoch dirtied) and the highest epoch
   // this daemon is fully caught up to. Ordered map: the resync service and

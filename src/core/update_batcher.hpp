@@ -170,6 +170,11 @@ class UpdateBatcher {
   // record under a live ambient context: a batch deferred past its scan
   // epoch still ships attributed to the scan that produced it.
   std::map<NodeId, net::TraceContext> pending_trace_;
+  // concord-lint: unguarded(staged-send discipline: during a scan epoch's
+  // parallel phase each worker owns exactly one node's batcher — and with it
+  // this stage pointer and the buffers above — exclusively; the sequential
+  // merge pass is the only other reader. No two threads ever alias one
+  // batcher, so a lock would serialize the very phase the pool parallelizes.)
   std::vector<StagedSend>* send_stage_ = nullptr;  // sharded-scan staging
   bool flow_control_ = false;
   std::uint64_t credits_ = 0;

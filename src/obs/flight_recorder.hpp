@@ -120,13 +120,22 @@ class FlightRecorder {
 
   void append_ring_json(std::string& out, std::uint32_t node) const;
 
-  std::size_t capacity_;
+  const std::size_t capacity_;  // immutable after construction
+  // concord-lint: unguarded(event-loop confined: record()/dump() run only on
+  // the simulation thread — scan-pool workers deliver no messages, so no ring
+  // is ever touched concurrently; adding a lock here would tax every send)
   std::vector<Ring> rings_;
+  // concord-lint: unguarded(event-loop confined, as rings_)
   Registry* metrics_ = nullptr;
+  // concord-lint: unguarded(event-loop confined, as rings_)
   Counter* dump_cell_ = nullptr;  // lazy: created on first dump only
+  // concord-lint: unguarded(event-loop confined, as rings_)
   DumpSink sink_;
+  // concord-lint: unguarded(event-loop confined, as rings_)
   std::uint64_t dumps_ = 0;
+  // concord-lint: unguarded(event-loop confined, as rings_)
   std::string last_dump_;
+  // concord-lint: unguarded(event-loop confined, as rings_)
   std::string last_reason_;
 };
 

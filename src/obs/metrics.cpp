@@ -40,7 +40,7 @@ template <typename T>
 T& Registry::resolve(std::string_view subsystem, std::string_view name, std::int32_t node) {
   // Lazy cells can first-fire from scan-pool worker threads; only the map
   // insertion races (cell mutation stays on disjoint per-node cells).
-  const std::lock_guard<std::mutex> lock(resolve_mu_);
+  const common::MutexLock lock(resolve_mu_);
   const auto [it, inserted] = metrics_.try_emplace(
       MetricKey{std::string(subsystem), std::string(name), node}, std::in_place_type<T>);
   if (T* cell = std::get_if<T>(&it->second)) return *cell;

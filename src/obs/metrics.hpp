@@ -26,10 +26,11 @@
 #include <bit>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <variant>
+
+#include "common/thread_annotations.hpp"
 
 namespace concord::obs {
 
@@ -155,12 +156,16 @@ class Registry {
 
  private:
   template <typename T>
-  T& resolve(std::string_view subsystem, std::string_view name, std::int32_t node);
+  T& resolve(std::string_view subsystem, std::string_view name, std::int32_t node)
+      CONCORD_EXCLUDES(resolve_mu_);
 
   // std::map node stability is what makes resolved references permanent.
+  // concord-lint: unguarded(resolve_mu_ guards insertion only; reads —
+  // for_each, totals, snapshots — run at quiescent points with no resolver
+  // in flight, and cell mutation stays on disjoint per-node cells)
   std::map<MetricKey, Cell> metrics_;
   // Guards create-on-first-use resolution only; see the header comment.
-  std::mutex resolve_mu_;
+  common::Mutex resolve_mu_;
 };
 
 }  // namespace concord::obs

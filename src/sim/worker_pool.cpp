@@ -11,7 +11,7 @@ WorkerPool::WorkerPool(std::size_t workers) : workers_(workers == 0 ? 1 : worker
 
 WorkerPool::~WorkerPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const common::MutexLock lock(mu_);
     stopping_ = true;
   }
   start_cv_.notify_all();
@@ -29,8 +29,10 @@ void WorkerPool::worker_loop(std::size_t slot) {
     const std::function<void(std::size_t, std::size_t)>* fn;
     std::size_t count;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      common::MutexLock lock(mu_);
+      // Explicit wait loop (not the predicate overload): the lambda would run
+      // outside the scope the thread-safety analysis can attribute to mu_.
+      while (!stopping_ && epoch_ == seen_epoch) start_cv_.wait(lock.native());
       if (stopping_) return;
       seen_epoch = epoch_;
       fn = job_fn_;
@@ -39,7 +41,7 @@ void WorkerPool::worker_loop(std::size_t slot) {
     const auto [begin, end] = chunk(slot, count);
     if (begin < end) (*fn)(begin, end);
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const common::MutexLock lock(mu_);
       --outstanding_;
     }
     done_cv_.notify_one();
@@ -53,7 +55,7 @@ void WorkerPool::run(std::size_t count,
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const common::MutexLock lock(mu_);
     job_fn_ = &fn;
     job_count_ = count;
     outstanding_ = workers_ - 1;
@@ -63,8 +65,8 @@ void WorkerPool::run(std::size_t count,
   const auto [begin, end] = chunk(0, count);
   if (begin < end) fn(begin, end);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    common::MutexLock lock(mu_);
+    while (outstanding_ != 0) done_cv_.wait(lock.native());
     job_fn_ = nullptr;
   }
 }

@@ -16,10 +16,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace concord::sim {
 
@@ -46,17 +47,20 @@ class WorkerPool {
   [[nodiscard]] std::pair<std::size_t, std::size_t> chunk(std::size_t slot,
                                                           std::size_t count) const noexcept;
 
-  std::size_t workers_;
+  const std::size_t workers_;  // immutable after construction
+  // concord-lint: unguarded(owner-thread only: filled in the constructor,
+  // joined in the destructor; workers never touch the vector)
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
+  common::Mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t epoch_ = 0;       // bumped per run(); workers wait for a new value
-  std::size_t job_count_ = 0;     // items in the current job
-  std::size_t outstanding_ = 0;   // worker chunks not yet finished
-  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
-  bool stopping_ = false;
+  std::uint64_t epoch_ CONCORD_GUARDED_BY(mu_) = 0;      // bumped per run()
+  std::size_t job_count_ CONCORD_GUARDED_BY(mu_) = 0;    // items in the current job
+  std::size_t outstanding_ CONCORD_GUARDED_BY(mu_) = 0;  // chunks not yet finished
+  const std::function<void(std::size_t, std::size_t)>* job_fn_
+      CONCORD_GUARDED_BY(mu_) = nullptr;
+  bool stopping_ CONCORD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace concord::sim
