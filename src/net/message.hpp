@@ -12,6 +12,7 @@
 
 #include <any>
 #include <cstdint>
+#include <iterator>
 #include <string_view>
 #include <utility>
 
@@ -34,7 +35,7 @@ enum class MsgType : std::uint16_t {
   kCommandHashExchange, // daemon <-> daemon hash sets (unreliable)
   kCommandAck,          // daemon -> controller phase completion (reliable)
   kData,                // bulk content transfer (migration etc.)
-  kControl,             // misc control plane
+  kControl,             // modeled check traffic (DhtAudit); deliberately unhandled
   kHeartbeat,           // failure-detector probe/reply (unreliable)
   kCreditGrant,         // shard owner -> update sender flow-control credits
   kReplicaSync,         // donor replica -> rejoining replica shard stream (reliable)
@@ -74,6 +75,78 @@ inline constexpr std::size_t kNumMsgTypes = static_cast<std::size_t>(MsgType::kR
 [[nodiscard]] constexpr bool is_control_plane(MsgType t) noexcept {
   return t == MsgType::kHeartbeat || t == MsgType::kCommandAck ||
          t == MsgType::kCommandControl || t == MsgType::kCreditGrant;
+}
+
+/// How a message type is dispatched when it reaches a daemon.
+enum class MsgDispatch : std::uint8_t {
+  kDaemonSwitch,  // a `case MsgType::k...` in ServiceDaemon::handle_message
+  kHandler,       // a subsystem registers a handler via set_handler()
+  kSink,          // deliberately unhandled: models wire volume only
+};
+
+/// One row of the protocol ground-truth table: how a message type binds to
+/// the rest of the system. `codec_struct` names the net::codec payload struct
+/// for types that cross real sockets (empty = emulated-fabric-only; the
+/// payload travels as a typed std::any and never needs a byte layout).
+///
+/// This table is what `concord-lint --proto` (W1) checks the tree against:
+/// every enumerator must have a row, every row's codec struct must have an
+/// encode/decode pair and a truncation-fuzz fixture, every dispatch claim
+/// must match an actual dispatch site, and the control_plane flags must match
+/// is_control_plane(). The static_asserts below keep the table itself honest
+/// against the enum; the linter keeps the *rest of the tree* honest against
+/// the table. To add a MsgType, follow the checklist in DESIGN.md §10.
+struct MsgTypeBinding {
+  MsgType type{};
+  std::string_view codec_struct;  // net::codec struct name; empty = emulated-only
+  bool control_plane = false;
+  MsgDispatch dispatch = MsgDispatch::kHandler;
+};
+
+inline constexpr MsgTypeBinding kMsgTypeBindings[] = {
+    {MsgType::kDhtInsert, "DhtUpdate", false, MsgDispatch::kDaemonSwitch},
+    {MsgType::kDhtRemove, "DhtUpdate", false, MsgDispatch::kDaemonSwitch},
+    {MsgType::kDhtUpdateBatch, "DhtUpdateBatch", false, MsgDispatch::kDaemonSwitch},
+    {MsgType::kNodeQuery, "Query", false, MsgDispatch::kHandler},
+    {MsgType::kNodeQueryReply, "QueryReply", false, MsgDispatch::kHandler},
+    {MsgType::kCollectiveRequest, "CollectiveQuery", false, MsgDispatch::kHandler},
+    {MsgType::kCollectiveReply, "CollectiveReply", false, MsgDispatch::kHandler},
+    {MsgType::kCommandControl, "", true, MsgDispatch::kHandler},
+    {MsgType::kCommandHashExchange, "", false, MsgDispatch::kHandler},
+    {MsgType::kCommandAck, "", true, MsgDispatch::kHandler},
+    {MsgType::kData, "", false, MsgDispatch::kHandler},
+    {MsgType::kControl, "", false, MsgDispatch::kSink},
+    {MsgType::kHeartbeat, "", true, MsgDispatch::kHandler},
+    {MsgType::kCreditGrant, "", true, MsgDispatch::kDaemonSwitch},
+    {MsgType::kReplicaSync, "ReplicaSync", false, MsgDispatch::kDaemonSwitch},
+};
+
+// The table must cover the enum exactly, in order, and agree with the
+// constexpr classification functions — a new enumerator without a row (or a
+// drifted flag) fails right here, before lint or any test runs.
+static_assert(std::size(kMsgTypeBindings) == kNumMsgTypes,
+              "kMsgTypeBindings must have one row per MsgType");
+static_assert(
+    [] {
+      for (std::size_t i = 0; i < kNumMsgTypes; ++i) {
+        if (static_cast<std::size_t>(kMsgTypeBindings[i].type) != i) return false;
+      }
+      return true;
+    }(),
+    "kMsgTypeBindings rows must appear in enum order");
+static_assert(
+    [] {
+      for (const MsgTypeBinding& b : kMsgTypeBindings) {
+        if (is_control_plane(b.type) != b.control_plane) return false;
+        if (to_string(b.type) == "unknown") return false;
+      }
+      return true;
+    }(),
+    "kMsgTypeBindings must agree with is_control_plane() and to_string()");
+
+/// The binding row for `t` (the table is indexed by enumerator value).
+[[nodiscard]] constexpr const MsgTypeBinding& binding(MsgType t) noexcept {
+  return kMsgTypeBindings[static_cast<std::size_t>(t)];
 }
 
 /// Fixed per-datagram overhead we charge on the wire: Ethernet + IP + UDP
