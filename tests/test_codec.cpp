@@ -3,10 +3,14 @@
 // deployment over loopback UDP.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <span>
+
 #include "common/rng.hpp"
 #include "dht/collective_scan.hpp"
 #include "dht/placement.hpp"
 #include "net/codec.hpp"
+#include "net/message.hpp"
 #include "net/udp_node.hpp"
 
 namespace concord::net {
@@ -607,6 +611,104 @@ TEST(Codec, TracedTruncationNeverDecodes) {
     EXPECT_FALSE(codec::decode_dht_update_batch(prefix).has_value()) << "prefix " << len;
   }
   EXPECT_TRUE(codec::decode_dht_update_batch(wire).has_value());
+}
+
+// ------------------------------------------------- truncation-fuzz fixtures
+//
+// Every wire struct registers one fixture: a representative message whose
+// every proper byte prefix must be rejected by its decoder (the header's
+// exact-length field makes truncation detectable), while the full datagram
+// decodes. The CONCORD_TRUNC_FIXTURE(Struct, ...) token is also what
+// `concord-lint --proto` (W1) requires for each codec struct named in
+// net::kMsgTypeBindings — adding a wire struct without a fixture here fails
+// the lint gate before it can fail in production.
+
+struct TruncFixture {
+  std::string_view struct_name;
+  std::function<void()> run;
+};
+
+#define CONCORD_TRUNC_FIXTURE(Struct, decode_fn, ...)                           \
+  TruncFixture {                                                                \
+    #Struct, [] {                                                               \
+      const codec::Struct msg = __VA_ARGS__;                                    \
+      std::vector<std::byte> wire;                                              \
+      codec::encode(msg, wire);                                                 \
+      for (std::size_t len = 0; len < wire.size(); ++len) {                     \
+        EXPECT_FALSE(codec::decode_fn(std::span<const std::byte>(wire.data(),   \
+                                                                 len))          \
+                         .has_value())                                          \
+            << #Struct << " accepted a " << len << "-byte prefix";              \
+      }                                                                         \
+      EXPECT_TRUE(codec::decode_fn(wire).has_value())                           \
+          << #Struct << " full datagram must decode";                           \
+    }                                                                           \
+  }
+
+const TruncFixture kTruncFixtures[] = {
+    CONCORD_TRUNC_FIXTURE(DhtUpdate, decode_dht_update,
+                          DhtUpdate{{0x1111, 0x2222}, entity_id(3), true}),
+    CONCORD_TRUNC_FIXTURE(DhtUpdateBatch, decode_dht_update_batch, [] {
+      codec::DhtUpdateBatch b;
+      b.records = {{{1, 2}, entity_id(3), true}, {{4, 5}, entity_id(6), false}};
+      return b;
+    }()),
+    CONCORD_TRUNC_FIXTURE(Query, decode_query, Query{7, {8, 9}, true}),
+    CONCORD_TRUNC_FIXTURE(QueryReply, decode_query_reply,
+                          QueryReply{9, 2, {entity_id(1), entity_id(4)}}),
+    CONCORD_TRUNC_FIXTURE(CollectiveQuery, decode_collective_query, [] {
+      codec::CollectiveQuery q;
+      q.req_id = 11;
+      q.k = 2;
+      q.collect_hashes = true;
+      q.scope_words = {0xff, 0x1};
+      return q;
+    }()),
+    CONCORD_TRUNC_FIXTURE(CollectiveReply, decode_collective_reply, [] {
+      codec::CollectiveReply r;
+      r.req_id = 12;
+      r.total = 5;
+      r.unique = 4;
+      r.k_count = 1;
+      r.k_hashes = {{6, 7}};
+      return r;
+    }()),
+    CONCORD_TRUNC_FIXTURE(ReplicaSync, decode_replica_sync, [] {
+      codec::ReplicaSync s;
+      s.home = 1;
+      s.epoch = 2;
+      s.last = true;
+      s.records = {{{3, 4}, entity_id(5), true}};
+      return s;
+    }()),
+};
+
+TEST(Codec, TruncationFuzzEveryWireStruct) {
+  for (const TruncFixture& f : kTruncFixtures) {
+    SCOPED_TRACE(std::string(f.struct_name));
+    f.run();
+  }
+}
+
+TEST(Codec, BindingTableCoversEveryMsgType) {
+  // Walk every MsgType value through the protocol ground-truth table: the
+  // row must self-index, carry a real label, agree on the control-plane
+  // flag, and — when it names a codec struct — that struct must have a
+  // truncation fixture above. This is the runtime twin of the lint W1 pass.
+  for (std::size_t i = 0; i < kNumMsgTypes; ++i) {
+    const MsgType t = static_cast<MsgType>(i);
+    const MsgTypeBinding& b = binding(t);
+    EXPECT_EQ(b.type, t);
+    EXPECT_NE(to_string(t), "unknown");
+    EXPECT_EQ(b.control_plane, is_control_plane(t));
+    if (b.codec_struct.empty()) continue;
+    bool covered = false;
+    for (const TruncFixture& f : kTruncFixtures) {
+      if (f.struct_name == b.codec_struct) covered = true;
+    }
+    EXPECT_TRUE(covered) << "MsgType::" << to_string(t) << " binds codec struct "
+                         << b.codec_struct << " but no CONCORD_TRUNC_FIXTURE covers it";
+  }
 }
 
 }  // namespace
