@@ -41,6 +41,7 @@ void UpdateBatcher::bind_metrics(obs::Registry& registry, std::int32_t node) {
 
 obs::Counter* UpdateBatcher::lazy_counter(obs::Counter*& slot, const char* name) {
   if (slot == nullptr && registry_ != nullptr) {
+    // concord-proto: cell counter core/updates_remapped core/flush_deferred core/updates_shed_local
     slot = &registry_->counter("core", name, metrics_node_);
   }
   return slot;

@@ -61,6 +61,7 @@ obs::Counter& Fabric::shed_type_cell(MsgType t) {
 obs::Counter& Fabric::site_counter(const char* name) {
   // Not cached: these sit on cold paths (breaker transitions, in-flight
   // blackholes) where a map lookup in the registry is fine.
+  // concord-proto: cell counter net/breaker_trips net/breaker_fastfail net/msgs_blackholed_inflight
   return metrics().counter("net", name);
 }
 

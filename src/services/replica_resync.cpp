@@ -47,6 +47,7 @@ ReplicaResync::ReplicaResync(core::Cluster& cluster, bool auto_resync)
 }
 
 obs::Counter* ReplicaResync::lazy(obs::Counter*& slot, const char* name) {
+  // concord-proto: cell counter dht/resync_runs dht/resync_shards dht/resync_records
   if (slot == nullptr) slot = &cluster_.metrics().counter("dht", name);
   return slot;
 }

@@ -90,6 +90,7 @@ CommandEngine::CommandEngine(core::Cluster& cluster) : cluster_(cluster) {
   cells_.commands = &r.counter("svc", "commands");
   for (std::size_t p = 0; p < 6; ++p) {
     const std::string name = "phase." + std::string(phase_name(static_cast<CtlPhase>(p)));
+    // concord-proto: cell counter svc/phase.*
     cells_.phase[p] = &r.counter("svc", name);
   }
   cells_.distinct_hashes = &r.counter("svc", "distinct_hashes");
