@@ -1,6 +1,8 @@
 // Golden-fixture tests for tools/concord-lint: one positive and one
-// suppressed case per rule (D1–D4), the unused-suppression warning, a clean
-// file, and the CLI contract (exit codes, --root over the real tree).
+// suppressed case per rule (D1–D5), mini-tree fixtures for the cross-TU
+// protocol passes (W1/W2, --proto), the unused-suppression warning, --json
+// output, a clean file, and the CLI contract (exit codes, --root over the
+// real tree in both modes).
 //
 // The binary location and fixture directory are injected by CMake as
 // CONCORD_LINT_BIN / CONCORD_LINT_FIXTURES / CONCORD_LINT_ROOT.
@@ -103,6 +105,87 @@ TEST(LintD4, FlagsNewMallocFree) {
 TEST(LintD4, NolintSuppresses) {
   const LintRun r = run_lint(fixture("d4_suppressed.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- D5: mutex-adjacent members must declare their guard --------------------
+
+TEST(LintD5, FlagsUnannotatedMemberNextToMutex) {
+  const LintRun r = run_lint(fixture("d5_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[concord-guarded]"), 1) << r.output;
+  // The annotated, justified, const, and static members all pass; only the
+  // bare one is named — with its column.
+  EXPECT_NE(r.output.find("d5_violation.cpp:14:7"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("`epoch_`"), std::string::npos) << r.output;
+}
+
+TEST(LintD5, AnnotationsJustificationsAndNolintSuppress) {
+  const LintRun r = run_lint(fixture("d5_suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- W1/W2: cross-TU protocol passes (--proto) ------------------------------
+
+TEST(LintProto, SeededDriftTreeFailsOnEveryLeg) {
+  const LintRun r = run_lint("--proto --root " + fixture("proto_bad"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // W1: orphaned enumerator, stale kNumMsgTypes anchor, missing to_string
+  // case, missing codec legs + truncation fixture, dispatch-claim mismatches.
+  EXPECT_EQ(count_of(r.output, "[concord-proto-wire]"), 9) << r.output;
+  EXPECT_NE(r.output.find("kNumMsgTypes anchors on MsgType::kPong"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("kOrphan has no `case` in to_string()"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("CONCORD_TRUNC_FIXTURE(Ping"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("no set_handler(MsgType::kOrphan)"), std::string::npos)
+      << r.output;
+  // W2: kind clash, dead counter_total read, dead name comparison.
+  EXPECT_EQ(count_of(r.output, "[concord-proto-metric]"), 3) << r.output;
+  EXPECT_NE(r.output.find("created as gauge here but as counter"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("counter_total(\"core\", \"tocks\")"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintProto, ConsistentTreePasses) {
+  const LintRun r = run_lint("--proto --root " + fixture("proto_clean"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintProto, NolintSuppressesProtoRules) {
+  const LintRun r = run_lint("--proto --root " + fixture("proto_suppressed"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintProto, WholeRepoProtocolIsConsistent) {
+  const LintRun r = run_lint(std::string("--proto --root ") + CONCORD_LINT_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---- JSON output -------------------------------------------------------------
+
+TEST(LintJson, FindingsCarryStructuredFields) {
+  const LintRun r = run_lint("--json " + fixture("d5_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"rule\":\"concord-guarded\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"line\":14"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"col\":7"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"severity\":\"error\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"findings_total\":1"), std::string::npos) << r.output;
+}
+
+TEST(LintJson, UnusedSuppressionsNameTheSuppressedRule) {
+  const LintRun r = run_lint("--json " + fixture("unused_suppression.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"suppressed_rule\":\"concord-determinism\""),
+            std::string::npos)
+      << r.output;
+  // The stale `sorted` note maps back to the rule it would have suppressed.
+  EXPECT_NE(r.output.find("\"suppressed_rule\":\"concord-unordered-emit\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"severity\":\"warning\""), std::string::npos) << r.output;
 }
 
 // ---- Unused suppressions -----------------------------------------------------

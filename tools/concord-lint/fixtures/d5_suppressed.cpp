@@ -1,0 +1,24 @@
+// Fixture: every mutex-adjacent member is annotated, justified, or
+// suppressed — D5 stays quiet.
+// concord-lint: guarded-scope
+#include <mutex>
+
+#define CONCORD_GUARDED_BY(x)
+
+class JobQueue {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex mu_;
+  int depth_ CONCORD_GUARDED_BY(mu_) = 0;
+  int epoch_ = 0;  // NOLINT(concord-guarded)
+  // concord-lint: unguarded(owner-thread only; workers never touch it)
+  int owner_scratch_ = 0;
+};
+
+// A class without a mutex never triggers D5, annotated or not.
+class PlainBag {
+  int a_ = 0;
+  int b_ = 0;
+};

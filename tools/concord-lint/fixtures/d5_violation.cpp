@@ -1,0 +1,19 @@
+// Fixture: a mutex-holding class with an unannotated data member.
+// concord-lint: guarded-scope
+#include <mutex>
+
+#define CONCORD_GUARDED_BY(x)
+
+class JobQueue {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex mu_;
+  int depth_ CONCORD_GUARDED_BY(mu_) = 0;
+  int epoch_ = 0;  // unguarded, unjustified -> D5 fires here
+  // concord-lint: unguarded(owner-thread only; workers never touch it)
+  int owner_scratch_ = 0;
+  const int capacity_ = 64;
+  static int instances_;
+};

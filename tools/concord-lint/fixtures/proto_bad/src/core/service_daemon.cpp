@@ -1,0 +1,22 @@
+// Fixture daemon: dispatches kPong (which the binding table claims is
+// handler-dispatched) and has no case for kPing (which claims the switch).
+#include "net/message.hpp"
+
+namespace fix::core {
+
+struct Handler {
+  void set_handler(net::MsgType type, int slot);  // declaration, not a site
+};
+
+int handle_message(net::MsgType t) {
+  switch (t) {
+    case net::MsgType::kPong: return 1;
+    default: return 0;
+  }
+}
+
+void wire(Handler& h) {
+  h.set_handler(net::MsgType::kPong, 3);
+}
+
+}  // namespace fix::core

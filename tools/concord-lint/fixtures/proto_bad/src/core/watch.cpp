@@ -1,0 +1,20 @@
+// Fixture metrics: a kind clash, a dead counter_total read, and a dead
+// metric-name comparison.
+struct Registry {
+  int& counter(const char* sub, const char* name);
+  int& gauge(const char* sub, const char* name);
+  unsigned counter_total(const char* sub, const char* name) const;
+};
+
+struct Key {
+  const char* name;
+};
+
+void observe(Registry& r, const Key& k) {
+  r.counter("core", "ticks");
+  r.gauge("core", "ticks");  // same cell, different kind
+  (void)r.counter_total("core", "tocks");  // never created anywhere
+  if (k.name == "nope") {  // no cell carries this name
+    r.counter("core", "ticks");
+  }
+}

@@ -1,0 +1,41 @@
+// Fixture: a protocol header seeded with every class of W1 drift.
+#pragma once
+
+namespace fix::net {
+
+enum class MsgType : int {
+  kPing,    // claims a codec struct that has no legs anywhere
+  kPong,    // control-plane flag disagrees with the binding row
+  kOrphan,  // claims kHandler dispatch but nothing registers one
+};
+
+constexpr const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    // kOrphan has no case: labels fall through to "unknown".
+  }
+  return "unknown";
+}
+
+// Anchored on kPong although kOrphan is the last enumerator.
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kPong) + 1;
+
+constexpr bool is_control_plane(MsgType t) { return t == MsgType::kPong; }
+
+enum class MsgDispatch { kDaemonSwitch, kHandler, kSink };
+
+struct MsgTypeBinding {
+  MsgType type;
+  const char* codec_struct;
+  bool control_plane;
+  MsgDispatch dispatch;
+};
+
+inline constexpr MsgTypeBinding kMsgTypeBindings[] = {
+    {MsgType::kPing, "Ping", false, MsgDispatch::kDaemonSwitch},
+    {MsgType::kPong, "", false, MsgDispatch::kHandler},
+    {MsgType::kOrphan, "", false, MsgDispatch::kHandler},
+};
+
+}  // namespace fix::net

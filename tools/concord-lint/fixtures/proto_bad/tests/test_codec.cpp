@@ -1,0 +1,3 @@
+// Fixture codec tests: covers a struct nobody binds, not the one kPing
+// claims — the Ping fixture is missing.
+CONCORD_TRUNC_FIXTURE(Unrelated, decode_unrelated, Unrelated{});

@@ -1,0 +1,38 @@
+// Fixture daemon: every binding-table dispatch claim has its site.
+#include "net/message.hpp"
+
+namespace fix::core {
+
+struct Handler {
+  void set_handler(net::MsgType type, int slot);
+};
+
+int handle_message(net::MsgType t) {
+  switch (t) {
+    case net::MsgType::kPing: return 1;
+    default: return 0;
+  }
+}
+
+void wire(Handler& h) {
+  h.set_handler(net::MsgType::kPong, 3);
+}
+
+struct Registry {
+  int& counter(const char* sub, const char* name);
+  unsigned counter_total(const char* sub, const char* name) const;
+};
+
+struct Key {
+  const char* name;
+};
+
+void observe(Registry& r, const Key& k) {
+  r.counter("core", "ticks");
+  (void)r.counter_total("core", "ticks");
+  if (k.name == "ticks") {
+    r.counter("core", "ticks");
+  }
+}
+
+}  // namespace fix::core

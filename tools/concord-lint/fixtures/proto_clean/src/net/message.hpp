@@ -1,0 +1,40 @@
+// Fixture: a fully-wired protocol header — W1 and W2 stay quiet.
+#pragma once
+
+namespace fix::net {
+
+enum class MsgType : int {
+  kPing,
+  kPong,
+  kNoise,  // modeled wire volume only, deliberately unhandled
+};
+
+constexpr const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kNoise: return "noise";
+  }
+  return "unknown";
+}
+
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kNoise) + 1;
+
+constexpr bool is_control_plane(MsgType t) { return t == MsgType::kPong; }
+
+enum class MsgDispatch { kDaemonSwitch, kHandler, kSink };
+
+struct MsgTypeBinding {
+  MsgType type;
+  const char* codec_struct;
+  bool control_plane;
+  MsgDispatch dispatch;
+};
+
+inline constexpr MsgTypeBinding kMsgTypeBindings[] = {
+    {MsgType::kPing, "", false, MsgDispatch::kDaemonSwitch},
+    {MsgType::kPong, "", true, MsgDispatch::kHandler},
+    {MsgType::kNoise, "", false, MsgDispatch::kSink},
+};
+
+}  // namespace fix::net

@@ -1,0 +1,11 @@
+// Fixture: a dead metric read, suppressed at the site.
+struct Registry {
+  int& counter(const char* sub, const char* name);
+  unsigned counter_total(const char* sub, const char* name) const;
+};
+
+void observe(Registry& r) {
+  r.counter("core", "ticks");
+  // NOLINTNEXTLINE(concord-proto-metric)
+  (void)r.counter_total("core", "tocks");
+}

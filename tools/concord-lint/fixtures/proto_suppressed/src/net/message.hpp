@@ -1,0 +1,38 @@
+// Fixture: the same orphaned-handler drift as proto_bad, but every finding
+// carries a NOLINT for its rule — the proto pass exits clean.
+#pragma once
+
+namespace fix::net {
+
+enum class MsgType : int {
+  kPing,
+  kOrphan,
+};
+
+constexpr const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kOrphan: return "orphan";
+  }
+  return "unknown";
+}
+
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kOrphan) + 1;
+
+constexpr bool is_control_plane(MsgType) { return false; }
+
+enum class MsgDispatch { kDaemonSwitch, kHandler, kSink };
+
+struct MsgTypeBinding {
+  MsgType type;
+  const char* codec_struct;
+  bool control_plane;
+  MsgDispatch dispatch;
+};
+
+inline constexpr MsgTypeBinding kMsgTypeBindings[] = {
+    {MsgType::kPing, "", false, MsgDispatch::kHandler},    // NOLINT(concord-proto-wire)
+    {MsgType::kOrphan, "", false, MsgDispatch::kHandler},  // NOLINT(concord-proto-wire)
+};
+
+}  // namespace fix::net

@@ -1,0 +1,213 @@
+// Shared implementation for concord-lint: the source tokenizer that feeds
+// every pass, the suppression bookkeeping, and file IO.
+#include "lint.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace lint {
+
+/// Blanks comments, string literals, and char literals so rule scanners only
+/// ever see code (`code`), and separately blanks only comments so the proto
+/// passes can read string literals (`code_str`). Comment text is captured per
+/// line. Handles // and /* */ comments, escape sequences, and
+/// R"delim(...)delim" raw strings.
+SourceFile load_source(const std::string& path, const std::string& text) {
+  SourceFile src;
+  src.path = path;
+  src.code.reserve(text.size());
+  src.code_str.reserve(text.size());
+  src.comments.emplace_back();  // line 0 placeholder; lines are 1-based
+  src.comments.emplace_back();
+  src.line_start.push_back(0);
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State st = State::kCode;
+  std::string raw_delim;  // for raw strings: the `)delim"` terminator
+  std::size_t line = 1;
+
+  auto put_code = [&](char c) {
+    src.code.push_back(c);
+    src.code_str.push_back(c);
+  };
+  // Literal contents: blanked in `code`, preserved in `code_str`.
+  auto put_lit = [&](char c) {
+    src.code.push_back(c == '\n' ? '\n' : ' ');
+    src.code_str.push_back(c);
+  };
+  // Comment contents: blanked in both buffers.
+  auto put_blank = [&](char c) {
+    src.code.push_back(c == '\n' ? '\n' : ' ');
+    src.code_str.push_back(c == '\n' ? '\n' : ' ');
+  };
+  auto put_comment = [&](char c) {
+    if (c != '\n') src.comments[line].push_back(c);
+    put_blank(c);
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          put_blank(c);
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          put_blank(c);
+          put_blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The prefix R (possibly u8R etc.) sits right before.
+          if (i > 0 && text[i - 1] == 'R') {
+            std::size_t j = i + 1;
+            raw_delim = ")";
+            while (j < text.size() && text[j] != '(') raw_delim.push_back(text[j++]);
+            raw_delim.push_back('"');
+            st = State::kRawString;
+          } else {
+            st = State::kString;
+          }
+          put_lit(c);
+        } else if (c == '\'' && !(i > 0 && ident_char(text[i - 1]))) {
+          // Skip digit separators like 1'000 via the ident-char lookbehind.
+          st = State::kChar;
+          put_lit(c);
+        } else {
+          put_code(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') st = State::kCode;
+        put_comment(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          put_comment(c);
+          put_blank(next);
+          ++i;
+          st = State::kCode;
+        } else {
+          put_comment(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          put_lit(c);
+          put_lit(next);
+          ++i;
+        } else {
+          if (c == '"') st = State::kCode;
+          put_lit(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          put_lit(c);
+          put_lit(next);
+          ++i;
+        } else {
+          if (c == '\'') st = State::kCode;
+          put_lit(c);
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) put_lit(text[i + k]);
+          i += raw_delim.size() - 1;
+          st = State::kCode;
+        } else {
+          put_lit(c);
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+      src.comments.emplace_back();
+      src.line_start.push_back(src.code.size());
+    }
+  }
+
+  // Harvest annotations from the captured comments.
+  for (std::size_t ln = 1; ln < src.comments.size(); ++ln) {
+    const std::string& cm = src.comments[ln];
+    if (cm.find("concord-lint: emit-path") != std::string::npos) src.emit_path = true;
+    if (cm.find("concord-lint: guarded-scope") != std::string::npos) {
+      src.guarded_scope = true;
+    }
+    if (cm.find("concord-lint: sorted") != std::string::npos) {
+      // Justifies a loop on the same line or the line below.
+      src.suppressions.push_back({ln, ln, "sorted", false});
+      src.suppressions.push_back({ln, ln + 1, "sorted", false});
+    }
+    for (const char* marker : {"NOLINTNEXTLINE(", "NOLINT("}) {
+      const std::size_t at = cm.find(marker);
+      if (at == std::string::npos) continue;
+      const std::size_t open = at + std::string_view(marker).size();
+      const std::size_t close = cm.find(')', open);
+      if (close == std::string::npos) continue;
+      const bool next_line = std::string_view(marker).starts_with("NOLINTNEXTLINE");
+      std::stringstream rules(cm.substr(open, close - open));
+      std::string one;
+      while (std::getline(rules, one, ',')) {
+        const std::size_t b = one.find_first_not_of(" \t");
+        const std::size_t e = one.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        one = one.substr(b, e - b + 1);
+        if (!one.starts_with("concord-")) continue;  // clang-tidy's, not ours
+        src.suppressions.push_back({ln, next_line ? ln + 1 : ln, one, false});
+      }
+      break;  // NOLINTNEXTLINE( contains NOLINT(; don't double-harvest
+    }
+  }
+  return src;
+}
+
+bool suppressed(SourceFile& src, std::size_t line, Rule rule) {
+  bool hit = false;
+  for (Suppression& s : src.suppressions) {
+    if (s.covers != line) continue;
+    if (s.rule == rule_name(rule) || (rule == Rule::kUnorderedEmit && s.rule == "sorted")) {
+      s.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+void report_unused_suppressions(const SourceFile& src, bool proto_mode,
+                                std::vector<Finding>& out) {
+  // `sorted` registers twice (same line + next line); treat the pair as one.
+  std::map<std::pair<std::size_t, std::string>, bool> by_site;
+  for (const Suppression& s : src.suppressions) {
+    auto [it, fresh] = by_site.try_emplace({s.line, s.rule}, s.used);
+    if (!fresh) it->second = it->second || s.used;
+  }
+  for (const auto& [site, used] : by_site) {
+    if (used) continue;
+    const bool proto_rule = site.second.starts_with("concord-proto");
+    if (proto_rule != proto_mode) continue;
+    const std::string id =
+        site.second == "sorted" ? "concord-unordered-emit" : site.second;
+    const std::string label =
+        site.second == "sorted"
+            ? "`concord-lint: sorted` (suppresses " + id + ")"
+            : "NOLINT(" + site.second + ")";
+    out.push_back({src.path, site.first, 0, Rule::kUnusedSuppression,
+                   "unused suppression " + label + ": nothing here triggers it; remove it",
+                   /*warning=*/true, id});
+  }
+}
+
+bool read_file(const std::string& path, std::string& text) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  text = ss.str();
+  return true;
+}
+
+}  // namespace lint

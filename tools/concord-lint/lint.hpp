@@ -1,0 +1,173 @@
+// Shared model for concord-lint: findings, suppressions, the tokenized
+// source-file representation, and the scanning helpers every pass uses.
+// main.cpp hosts the per-file rules (D1–D5) and the driver; proto.cpp hosts
+// the cross-TU protocol/metric passes (W1/W2, `--proto`).
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lint {
+
+// ---------------------------------------------------------------------------
+// Findings & suppressions
+
+enum class Rule {
+  kDeterminism,        // D1
+  kUnorderedEmit,      // D2
+  kStatus,             // D3
+  kAlloc,              // D4
+  kGuarded,            // D5
+  kProtoWire,          // W1
+  kProtoMetric,        // W2
+  kUnusedSuppression,
+};
+
+inline const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::kDeterminism: return "concord-determinism";
+    case Rule::kUnorderedEmit: return "concord-unordered-emit";
+    case Rule::kStatus: return "concord-status";
+    case Rule::kAlloc: return "concord-alloc";
+    case Rule::kGuarded: return "concord-guarded";
+    case Rule::kProtoWire: return "concord-proto-wire";
+    case Rule::kProtoMetric: return "concord-proto-metric";
+    case Rule::kUnusedSuppression: return "concord-unused-suppression";
+  }
+  return "concord-unknown";
+}
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::size_t col = 0;   // 1-based; 0 = whole-line finding
+  Rule rule = Rule::kDeterminism;
+  std::string message;
+  bool warning = false;  // warnings still fail the run; the label differs
+  // For kUnusedSuppression: the rule id the stale annotation would suppress.
+  std::string suppressed_rule;
+};
+
+/// One `NOLINT(concord-*)` / `NOLINTNEXTLINE(concord-*)` / `concord-lint:
+/// sorted` annotation, tracked so unused suppressions can be reported.
+struct Suppression {
+  std::size_t line = 0;      // line the comment sits on (1-based)
+  std::size_t covers = 0;    // line whose findings it suppresses
+  std::string rule;          // "concord-determinism", ... or "sorted"
+  bool used = false;
+};
+
+// ---------------------------------------------------------------------------
+// Source model: a comment/string-blanked twin used by token scanners, a
+// comment-blanked (strings kept) twin used by the proto passes, and the
+// per-line comment text used by the annotation grammar.
+
+struct SourceFile {
+  std::string path;                     // as reported
+  std::string code;                     // comments & literals blanked
+  std::string code_str;                 // comments blanked, strings kept
+  std::vector<std::string> comments;    // comment text per line (1-based)
+  std::vector<std::size_t> line_start;  // offset of each line in `code`
+  std::vector<Suppression> suppressions;
+  bool emit_path = false;      // file carries `// concord-lint: emit-path`
+  bool guarded_scope = false;  // file carries `// concord-lint: guarded-scope`
+
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+  /// 1-based column of `offset` on its line.
+  [[nodiscard]] std::size_t col_of(std::size_t offset) const {
+    const std::size_t ln = line_of(offset);
+    return offset - line_start[ln - 1] + 1;
+  }
+  /// True if the code between the line's start and end is all whitespace
+  /// (the line holds only comment text, or nothing).
+  [[nodiscard]] bool code_blank(std::size_t ln) const {
+    if (ln == 0 || ln > line_start.size()) return true;
+    const std::size_t b = line_start[ln - 1];
+    const std::size_t e = ln < line_start.size() ? line_start[ln] : code.size();
+    for (std::size_t i = b; i < e; ++i) {
+      if (std::isspace(static_cast<unsigned char>(code[i])) == 0) return false;
+    }
+    return true;
+  }
+};
+
+SourceFile load_source(const std::string& path, const std::string& text);
+
+/// True (and marks the suppression used) if `rule` is suppressed at `line`.
+bool suppressed(SourceFile& src, std::size_t line, Rule rule);
+
+/// Reads `path` into `text`; false on IO error.
+bool read_file(const std::string& path, std::string& text);
+
+/// Reports suppressions that never fired. Each mode judges only the rules it
+/// ran: proto mode sees `concord-proto-*` annotations, normal mode the rest.
+void report_unused_suppressions(const SourceFile& src, bool proto_mode,
+                                std::vector<Finding>& out);
+
+// ---------------------------------------------------------------------------
+// Scanning helpers over blanked code buffers.
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline std::size_t skip_ws_fwd(const std::string& code, std::size_t i) {
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+  return i;
+}
+
+/// Index of the last non-whitespace char before `i`, or npos.
+inline std::size_t prev_sig(const std::string& code, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(code[i])) == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// With code[i] == open, returns the index just past the matching closer.
+inline std::size_t skip_balanced(const std::string& code, std::size_t i, char open,
+                                 char close) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    else if (code[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Start index of the identifier ending at (and including) `end`.
+inline std::size_t ident_begin(const std::string& code, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(code[b - 1])) --b;
+  return b;
+}
+
+inline bool word_at(const std::string& code, std::size_t i, std::string_view word) {
+  if (code.compare(i, word.size(), word) != 0) return false;
+  if (i > 0 && ident_char(code[i - 1])) return false;
+  const std::size_t after = i + word.size();
+  return after >= code.size() || !ident_char(code[after]);
+}
+
+inline bool path_matches(const std::string& path, std::string_view pat) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.find(pat) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU protocol & metric passes (proto.cpp). Loads its own file set
+// under `root` (src/**, tests/test_codec.cpp, EXPERIMENTS.md) and appends
+// findings; `files_scanned` reports the set size for the summary line.
+
+void run_proto(const std::string& root, std::vector<Finding>& out,
+               std::size_t& files_scanned);
+
+}  // namespace lint

@@ -1,8 +1,9 @@
-// concord-lint — project-specific determinism & status-discipline linter.
+// concord-lint — project-specific determinism, status-discipline, and
+// protocol-consistency linter.
 //
 // A deliberately small, dependency-free static-analysis pass (no libclang)
-// that tokenizes the C++ sources and enforces the repo's determinism
-// disciplines, which the compiler cannot see:
+// that tokenizes the C++ sources and enforces the repo's disciplines, which
+// the compiler cannot see:
 //
 //   D1  concord-determinism     banned nondeterminism sources (wall clocks,
 //                               unseeded randomness) outside an allowlist
@@ -13,6 +14,22 @@
 //   D3  concord-status          calls to Status/Result<T>-returning functions
 //                               whose value is silently discarded
 //   D4  concord-alloc           raw new/malloc outside common/pool_allocator
+//   D5  concord-guarded         in src/sim, src/obs, and files tagged
+//                               `// concord-lint: guarded-scope`, every data
+//                               member of a mutex-holding class must carry a
+//                               CONCORD_GUARDED_BY annotation or a justified
+//                               `// concord-lint: unguarded(<reason>)`
+//
+// A separate cross-TU pass family (`--proto`, proto.cpp) checks the wire
+// protocol and metric namespace for drift:
+//
+//   W1  concord-proto-wire      every net::MsgType is fully wired: binding
+//                               table row, to_string case, codec pair,
+//                               dispatch site, truncation-fuzz fixture
+//   W2  concord-proto-metric    every metric/span name referenced anywhere
+//                               (watchdog invariants, trace analysis,
+//                               EXPERIMENTS.md) names a cell that exists,
+//                               with a consistent kind
 //
 // Every rule is suppressible with `// NOLINT(concord-<rule>)` on the same
 // line (or `// NOLINTNEXTLINE(concord-<rule>)` on the line above); a
@@ -20,279 +37,33 @@
 // cannot accumulate.
 //
 // Usage:
-//   concord-lint --root <repo>     lint <repo>/{src,bench,examples}
-//   concord-lint <file>...         lint the given files only
+//   concord-lint --root <repo>          lint <repo>/{src,bench,examples}
+//   concord-lint --proto --root <repo>  run the cross-TU protocol passes
+//   concord-lint [--json] <file>...     lint the given files only
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using lint::Finding;
+using lint::Rule;
+using lint::SourceFile;
 
-// ---------------------------------------------------------------------------
-// Findings & suppressions
-
-enum class Rule {
-  kDeterminism,
-  kUnorderedEmit,
-  kStatus,
-  kAlloc,
-  kUnusedSuppression,
-};
-
-const char* rule_name(Rule r) {
-  switch (r) {
-    case Rule::kDeterminism: return "concord-determinism";
-    case Rule::kUnorderedEmit: return "concord-unordered-emit";
-    case Rule::kStatus: return "concord-status";
-    case Rule::kAlloc: return "concord-alloc";
-    case Rule::kUnusedSuppression: return "concord-unused-suppression";
-  }
-  return "concord-unknown";
-}
-
-struct Finding {
-  std::string path;
-  std::size_t line = 0;  // 1-based
-  Rule rule = Rule::kDeterminism;
-  std::string message;
-  bool warning = false;  // warnings still fail the run; the label differs
-};
-
-/// One `NOLINT(concord-*)` / `NOLINTNEXTLINE(concord-*)` / `concord-lint:
-/// sorted` annotation, tracked so unused suppressions can be reported.
-struct Suppression {
-  std::size_t line = 0;      // line the comment sits on (1-based)
-  std::size_t covers = 0;    // line whose findings it suppresses
-  std::string rule;          // "concord-determinism", ... or "sorted"
-  bool used = false;
-};
-
-// ---------------------------------------------------------------------------
-// Source model: raw text, a comment/string-blanked twin used by all rule
-// scanners, and the per-line comment text used by the annotation grammar.
-
-struct SourceFile {
-  std::string path;          // as reported
-  std::string code;          // comments & literals blanked with spaces
-  std::vector<std::string> comments;  // comment text per line (1-based index)
-  std::vector<std::size_t> line_start;  // offset of each line in `code`
-  std::vector<Suppression> suppressions;
-  bool emit_path = false;    // file carries `// concord-lint: emit-path`
-
-  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
-    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
-    return static_cast<std::size_t>(it - line_start.begin());
-  }
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Blanks comments, string literals, and char literals so rule scanners only
-/// ever see code. Comment text is captured per line. Handles // and /* */
-/// comments, escape sequences, and R"delim(...)delim" raw strings.
-SourceFile load_source(const std::string& path, const std::string& text) {
-  SourceFile src;
-  src.path = path;
-  src.code.reserve(text.size());
-  src.comments.emplace_back();  // line 0 placeholder; lines are 1-based
-  src.comments.emplace_back();
-  src.line_start.push_back(0);
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State st = State::kCode;
-  std::string raw_delim;  // for raw strings: the `)delim"` terminator
-  std::size_t line = 1;
-
-  auto put_code = [&](char c) { src.code.push_back(c); };
-  auto put_blank = [&](char c) { src.code.push_back(c == '\n' ? '\n' : ' '); };
-  auto put_comment = [&](char c) {
-    if (c != '\n') src.comments[line].push_back(c);
-    put_blank(c);
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          st = State::kLineComment;
-          put_blank(c);
-        } else if (c == '/' && next == '*') {
-          st = State::kBlockComment;
-          put_blank(c);
-          put_blank(next);
-          ++i;
-        } else if (c == '"') {
-          // Raw string? The prefix R (possibly u8R etc.) sits right before.
-          if (i > 0 && text[i - 1] == 'R') {
-            std::size_t j = i + 1;
-            raw_delim = ")";
-            while (j < text.size() && text[j] != '(') raw_delim.push_back(text[j++]);
-            raw_delim.push_back('"');
-            st = State::kRawString;
-          } else {
-            st = State::kString;
-          }
-          put_blank(c);
-        } else if (c == '\'' && !(i > 0 && ident_char(text[i - 1]))) {
-          // Skip digit separators like 1'000 via the ident-char lookbehind.
-          st = State::kChar;
-          put_blank(c);
-        } else {
-          put_code(c);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') st = State::kCode;
-        put_comment(c);
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          put_comment(c);
-          put_blank(next);
-          ++i;
-          st = State::kCode;
-        } else {
-          put_comment(c);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          put_blank(c);
-          put_blank(next);
-          ++i;
-        } else {
-          if (c == '"') st = State::kCode;
-          put_blank(c);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          put_blank(c);
-          put_blank(next);
-          ++i;
-        } else {
-          if (c == '\'') st = State::kCode;
-          put_blank(c);
-        }
-        break;
-      case State::kRawString:
-        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) put_blank(text[i + k]);
-          i += raw_delim.size() - 1;
-          st = State::kCode;
-        } else {
-          put_blank(c);
-        }
-        break;
-    }
-    if (c == '\n') {
-      ++line;
-      src.comments.emplace_back();
-      src.line_start.push_back(src.code.size());
-    }
-  }
-
-  // Harvest annotations from the captured comments.
-  for (std::size_t ln = 1; ln < src.comments.size(); ++ln) {
-    const std::string& cm = src.comments[ln];
-    if (cm.find("concord-lint: emit-path") != std::string::npos) src.emit_path = true;
-    if (cm.find("concord-lint: sorted") != std::string::npos) {
-      // Justifies a loop on the same line or the line below.
-      src.suppressions.push_back({ln, ln, "sorted", false});
-      src.suppressions.push_back({ln, ln + 1, "sorted", false});
-    }
-    for (const char* marker : {"NOLINTNEXTLINE(", "NOLINT("}) {
-      const std::size_t at = cm.find(marker);
-      if (at == std::string::npos) continue;
-      const std::size_t open = at + std::string_view(marker).size();
-      const std::size_t close = cm.find(')', open);
-      if (close == std::string::npos) continue;
-      const bool next_line = std::string_view(marker).starts_with("NOLINTNEXTLINE");
-      std::stringstream rules(cm.substr(open, close - open));
-      std::string one;
-      while (std::getline(rules, one, ',')) {
-        const std::size_t b = one.find_first_not_of(" \t");
-        const std::size_t e = one.find_last_not_of(" \t");
-        if (b == std::string::npos) continue;
-        one = one.substr(b, e - b + 1);
-        if (!one.starts_with("concord-")) continue;  // clang-tidy's, not ours
-        src.suppressions.push_back({ln, next_line ? ln + 1 : ln, one, false});
-      }
-      break;  // NOLINTNEXTLINE( contains NOLINT(; don't double-harvest
-    }
-  }
-  return src;
-}
-
-/// True (and marks the suppression used) if `rule` is suppressed at `line`.
-bool suppressed(SourceFile& src, std::size_t line, Rule rule) {
-  bool hit = false;
-  for (Suppression& s : src.suppressions) {
-    if (s.covers != line) continue;
-    if (s.rule == rule_name(rule) || (rule == Rule::kUnorderedEmit && s.rule == "sorted")) {
-      s.used = true;
-      hit = true;
-    }
-  }
-  return hit;
-}
-
-// ---------------------------------------------------------------------------
-// Small scanning helpers over the blanked code buffer.
-
-std::size_t skip_ws_fwd(const std::string& code, std::size_t i) {
-  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
-  return i;
-}
-
-/// Index of the last non-whitespace char before `i`, or npos.
-std::size_t prev_sig(const std::string& code, std::size_t i) {
-  while (i > 0) {
-    --i;
-    if (std::isspace(static_cast<unsigned char>(code[i])) == 0) return i;
-  }
-  return std::string::npos;
-}
-
-/// With code[i] == open, returns the index just past the matching closer.
-std::size_t skip_balanced(const std::string& code, std::size_t i, char open, char close) {
-  int depth = 0;
-  for (; i < code.size(); ++i) {
-    if (code[i] == open) ++depth;
-    else if (code[i] == close && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-/// Start index of the identifier ending at (and including) `end`.
-std::size_t ident_begin(const std::string& code, std::size_t end) {
-  std::size_t b = end;
-  while (b > 0 && ident_char(code[b - 1])) --b;
-  return b;
-}
-
-bool word_at(const std::string& code, std::size_t i, std::string_view word) {
-  if (code.compare(i, word.size(), word) != 0) return false;
-  if (i > 0 && ident_char(code[i - 1])) return false;
-  const std::size_t after = i + word.size();
-  return after >= code.size() || !ident_char(code[after]);
+void add_finding(const SourceFile& src, std::size_t offset, Rule rule, std::string msg,
+                 std::vector<Finding>& out, bool warning = false) {
+  out.push_back({src.path, src.line_of(offset), src.col_of(offset), rule, std::move(msg),
+                 warning, {}});
 }
 
 // ---------------------------------------------------------------------------
@@ -325,15 +96,9 @@ constexpr std::string_view kDeterminismAllowlist[] = {
     "common/rng", "src/obs/", "obs/host_clock", "src/sim/", "net/udp_",
 };
 
-bool path_matches(const std::string& path, std::string_view pat) {
-  std::string norm = path;
-  std::replace(norm.begin(), norm.end(), '\\', '/');
-  return norm.find(pat) != std::string::npos;
-}
-
 void check_determinism(SourceFile& src, std::vector<Finding>& out) {
   for (std::string_view pat : kDeterminismAllowlist) {
-    if (path_matches(src.path, pat)) return;
+    if (lint::path_matches(src.path, pat)) return;
   }
   const std::string& code = src.code;
   for (const BannedSource& b : kBanned) {
@@ -342,13 +107,12 @@ void check_determinism(SourceFile& src, std::vector<Finding>& out) {
       // Token boundary: not mid-identifier, and not the tail of a longer
       // qualified name already matched (e.g. `steady_clock` inside
       // `std::chrono::steady_clock`).
-      if (at > 0 && (ident_char(code[at - 1]) || code[at - 1] == ':')) continue;
-      const std::size_t ln = src.line_of(at);
-      if (suppressed(src, ln, Rule::kDeterminism)) continue;
-      out.push_back({src.path, ln, Rule::kDeterminism,
-                     std::string(b.needle.substr(0, b.needle.find('('))) + ": " +
-                         std::string(b.why) +
-                         " (use common/rng or the sim virtual clock)"});
+      if (at > 0 && (lint::ident_char(code[at - 1]) || code[at - 1] == ':')) continue;
+      if (lint::suppressed(src, src.line_of(at), Rule::kDeterminism)) continue;
+      add_finding(src, at, Rule::kDeterminism,
+                  std::string(b.needle.substr(0, b.needle.find('('))) + ": " +
+                      std::string(b.why) + " (use common/rng or the sim virtual clock)",
+                  out);
     }
   }
 }
@@ -357,37 +121,39 @@ void check_determinism(SourceFile& src, std::vector<Finding>& out) {
 // D4 — raw allocation outside the pool allocator.
 
 void check_alloc(SourceFile& src, std::vector<Finding>& out) {
-  if (path_matches(src.path, "common/pool_allocator")) return;
+  if (lint::path_matches(src.path, "common/pool_allocator")) return;
   const std::string& code = src.code;
   for (std::string_view fn : {"malloc(", "calloc(", "realloc(", "aligned_alloc(", "free("}) {
     for (std::size_t at = code.find(fn); at != std::string::npos;
          at = code.find(fn, at + 1)) {
-      if (at > 0 && ident_char(code[at - 1])) continue;
-      const std::size_t ln = src.line_of(at);
-      if (suppressed(src, ln, Rule::kAlloc)) continue;
-      out.push_back({src.path, ln, Rule::kAlloc,
-                     std::string(fn.substr(0, fn.size() - 1)) +
-                         ": raw allocation; route through common/pool_allocator "
-                         "or a container"});
+      if (at > 0 && lint::ident_char(code[at - 1])) continue;
+      if (lint::suppressed(src, src.line_of(at), Rule::kAlloc)) continue;
+      add_finding(src, at, Rule::kAlloc,
+                  std::string(fn.substr(0, fn.size() - 1)) +
+                      ": raw allocation; route through common/pool_allocator "
+                      "or a container",
+                  out);
     }
   }
   for (std::size_t at = code.find("new"); at != std::string::npos;
        at = code.find("new", at + 3)) {
-    if (!word_at(code, at, "new")) continue;
+    if (!lint::word_at(code, at, "new")) continue;
     // `operator new` declarations are the allocator's business, not a use.
-    const std::size_t p = prev_sig(code, at);
-    if (p != std::string::npos && ident_char(code[p])) {
-      const std::size_t b = ident_begin(code, p);
+    const std::size_t p = lint::prev_sig(code, at);
+    if (p != std::string::npos && lint::ident_char(code[p])) {
+      const std::size_t b = lint::ident_begin(code, p);
       if (code.compare(b, p - b + 1, "operator") == 0) continue;
     }
     // Must look like an expression: followed by a type name or '('.
-    const std::size_t after = skip_ws_fwd(code, at + 3);
-    if (after >= code.size() || (!ident_char(code[after]) && code[after] != '(')) continue;
-    const std::size_t ln = src.line_of(at);
-    if (suppressed(src, ln, Rule::kAlloc)) continue;
-    out.push_back({src.path, ln, Rule::kAlloc,
-                   "new: raw allocation; use make_unique/make_shared, a container, "
-                   "or common/pool_allocator"});
+    const std::size_t after = lint::skip_ws_fwd(code, at + 3);
+    if (after >= code.size() || (!lint::ident_char(code[after]) && code[after] != '(')) {
+      continue;
+    }
+    if (lint::suppressed(src, src.line_of(at), Rule::kAlloc)) continue;
+    add_finding(src, at, Rule::kAlloc,
+                "new: raw allocation; use make_unique/make_shared, a container, "
+                "or common/pool_allocator",
+                out);
   }
 }
 
@@ -402,15 +168,17 @@ std::vector<std::string> unordered_names(const SourceFile& src) {
   for (std::string_view kind : {"unordered_map", "unordered_set"}) {
     for (std::size_t at = code.find(kind); at != std::string::npos;
          at = code.find(kind, at + kind.size())) {
-      if (at > 0 && ident_char(code[at - 1])) continue;
-      std::size_t i = skip_ws_fwd(code, at + kind.size());
+      if (at > 0 && lint::ident_char(code[at - 1])) continue;
+      std::size_t i = lint::skip_ws_fwd(code, at + kind.size());
       if (i >= code.size() || code[i] != '<') continue;
-      i = skip_balanced(code, i, '<', '>');
+      i = lint::skip_balanced(code, i, '<', '>');
       if (i == std::string::npos) continue;
-      i = skip_ws_fwd(code, i);
-      while (i < code.size() && (code[i] == '&' || code[i] == '*')) i = skip_ws_fwd(code, i + 1);
+      i = lint::skip_ws_fwd(code, i);
+      while (i < code.size() && (code[i] == '&' || code[i] == '*')) {
+        i = lint::skip_ws_fwd(code, i + 1);
+      }
       const std::size_t b = i;
-      while (i < code.size() && ident_char(code[i])) ++i;
+      while (i < code.size() && lint::ident_char(code[i])) ++i;
       if (i > b) names.emplace_back(code.substr(b, i - b));
     }
   }
@@ -425,10 +193,10 @@ void check_unordered_emit(SourceFile& src, std::vector<Finding>& out) {
   const std::string& code = src.code;
   for (std::size_t at = code.find("for"); at != std::string::npos;
        at = code.find("for", at + 3)) {
-    if (!word_at(code, at, "for")) continue;
-    std::size_t open = skip_ws_fwd(code, at + 3);
+    if (!lint::word_at(code, at, "for")) continue;
+    std::size_t open = lint::skip_ws_fwd(code, at + 3);
     if (open >= code.size() || code[open] != '(') continue;
-    const std::size_t close = skip_balanced(code, open, '(', ')');
+    const std::size_t close = lint::skip_balanced(code, open, '(', ')');
     if (close == std::string::npos) continue;
     const std::string head = code.substr(open + 1, close - open - 2);
     // Range-for over an unordered container, or an iterator loop on one.
@@ -458,9 +226,9 @@ void check_unordered_emit(SourceFile& src, std::vector<Finding>& out) {
       for (const std::string& n : names) {
         std::size_t pos = 0;
         while ((pos = hay.find(n, pos)) != std::string::npos) {
-          const bool lb = pos == 0 || !ident_char(hay[pos - 1]);
+          const bool lb = pos == 0 || !lint::ident_char(hay[pos - 1]);
           const std::size_t after = pos + n.size();
-          const bool rb = after >= hay.size() || !ident_char(hay[after]);
+          const bool rb = after >= hay.size() || !lint::ident_char(hay[after]);
           if (lb && rb) {
             // Iterator loops only count when .begin()/.cbegin() is taken;
             // a range-for counts on the bare name.
@@ -477,12 +245,12 @@ void check_unordered_emit(SourceFile& src, std::vector<Finding>& out) {
       }
     }
     if (!flagged) continue;
-    const std::size_t ln = src.line_of(at);
-    if (suppressed(src, ln, Rule::kUnorderedEmit)) continue;
-    out.push_back({src.path, ln, Rule::kUnorderedEmit,
-                   "iteration over " + which +
-                       " on an emit path: order is hash-dependent; sort first or "
-                       "justify with `// concord-lint: sorted`"});
+    if (lint::suppressed(src, src.line_of(at), Rule::kUnorderedEmit)) continue;
+    add_finding(src, at, Rule::kUnorderedEmit,
+                "iteration over " + which +
+                    " on an emit path: order is hash-dependent; sort first or "
+                    "justify with `// concord-lint: sorted`",
+                out);
   }
 }
 
@@ -504,18 +272,18 @@ void collect_status_functions(const SourceFile& src, std::set<std::string>& stat
   auto harvest = [&](std::string_view type, bool template_args, std::set<std::string>& out) {
     for (std::size_t at = code.find(type); at != std::string::npos;
          at = code.find(type, at + type.size())) {
-      if (!word_at(code, at, type)) continue;
-      std::size_t i = skip_ws_fwd(code, at + type.size());
+      if (!lint::word_at(code, at, type)) continue;
+      std::size_t i = lint::skip_ws_fwd(code, at + type.size());
       if (template_args) {
         if (i >= code.size() || code[i] != '<') continue;
-        i = skip_balanced(code, i, '<', '>');
+        i = lint::skip_balanced(code, i, '<', '>');
         if (i == std::string::npos) continue;
-        i = skip_ws_fwd(code, i);
+        i = lint::skip_ws_fwd(code, i);
       }
       const std::size_t b = i;
-      while (i < code.size() && ident_char(code[i])) ++i;
+      while (i < code.size() && lint::ident_char(code[i])) ++i;
       if (i == b) continue;
-      const std::size_t after = skip_ws_fwd(code, i);
+      const std::size_t after = lint::skip_ws_fwd(code, i);
       if (after >= code.size() || code[after] != '(') continue;
       out.insert(code.substr(b, i - b));
     }
@@ -531,25 +299,25 @@ void check_status_discard(SourceFile& src, const std::set<std::string>& fns,
   for (const std::string& fn : fns) {
     for (std::size_t at = code.find(fn); at != std::string::npos;
          at = code.find(fn, at + fn.size())) {
-      if (at > 0 && ident_char(code[at - 1])) continue;
-      std::size_t open = skip_ws_fwd(code, at + fn.size());
+      if (at > 0 && lint::ident_char(code[at - 1])) continue;
+      std::size_t open = lint::skip_ws_fwd(code, at + fn.size());
       if (open >= code.size() || code[open] != '(') continue;
-      const std::size_t close = skip_balanced(code, open, '(', ')');
+      const std::size_t close = lint::skip_balanced(code, open, '(', ')');
       if (close == std::string::npos) continue;
       // The call's value is consumed unless the next significant char is ';'.
-      const std::size_t after = skip_ws_fwd(code, close);
+      const std::size_t after = lint::skip_ws_fwd(code, close);
       if (after >= code.size() || code[after] != ';') continue;
       // Walk back over the receiver chain (`a.b->c::` ...) to the start of
       // the full call expression.
       std::size_t start = at;
       for (;;) {
-        const std::size_t p = prev_sig(code, start);
+        const std::size_t p = lint::prev_sig(code, start);
         if (p == std::string::npos) break;
         const bool dot = code[p] == '.';
         const bool arrow = code[p] == '>' && p > 0 && code[p - 1] == '-';
         const bool scope = code[p] == ':' && p > 0 && code[p - 1] == ':';
         if (!dot && !arrow && !scope) break;
-        std::size_t q = prev_sig(code, dot ? p : p - 1);
+        std::size_t q = lint::prev_sig(code, dot ? p : p - 1);
         if (q == std::string::npos) break;
         if (code[q] == ')' || code[q] == ']') {
           // Skip back over a balanced group plus the identifier before it.
@@ -562,28 +330,28 @@ void check_status_discard(SourceFile& src, const std::set<std::string>& fns,
             if (q == 0) break;
             --q;
           }
-          const std::size_t r = prev_sig(code, q);
-          if (r == std::string::npos || !ident_char(code[r])) {
+          const std::size_t r = lint::prev_sig(code, q);
+          if (r == std::string::npos || !lint::ident_char(code[r])) {
             start = q;
             continue;
           }
           q = r;
         }
-        if (ident_char(code[q])) {
-          start = ident_begin(code, q);
+        if (lint::ident_char(code[q])) {
+          start = lint::ident_begin(code, q);
         } else {
           start = q;
         }
         continue;
       }
-      const std::size_t before = prev_sig(code, start);
+      const std::size_t before = lint::prev_sig(code, start);
       bool discarded = false;
       if (before == std::string::npos) {
         discarded = false;  // file starts with a declaration
-      } else if (ident_char(code[before])) {
+      } else if (lint::ident_char(code[before])) {
         // Preceding word: `return x()` consumes; `else`/`do x();` discards;
         // any other identifier means this is a declaration/definition.
-        const std::size_t b = ident_begin(code, before);
+        const std::size_t b = lint::ident_begin(code, before);
         const std::string word = code.substr(b, before - b + 1);
         discarded = word == "else" || word == "do";
       } else if (code[before] == ';' || code[before] == '{' || code[before] == '}') {
@@ -612,11 +380,194 @@ void check_status_discard(SourceFile& src, const std::set<std::string>& fns,
         }
       }
       if (!discarded) continue;
-      const std::size_t ln = src.line_of(at);
-      if (suppressed(src, ln, Rule::kStatus)) continue;
-      out.push_back({src.path, ln, Rule::kStatus,
-                     fn + "(...) returns Status/Result but the value is discarded; "
-                          "handle it or write `(void)` with a reason"});
+      if (lint::suppressed(src, src.line_of(at), Rule::kStatus)) continue;
+      add_finding(src, at, Rule::kStatus,
+                  fn + "(...) returns Status/Result but the value is discarded; "
+                       "handle it or write `(void)` with a reason",
+                  out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D5 — mutex-adjacent members must declare their guard (or justify why not).
+//
+// Scope: files under src/sim or src/obs (the layers that real host threads
+// touch), plus any file tagged `// concord-lint: guarded-scope`. In every
+// class/struct that holds a mutex member, each data member (trailing-
+// underscore convention) must either carry CONCORD_GUARDED_BY /
+// CONCORD_PT_GUARDED_BY, be a synchronization primitive or immutable, or sit
+// under a `// concord-lint: unguarded(<reason>)` with a non-empty reason.
+
+bool d5_applies(const SourceFile& src) {
+  return src.guarded_scope || lint::path_matches(src.path, "src/sim/") ||
+         lint::path_matches(src.path, "src/obs/");
+}
+
+struct MemberDecl {
+  std::string text;        // statement text (brace blocks collapsed to '{')
+  std::size_t offset = 0;  // offset of the declared name in `code`
+  std::string name;
+};
+
+/// Splits a class body [begin, end) into depth-1 statements and returns the
+/// data-member declarations found (by the trailing-underscore convention).
+/// Brace blocks (inline method bodies, initializers, nested types) are
+/// collapsed so their contents never masquerade as member declarations;
+/// nested classes get their own top-level scan.
+std::vector<MemberDecl> member_decls(const std::string& code, std::size_t begin,
+                                     std::size_t end) {
+  std::vector<MemberDecl> members;
+  std::string stmt;
+  std::size_t stmt_start = begin;
+  auto flush = [&](std::size_t at) {
+    // A member name is an identifier ending in '_' whose next significant
+    // char is one of `; = { [ ,` (the statement text excludes the final ';').
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (!lint::ident_char(stmt[i]) || (i > 0 && lint::ident_char(stmt[i - 1]))) continue;
+      std::size_t j = i;
+      while (j < stmt.size() && lint::ident_char(stmt[j])) ++j;
+      if (j == i || stmt[j - 1] != '_') continue;
+      const std::size_t after = lint::skip_ws_fwd(stmt, j);
+      const char nc = after < stmt.size() ? stmt[after] : ';';
+      if (nc == ';' || nc == '=' || nc == '{' || nc == '[' || nc == ',') {
+        members.push_back({stmt, stmt_start + i, stmt.substr(i, j - i)});
+        break;  // one finding per statement is enough
+      }
+      i = j;
+    }
+    stmt.clear();
+    stmt_start = at;
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      const std::size_t past = lint::skip_balanced(code, i, '{', '}');
+      if (past == std::string::npos) break;
+      stmt.push_back('{');  // keep a marker: `name_{0};` still parses
+      const std::size_t nxt = lint::skip_ws_fwd(code, past);
+      if (nxt < end && code[nxt] == ';') {
+        // Brace initializer (or nested type with `};`): statement continues
+        // to the ';' handled below.
+        i = past - 1;
+        continue;
+      }
+      // Inline function body / nested class: the block ends the statement.
+      flush(past);
+      i = past - 1;
+    } else if (c == ';') {
+      flush(i + 1);
+    } else {
+      // The statement text keeps original offsets alignable: stmt_start is
+      // the offset of stmt[0] only while no chars were skipped, so track the
+      // true offset of each appended char via padding-free append — offsets
+      // stay exact because only brace-block contents are elided, always
+      // *after* any member name we could report.
+      if (stmt.empty()) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+          stmt_start = i + 1;
+          continue;
+        }
+        stmt_start = i;
+      }
+      stmt.push_back(c);
+    }
+  }
+  return members;
+}
+
+bool statement_exempt(const std::string& stmt) {
+  for (std::string_view kw : {"static", "constexpr", "using", "typedef", "friend",
+                              "enum", "condition_variable", "atomic"}) {
+    std::size_t at = 0;
+    while ((at = stmt.find(kw, at)) != std::string::npos) {
+      if (lint::word_at(stmt, at, kw)) return true;
+      at += kw.size();
+    }
+  }
+  // `const T x_;` is immutable — but `const T* x_` is a mutable pointer.
+  if (stmt.starts_with("const") && !lint::ident_char(stmt.size() > 5 ? stmt[5] : ' ') &&
+      stmt.find('*') == std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+bool is_mutex_member(const std::string& stmt) {
+  for (std::string_view kw : {"mutex", "Mutex", "MutexLock"}) {
+    std::size_t at = 0;
+    while ((at = stmt.find(kw, at)) != std::string::npos) {
+      if (lint::word_at(stmt, at, kw)) return true;
+      at += kw.size();
+    }
+  }
+  return false;
+}
+
+bool is_annotated(const std::string& stmt) {
+  return stmt.find("CONCORD_GUARDED_BY(") != std::string::npos ||
+         stmt.find("CONCORD_PT_GUARDED_BY(") != std::string::npos;
+}
+
+/// True if the member at `line` sits under a `concord-lint: unguarded(...)`
+/// comment with a non-empty reason: on the member's own line, or in the
+/// comment block immediately above it.
+bool has_unguarded_justification(const SourceFile& src, std::size_t line) {
+  auto justified = [](const std::string& cm) {
+    const std::size_t at = cm.find("concord-lint: unguarded(");
+    if (at == std::string::npos) return false;
+    const std::size_t open = at + std::string_view("concord-lint: unguarded(").size();
+    return open < cm.size() && cm[open] != ')';
+  };
+  if (line < src.comments.size() && justified(src.comments[line])) return true;
+  for (std::size_t ln = line; ln > 1; --ln) {
+    const std::size_t above = ln - 1;
+    if (!src.code_blank(above)) break;  // a code line ends the comment block
+    if (above < src.comments.size()) {
+      if (justified(src.comments[above])) return true;
+      if (src.comments[above].empty()) break;  // blank line ends the block
+    }
+  }
+  return false;
+}
+
+void check_guarded_members(SourceFile& src, std::vector<Finding>& out) {
+  if (!d5_applies(src)) return;
+  const std::string& code = src.code;
+  for (std::string_view kw : {"class", "struct"}) {
+    for (std::size_t at = code.find(kw); at != std::string::npos;
+         at = code.find(kw, at + kw.size())) {
+      if (!lint::word_at(code, at, kw)) continue;
+      // `enum class` is not a record; `class X;` is a forward declaration.
+      const std::size_t p = lint::prev_sig(code, at);
+      if (p != std::string::npos && lint::ident_char(code[p]) &&
+          code.compare(lint::ident_begin(code, p), 4, "enum") == 0) {
+        continue;
+      }
+      std::size_t i = at + kw.size();
+      while (i < code.size() && code[i] != '{' && code[i] != ';' && code[i] != '(') ++i;
+      if (i >= code.size() || code[i] != '{') continue;
+      const std::size_t past = lint::skip_balanced(code, i, '{', '}');
+      if (past == std::string::npos) continue;
+      const std::vector<MemberDecl> members = member_decls(code, i + 1, past - 1);
+      bool has_mutex = false;
+      for (const MemberDecl& m : members) {
+        if (is_mutex_member(m.text)) has_mutex = true;
+      }
+      if (!has_mutex) continue;
+      for (const MemberDecl& m : members) {
+        if (is_mutex_member(m.text) || statement_exempt(m.text)) continue;
+        if (is_annotated(m.text)) continue;
+        const std::size_t ln = src.line_of(m.offset);
+        if (has_unguarded_justification(src, ln)) continue;
+        if (lint::suppressed(src, ln, Rule::kGuarded)) continue;
+        add_finding(src, m.offset, Rule::kGuarded,
+                    "member `" + m.name +
+                        "` shares a class with a mutex but declares no guard; add "
+                        "CONCORD_GUARDED_BY(<mu>) or justify with `// concord-lint: "
+                        "unguarded(<reason>)`",
+                    out);
+      }
     }
   }
 }
@@ -624,40 +575,95 @@ void check_status_discard(SourceFile& src, const std::set<std::string>& fns,
 // ---------------------------------------------------------------------------
 // Driver
 
-void check_unused_suppressions(const SourceFile& src, std::vector<Finding>& out) {
-  // `sorted` registers twice (same line + next line); treat the pair as one.
-  std::map<std::pair<std::size_t, std::string>, bool> by_site;
-  for (const Suppression& s : src.suppressions) {
-    auto [it, fresh] = by_site.try_emplace({s.line, s.rule}, s.used);
-    if (!fresh) it->second = it->second || s.used;
-  }
-  for (const auto& [site, used] : by_site) {
-    if (used) continue;
-    const std::string label =
-        site.second == "sorted" ? "`concord-lint: sorted`" : "NOLINT(" + site.second + ")";
-    Finding f{src.path, site.first, Rule::kUnusedSuppression,
-              "unused suppression " + label + ": nothing here triggers it; remove it",
-              /*warning=*/true};
-    out.push_back(std::move(f));
-  }
-}
-
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
-int run(const std::vector<std::string>& paths) {
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void emit(const std::vector<Finding>& findings, std::size_t files, bool json) {
+  if (json) {
+    std::string out = "{\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      if (i > 0) out += ',';
+      out += "{\"path\":\"";
+      json_escape(out, f.path);
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "\",\"line\":%zu,\"col\":%zu,\"rule\":\"", f.line,
+                    f.col);
+      out += buf;
+      out += rule_name(f.rule);
+      out += "\",\"severity\":\"";
+      out += f.warning ? "warning" : "error";
+      out += "\",\"message\":\"";
+      json_escape(out, f.message);
+      out += '"';
+      if (!f.suppressed_rule.empty()) {
+        out += ",\"suppressed_rule\":\"";
+        json_escape(out, f.suppressed_rule);
+        out += '"';
+      }
+      out += '}';
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "],\"files\":%zu,\"findings_total\":%zu}\n", files,
+                  findings.size());
+    out += buf;
+    std::fputs(out.c_str(), stdout);
+    return;
+  }
+  for (const Finding& f : findings) {
+    if (f.col > 0) {
+      std::printf("%s:%zu:%zu: %s: [%s] %s\n", f.path.c_str(), f.line, f.col,
+                  f.warning ? "warning" : "error", rule_name(f.rule), f.message.c_str());
+    } else {
+      std::printf("%s:%zu: %s: [%s] %s\n", f.path.c_str(), f.line,
+                  f.warning ? "warning" : "error", rule_name(f.rule), f.message.c_str());
+    }
+  }
+  std::printf("concord-lint: %zu file(s), %zu finding(s)\n", files, findings.size());
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    if (a.rule != b.rule) {
+      return std::string_view(rule_name(a.rule)) < std::string_view(rule_name(b.rule));
+    }
+    return a.message < b.message;
+  });
+}
+
+int run(const std::vector<std::string>& paths, bool json) {
   std::vector<SourceFile> files;
   for (const std::string& p : paths) {
-    std::ifstream in(p, std::ios::binary);
-    if (!in) {
+    std::string text;
+    if (!lint::read_file(p, text)) {
       std::fprintf(stderr, "concord-lint: cannot read %s\n", p.c_str());
       return 2;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    files.push_back(load_source(p, ss.str()));
+    files.push_back(lint::load_source(p, text));
   }
 
   std::set<std::string> status_fns, other_fns;
@@ -670,19 +676,12 @@ int run(const std::vector<std::string>& paths) {
     check_alloc(f, findings);
     check_unordered_emit(f, findings);
     check_status_discard(f, status_fns, findings);
-    check_unused_suppressions(f, findings);
+    check_guarded_members(f, findings);
+    lint::report_unused_suppressions(f, /*proto_mode=*/false, findings);
   }
 
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    if (a.path != b.path) return a.path < b.path;
-    if (a.line != b.line) return a.line < b.line;
-    return rule_name(a.rule) < std::string_view(rule_name(b.rule));
-  });
-  for (const Finding& f : findings) {
-    std::printf("%s:%zu: %s: [%s] %s\n", f.path.c_str(), f.line,
-                f.warning ? "warning" : "error", rule_name(f.rule), f.message.c_str());
-  }
-  std::printf("concord-lint: %zu file(s), %zu finding(s)\n", files.size(), findings.size());
+  sort_findings(findings);
+  emit(findings, files.size(), json);
   return findings.empty() ? 0 : 1;
 }
 
@@ -691,6 +690,8 @@ int run(const std::vector<std::string>& paths) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string root;
+  bool proto = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--root") {
@@ -699,12 +700,35 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--proto") {
+      proto = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: concord-lint --root <repo> | concord-lint <file>...\n");
+      std::printf(
+          "usage: concord-lint [--json] --root <repo>        per-file rules D1-D5\n"
+          "       concord-lint [--json] --proto --root <repo> cross-TU passes W1/W2\n"
+          "       concord-lint [--json] <file>...\n");
       return 0;
     } else {
       paths.emplace_back(arg);
     }
+  }
+  if (proto) {
+    if (root.empty()) {
+      std::fprintf(stderr, "concord-lint: --proto needs --root <repo>\n");
+      return 2;
+    }
+    std::vector<Finding> findings;
+    std::size_t files = 0;
+    lint::run_proto(root, findings, files);
+    if (files == 0) {
+      std::fprintf(stderr, "concord-lint: no protocol sources under %s\n", root.c_str());
+      return 2;
+    }
+    sort_findings(findings);
+    emit(findings, files, json);
+    return findings.empty() ? 0 : 1;
   }
   if (!root.empty()) {
     for (const char* sub : {"src", "bench", "examples"}) {
@@ -722,5 +746,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "concord-lint: nothing to lint (try --root <repo>)\n");
     return 2;
   }
-  return run(paths);
+  return run(paths, json);
 }
