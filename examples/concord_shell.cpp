@@ -17,6 +17,7 @@
 
 #include "query/queries.hpp"
 #include "services/checkpoint_format.hpp"
+#include "services/integrity_scrub.hpp"
 #include "services/collective_checkpoint.hpp"
 #include "services/dht_audit.hpp"
 #include "services/migration.hpp"
@@ -346,6 +347,65 @@ struct Shell {
     }
   }
 
+  void cmd_corrupt(std::istringstream& args) {
+    if (!require_cluster()) return;
+    double rate = 0.0;
+    std::string checksums;
+    if (!(args >> rate) || rate < 0.0 || rate > 1.0) {
+      std::puts("usage: corrupt <rate 0..1> [on|off]   (on/off toggles wire checksums)");
+      return;
+    }
+    args >> checksums;
+    cluster->fabric().set_corrupt_rate(rate);
+    if (checksums == "on") cluster->fabric().set_checksum_enabled(true);
+    else if (checksums == "off") cluster->fabric().set_checksum_enabled(false);
+    std::printf("fabric: %.1f%% of datagram payloads bit-flipped in flight; wire "
+                "checksums %s (%s)\n",
+                rate * 100.0, cluster->fabric().checksum_enabled() ? "on" : "off",
+                cluster->fabric().checksum_enabled()
+                    ? "corrupt datagrams dropped + counted, reliable class retries"
+                    : "corruption arrives undetected — run `scrub` to heal the DHT");
+  }
+
+  void cmd_rot(std::istringstream& args) {
+    if (!require_cluster()) return;
+    std::string path;
+    if (!(args >> path)) {
+      std::puts("usage: rot <file> [offset] [bit 0-7]");
+      return;
+    }
+    const auto size = cluster->fs().size(path);
+    if (!size.has_value()) {
+      std::printf("rot: no such file '%s' (see `stats` for the file count)\n", path.c_str());
+      return;
+    }
+    FileOffset offset = size.value() / 2;  // default: a bit in the middle
+    unsigned bit = 0;
+    args >> offset >> bit;
+    const Status st = cluster->fs().rot(path, offset, bit);
+    if (!ok(st)) {
+      std::printf("rot failed: %s\n", std::string(to_string(st)).c_str());
+      return;
+    }
+    std::printf("rot: flipped bit %u of byte %llu in %s (%llu flips total)\n", bit,
+                static_cast<unsigned long long>(offset), path.c_str(),
+                static_cast<unsigned long long>(cluster->fs().rot_flips()));
+  }
+
+  void cmd_scrub() {
+    if (!require_cluster()) return;
+    services::IntegrityScrub scrub(*cluster);
+    const services::ScrubReport r = scrub.scrub_and_heal();
+    std::printf("scrub: %llu entries re-hashed, %llu quarantined, %llu repaired "
+                "in %llu rounds (%.2f ms)%s\n",
+                static_cast<unsigned long long>(r.entries_checked),
+                static_cast<unsigned long long>(r.quarantined),
+                static_cast<unsigned long long>(r.repaired),
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<double>(r.latency) / 1e6,
+                r.repaired == r.quarantined ? "" : "  ! unhealed quarantines remain");
+  }
+
   void cmd_stats() {
     if (!require_cluster()) return;
     const net::NodeTraffic t = cluster->fabric().total_traffic();
@@ -407,6 +467,16 @@ struct Shell {
                   store.unique_hashes(), static_cast<double>(store.memory_bytes()) / 1e3,
                   cluster->daemon(node_id(n)).monitor().tracked_entities());
     }
+    std::printf("integrity: %llu corrupt datagrams dropped; %llu entries quarantined, "
+                "%llu repaired; %llu torn writes, %llu rot flips\n",
+                static_cast<unsigned long long>(
+                    cluster->metrics().counter_total("net", "msgs_corrupt_dropped")),
+                static_cast<unsigned long long>(
+                    cluster->metrics().counter_total("dht", "entries_quarantined")),
+                static_cast<unsigned long long>(
+                    cluster->metrics().counter_total("dht", "entries_repaired")),
+                static_cast<unsigned long long>(cluster->fs().torn_writes()),
+                static_cast<unsigned long long>(cluster->fs().rot_flips()));
     std::printf("fs: %.1f KB in %zu files; virtual time %.2f ms\n",
                 static_cast<double>(cluster->fs().total_bytes()) / 1e3,
                 cluster->fs().list().size(),
@@ -542,6 +612,9 @@ struct Shell {
           "audit                       reconcile DHT with ground truth\n"
           "fault <node> <crash|restart|pause|resume>  inject a node fault\n"
           "partition <a> <b>           toggle a symmetric link cut\n"
+          "corrupt <rate> [on|off]     bit-flip datagrams in flight (on/off = checksums)\n"
+          "rot <file> [offset] [bit]   flip one stored bit (default: mid-file)\n"
+          "scrub                       re-hash DHT entries; quarantine + heal corruption\n"
           "detect                      run a failure-detection window\n"
           "stats                       traffic / DHT / fs / clock / watchdog\n"
           "blackbox [node]             dump the flight-recorder ring(s) as JSON\n"
@@ -565,6 +638,9 @@ struct Shell {
     else if (cmd == "audit") cmd_audit();
     else if (cmd == "fault") cmd_fault(args);
     else if (cmd == "partition") cmd_partition(args);
+    else if (cmd == "corrupt") cmd_corrupt(args);
+    else if (cmd == "rot") cmd_rot(args);
+    else if (cmd == "scrub") cmd_scrub();
     else if (cmd == "detect") cmd_detect();
     else if (cmd == "stats") cmd_stats();
     else if (cmd == "blackbox") cmd_blackbox(args);

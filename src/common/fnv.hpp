@@ -1,0 +1,29 @@
+// FNV-1a 64-bit: the integrity checksum shared by the wire codec, the
+// checkpoint format, and the simfs manifest digests. Not cryptographic —
+// it guards against bit-flips, truncation, and torn writes, the fault
+// classes the injection layer models, at a cost low enough to charge on
+// every datagram.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace concord {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Folds `data` into a running FNV-1a-64 state. Chain calls by threading the
+/// return value back in as `h` to digest discontiguous regions (e.g. a
+/// datagram with its checksum field zeroed).
+constexpr std::uint64_t fnv1a64(std::span<const std::byte> data,
+                                std::uint64_t h = kFnvOffsetBasis) noexcept {
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace concord

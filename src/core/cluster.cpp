@@ -1,12 +1,14 @@
 #include "core/cluster.hpp"
 
 #include <algorithm>
+#include <any>
 #include <cinttypes>
 #include <cstdio>
 #include <optional>
 #include <thread>
 
 #include "core/cost_model.hpp"
+#include "core/update_batcher.hpp"
 
 namespace concord::core {
 
@@ -107,6 +109,35 @@ Cluster::Cluster(ClusterParams params)
     ++breaker_hints_;
     detector_.hint_suspect(dst);
   });
+  // Silent-corruption model (checksums off): when the fabric's corrupt roll
+  // fires without checksum verification to catch it, the bit-flip lands
+  // here and poisons the typed payload in place. One deterministic bit of
+  // the first content hash flips — so a re-corrupted retransmit restores it
+  // rather than compounding — and only content-bearing update payloads are
+  // touched: control frames carry nothing the integrity scrub could later
+  // disprove. With checksums on this hook is never invoked.
+  fabric_.set_payload_corruptor([](net::Message& m) {
+    switch (m.type) {
+      case net::MsgType::kDhtInsert:
+      case net::MsgType::kDhtRemove:
+        if (auto* u = std::any_cast<DhtUpdateMsg>(&m.payload)) u->hash.lo ^= 1;
+        break;
+      case net::MsgType::kDhtUpdateBatch:
+        if (auto* b = std::any_cast<DhtUpdateBatchMsg>(&m.payload);
+            b != nullptr && !b->empty()) {
+          b->front().hash.lo ^= 1;
+        }
+        break;
+      case net::MsgType::kReplicaSync:
+        if (auto* r = std::any_cast<ReplicaSyncMsg>(&m.payload);
+            r != nullptr && !r->records.empty()) {
+          r->records.front().hash.lo ^= 1;
+        }
+        break;
+      default:
+        break;
+    }
+  });
   if (params_.pressure.enabled) {
     pressure_ = std::make_unique<PressureController>(fabric_, params_.pressure);
     for (auto& d : daemons_) pressure_->attach(*d);
@@ -123,10 +154,12 @@ Cluster::Cluster(ClusterParams params)
 void Cluster::install_invariants() {
   // PR-5 conservation identity, valid at quiescent points (scan boundaries,
   // after sim().run()): every datagram counted sent was received, dropped in
-  // flight, shed at a full ingress queue, blackholed mid-flight, or was a
-  // completed ack (counted sent but consumed by the reliable protocol, never
-  // "received"). Loopback deliveries are received without ever being sent,
-  // hence the correction.
+  // flight, shed at a full ingress queue, blackholed mid-flight, dropped as
+  // checksum-corrupt at the receiver, or was a completed ack (counted sent
+  // but consumed by the reliable protocol, never "received"). Loopback
+  // deliveries are received without ever being sent, and duplicates are
+  // received (or shed/blackholed — they're counted at manufacture) without
+  // being sent, hence the two corrections.
   watchdog_.add_invariant("net_conservation", [this]() -> std::optional<std::string> {
     const std::uint64_t sent = metrics_.counter_total("net", "msgs_sent");
     const std::uint64_t received = metrics_.counter_total("net", "msgs_received");
@@ -134,16 +167,21 @@ void Cluster::install_invariants() {
     const std::uint64_t shed = metrics_.counter_total("net", "msgs_shed");
     const std::uint64_t inflight =
         metrics_.counter_total("net", "msgs_blackholed_inflight");
+    const std::uint64_t corrupt = metrics_.counter_total("net", "msgs_corrupt_dropped");
     const std::uint64_t acks = fabric_.acks_completed();
     const std::uint64_t loopback = fabric_.loopback_delivered();
-    const std::uint64_t rhs = received - loopback + dropped + shed + inflight + acks;
+    const std::uint64_t duplicated = fabric_.duplicates_delivered();
+    const std::uint64_t rhs =
+        received - loopback - duplicated + dropped + shed + inflight + corrupt + acks;
     if (sent == rhs) return std::nullopt;
-    char buf[224];
+    char buf[288];
     std::snprintf(buf, sizeof buf,
                   "sent=%" PRIu64 " != %" PRIu64 " (received=%" PRIu64
-                  " - loopback=%" PRIu64 " + dropped=%" PRIu64 " + shed=%" PRIu64
-                  " + inflight_blackholed=%" PRIu64 " + acks=%" PRIu64 ")",
-                  sent, rhs, received, loopback, dropped, shed, inflight, acks);
+                  " - loopback=%" PRIu64 " - duplicated=%" PRIu64 " + dropped=%" PRIu64
+                  " + shed=%" PRIu64 " + inflight_blackholed=%" PRIu64
+                  " + corrupt_dropped=%" PRIu64 " + acks=%" PRIu64 ")",
+                  sent, rhs, received, loopback, duplicated, dropped, shed, inflight,
+                  corrupt, acks);
     return std::string(buf);
   });
   // The per-shard unique_hashes gauges must agree with the stores they

@@ -43,12 +43,46 @@ Status SimFs::create(const std::string& path) {
 
 FileOffset SimFs::append(const std::string& path, std::span<const std::byte> data) {
   const std::scoped_lock lock(mu_);
+  if (crashed_) {
+    // The writer host is dead: nothing persists, not even file creation.
+    const auto it = files_.find(path);
+    return it == files_.end() ? 0 : it->second.size;
+  }
   File& f = files_[path];
   const FileOffset offset = f.size;
-  write_at(f, offset, data);
+  std::size_t persist = data.size();
+  if (crash_armed_) {
+    if (crash_after_ == 0) {
+      // The crash-point fires mid-write: half the data reaches the platter,
+      // then the writer is gone until heal_faults().
+      persist = data.size() / 2;
+      crashed_ = true;
+      crash_armed_ = false;
+      ++torn_writes_;
+    } else {
+      --crash_after_;
+    }
+  }
+  if (!crashed_ && torn_rate_ > 0.0 && fault_rng_.chance(torn_rate_)) {
+    persist = data.empty() ? 0 : static_cast<std::size_t>(fault_rng_.below(data.size()));
+    ++torn_writes_;
+  }
+  if (persist > 0) write_at(f, offset, data.first(persist));
   ++f.stats.appends;
-  f.stats.bytes_written += data.size();
+  f.stats.bytes_written += persist;
   return offset;
+}
+
+Status SimFs::rename(const std::string& from, const std::string& to) {
+  const std::scoped_lock lock(mu_);
+  if (crashed_) return Status::kUnavailable;  // the commit barrier was never reached
+  const auto it = files_.find(from);
+  if (it == files_.end()) return Status::kNotFound;
+  if (from == to) return Status::kOk;
+  File f = std::move(it->second);
+  files_.erase(it);
+  files_.insert_or_assign(to, std::move(f));  // POSIX: replaces an existing `to`
+  return Status::kOk;
 }
 
 Status SimFs::pread(const std::string& path, FileOffset offset, std::span<std::byte> out) const {
@@ -114,6 +148,54 @@ std::uint64_t SimFs::total_bytes() const {
 void SimFs::clear() {
   const std::scoped_lock lock(mu_);
   files_.clear();
+}
+
+void SimFs::set_torn_writes(std::uint64_t seed, double torn_rate) {
+  const std::scoped_lock lock(mu_);
+  fault_rng_.reseed(seed);
+  torn_rate_ = torn_rate;
+}
+
+void SimFs::arm_crash_after(std::uint64_t appends) {
+  const std::scoped_lock lock(mu_);
+  crash_armed_ = true;
+  crash_after_ = appends;
+}
+
+bool SimFs::crashed() const {
+  const std::scoped_lock lock(mu_);
+  return crashed_;
+}
+
+void SimFs::heal_faults() {
+  const std::scoped_lock lock(mu_);
+  crashed_ = false;
+  crash_armed_ = false;
+  crash_after_ = 0;
+  torn_rate_ = 0.0;
+}
+
+Status SimFs::rot(const std::string& path, FileOffset offset, unsigned bit) {
+  const std::scoped_lock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::kNotFound;
+  File& f = it->second;
+  if (offset >= f.size || bit > 7) return Status::kInvalidArgument;
+  const auto chunk = static_cast<std::size_t>(offset / kChunkSize);
+  const auto within = static_cast<std::size_t>(offset % kChunkSize);
+  f.chunks[chunk][within] ^= static_cast<std::byte>(1u << bit);
+  ++rot_flips_;
+  return Status::kOk;
+}
+
+std::uint64_t SimFs::torn_writes() const {
+  const std::scoped_lock lock(mu_);
+  return torn_writes_;
+}
+
+std::uint64_t SimFs::rot_flips() const {
+  const std::scoped_lock lock(mu_);
+  return rot_flips_;
 }
 
 }  // namespace concord::fs

@@ -7,6 +7,18 @@
 // file with multiple writers"). SimFs provides exactly that, plus ordinary
 // positional reads for restore. The paper factors out file-system cost by
 // writing to a RAM disk; SimFs is our RAM disk.
+//
+// For the data-integrity work it also models the storage fault classes a
+// real disk exhibits, all seeded and off by default:
+//   * torn (short) writes — an append persists only a prefix of its data;
+//   * crash-points — after N more appends the "writer host" dies mid-write:
+//     the triggering append is torn and every later write or rename is
+//     dropped until heal_faults(); reads still work (the disk survived,
+//     the process did not);
+//   * bit-rot — rot() flips one stored bit in place.
+// rename() is the durability barrier checkpoint writers commit through:
+// stage into a temp file, rename into place — readers either see the old
+// complete file or the new complete file, never a torn one.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 
@@ -41,7 +54,17 @@ class SimFs {
   /// Atomic append: writes `data` at end-of-file and returns the offset the
   /// data starts at. Creates the file if absent. Safe for concurrent
   /// writers (one lock per file system; a parallel FS would shard this).
+  /// Under fault injection the write may be torn (a prefix persists) or
+  /// dropped entirely (crashed); the returned offset is where the data was
+  /// *meant* to land either way — a real writer does not learn its write was
+  /// lost until it reads it back.
   FileOffset append(const std::string& path, std::span<const std::byte> data);
+
+  /// Atomically renames `from` to `to`, replacing any existing `to` (POSIX
+  /// semantics). This is the commit barrier of the checkpoint protocol: a
+  /// reader observes either the complete old file or the complete new one.
+  /// kNotFound if `from` is absent; kUnavailable while crashed.
+  [[nodiscard]] Status rename(const std::string& from, const std::string& to);
 
   /// Positional read of out.size() bytes at `offset`.
   [[nodiscard]] Status pread(const std::string& path, FileOffset offset, std::span<std::byte> out) const;
@@ -58,6 +81,27 @@ class SimFs {
   [[nodiscard]] std::uint64_t total_bytes() const;
 
   void clear();
+
+  // --- fault injection (seeded, all off by default) -----------------------
+  /// Arms seeded torn-write injection: each subsequent append persists only
+  /// a random prefix of its data with probability `torn_rate`. Rate 0
+  /// disarms. Deterministic for a given seed and operation sequence.
+  void set_torn_writes(std::uint64_t seed, double torn_rate);
+  /// Arms a crash-point: after `appends` more successful appends, the next
+  /// append is torn at half its length and the file system enters the
+  /// crashed state — every later append and rename is dropped until
+  /// heal_faults(). Models a writer dying mid-checkpoint.
+  void arm_crash_after(std::uint64_t appends);
+  [[nodiscard]] bool crashed() const;
+  /// Clears the crashed state and disarms torn writes and crash-points.
+  void heal_faults();
+  /// Bit-rot: flips bit `bit` (0-7) of the stored byte at `offset`.
+  /// kNotFound / kInvalidArgument on a bad path or out-of-range offset.
+  [[nodiscard]] Status rot(const std::string& path, FileOffset offset, unsigned bit);
+  /// Appends that persisted short under torn-write or crash-point faults.
+  [[nodiscard]] std::uint64_t torn_writes() const;
+  /// Bits flipped through rot().
+  [[nodiscard]] std::uint64_t rot_flips() const;
 
  private:
   /// Files are stored in fixed chunks rather than one contiguous buffer so
@@ -76,6 +120,16 @@ class SimFs {
 
   mutable std::mutex mu_;
   std::map<std::string, File> files_;
+
+  // Fault-injection state, all under mu_. The Rng draws only while
+  // torn_rate_ > 0, so fault-free runs make no draws at all.
+  Rng fault_rng_{0};
+  double torn_rate_ = 0.0;
+  std::uint64_t crash_after_ = 0;  // remaining appends; 0 = disarmed
+  bool crash_armed_ = false;
+  bool crashed_ = false;
+  std::uint64_t torn_writes_ = 0;
+  std::uint64_t rot_flips_ = 0;
 };
 
 }  // namespace concord::fs

@@ -2,6 +2,8 @@
 // hash-map iteration order.
 #include "net/codec.hpp"
 
+#include "common/fnv.hpp"
+
 namespace concord::net::codec {
 
 namespace {
@@ -64,20 +66,56 @@ class Reader {
 };
 
 void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_len,
-                const TraceContext* trace) {
+                const TraceContext* trace, bool checksummed) {
   const bool traced = trace != nullptr && trace->valid();
   put_u32(out, kMagic);
-  put_u8(out, traced ? kVersionTraced : kVersion);
+  std::uint8_t version = kVersion;
+  if (traced) version = checksummed ? kVersionTracedChecksummed : kVersionTraced;
+  else if (checksummed) version = kVersionChecksummed;
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u32(out, body_len);
   if (traced) {
     put_u64(out, trace->root);
     put_u64(out, trace->parent);
   }
+  // Checksum placeholder; seal() patches it once the body is appended. The
+  // digest is computed with this field zeroed, so the placeholder bytes
+  // participate in their own checksum without a copy.
+  if (checksummed) put_u64(out, 0);
 }
 
-/// Validates the header and returns a reader positioned at the body (past
-/// the trace context, when present).
+/// Patches the checksum field of the datagram that starts at `start`, after
+/// its body has been appended. No-op for unchecksummed datagrams.
+void seal(std::vector<std::byte>& out, std::size_t start, const TraceContext* trace,
+          bool checksummed) {
+  if (!checksummed) return;
+  const bool traced = trace != nullptr && trace->valid();
+  const std::size_t off = start + kHeaderLen + (traced ? kTraceCtxBytes : 0);
+  const std::uint64_t sum =
+      fnv1a64(std::span<const std::byte>(out).subspan(start));
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    out[off + i] = static_cast<std::byte>((sum >> (8 * i)) & 0xff);
+  }
+}
+
+/// Recomputes a received datagram's digest — header and body with the
+/// checksum field substituted by zeroes — and compares it to the stored one.
+[[nodiscard]] bool checksum_ok(std::span<const std::byte> datagram, bool traced) {
+  const std::size_t off = kHeaderLen + (traced ? kTraceCtxBytes : 0);
+  constexpr std::byte kZeros[kChecksumBytes] = {};
+  std::uint64_t sum = fnv1a64(datagram.first(off));
+  sum = fnv1a64(std::span<const std::byte>(kZeros, kChecksumBytes), sum);
+  sum = fnv1a64(datagram.subspan(off + kChecksumBytes), sum);
+  std::uint64_t stored = 0;
+  for (std::size_t i = kChecksumBytes; i-- > 0;) {
+    stored = (stored << 8) | static_cast<std::uint64_t>(datagram[off + i]);
+  }
+  return stored == sum;
+}
+
+/// Validates the header — including the checksum, when present — and returns
+/// a reader positioned at the body (past the trace context and checksum).
 [[nodiscard]] Result<Reader> open_body(std::span<const std::byte> datagram, WireType expect_a,
                          WireType expect_b) {
   const Result<WireHeader> h = decode_header(datagram);
@@ -85,25 +123,34 @@ void put_header(std::vector<std::byte>& out, WireType type, std::uint32_t body_l
   if (h.value().type != expect_a && h.value().type != expect_b) {
     return Status::kInvalidArgument;
   }
-  return Reader(datagram.subspan(kHeaderLen + (h.value().traced ? kTraceCtxBytes : 0)));
+  if (h.value().checksummed && !checksum_ok(datagram, h.value().traced)) {
+    return Status::kInvalidArgument;
+  }
+  return Reader(datagram.subspan(kHeaderLen + (h.value().traced ? kTraceCtxBytes : 0) +
+                                 (h.value().checksummed ? kChecksumBytes : 0)));
 }
 
 }  // namespace
 
-void encode(const DhtUpdate& msg, std::vector<std::byte>& out, const TraceContext* trace) {
-  put_header(out, msg.insert ? WireType::kDhtInsert : WireType::kDhtRemove, 16 + 4, trace);
+void encode(const DhtUpdate& msg, std::vector<std::byte>& out, const TraceContext* trace,
+            bool checksummed) {
+  const std::size_t start = out.size();
+  put_header(out, msg.insert ? WireType::kDhtInsert : WireType::kDhtRemove, 16 + 4, trace,
+             checksummed);
   put_u64(out, msg.hash.hi);
   put_u64(out, msg.hash.lo);
   put_u32(out, raw(msg.entity));
+  seal(out, start, trace, checksummed);
 }
 
 void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out,
-            const TraceContext* trace) {
+            const TraceContext* trace, bool checksummed) {
+  const std::size_t start = out.size();
   const auto count = static_cast<std::uint16_t>(msg.records.size());
   put_header(out, WireType::kDhtUpdateBatch,
              static_cast<std::uint32_t>(kDhtUpdateBatchCountBytes +
                                         msg.records.size() * kDhtUpdateRecordBytes),
-             trace);
+             trace, checksummed);
   put_u16(out, count);
   for (const DhtUpdate& rec : msg.records) {
     put_u8(out, rec.insert ? 1 : 0);
@@ -111,23 +158,30 @@ void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out,
     put_u64(out, rec.hash.lo);
     put_u32(out, raw(rec.entity));
   }
+  seal(out, start, trace, checksummed);
 }
 
-void encode(const Query& msg, std::vector<std::byte>& out, const TraceContext* trace) {
+void encode(const Query& msg, std::vector<std::byte>& out, const TraceContext* trace,
+            bool checksummed) {
+  const std::size_t start = out.size();
   put_header(out, msg.want_entities ? WireType::kEntitiesQuery : WireType::kNumCopiesQuery,
-             8 + 16, trace);
+             8 + 16, trace, checksummed);
   put_u64(out, msg.req_id);
   put_u64(out, msg.hash.hi);
   put_u64(out, msg.hash.lo);
+  seal(out, start, trace, checksummed);
 }
 
-void encode(const QueryReply& msg, std::vector<std::byte>& out, const TraceContext* trace) {
+void encode(const QueryReply& msg, std::vector<std::byte>& out, const TraceContext* trace,
+            bool checksummed) {
+  const std::size_t start = out.size();
   const auto count = static_cast<std::uint32_t>(msg.entities.size());
-  put_header(out, WireType::kQueryReply, 8 + 4 + 4 + count * 4, trace);
+  put_header(out, WireType::kQueryReply, 8 + 4 + 4 + count * 4, trace, checksummed);
   put_u64(out, msg.req_id);
   put_u32(out, msg.num_copies);
   put_u32(out, count);
   for (const EntityId e : msg.entities) put_u32(out, raw(e));
+  seal(out, start, trace, checksummed);
 }
 
 Result<WireHeader> decode_header(std::span<const std::byte> datagram) {
@@ -138,13 +192,18 @@ Result<WireHeader> decode_header(std::span<const std::byte> datagram) {
     return Status::kInvalidArgument;
   }
   if (magic != kMagic) return Status::kInvalidArgument;
-  if (version != kVersion && version != kVersionTraced) return Status::kInvalidArgument;
-  const bool traced = version == kVersionTraced;
-  if (type < 1 || type > kMaxWireType) return Status::kInvalidArgument;
-  if (datagram.size() != kHeaderLen + (traced ? kTraceCtxBytes : 0) + body_len) {
+  if (version < kVersion || version > kVersionTracedChecksummed) {
     return Status::kInvalidArgument;
   }
-  return WireHeader{static_cast<WireType>(type), body_len, traced};
+  const bool traced = version == kVersionTraced || version == kVersionTracedChecksummed;
+  const bool checksummed =
+      version == kVersionChecksummed || version == kVersionTracedChecksummed;
+  if (type < 1 || type > kMaxWireType) return Status::kInvalidArgument;
+  if (datagram.size() != kHeaderLen + (traced ? kTraceCtxBytes : 0) +
+                             (checksummed ? kChecksumBytes : 0) + body_len) {
+    return Status::kInvalidArgument;
+  }
+  return WireHeader{static_cast<WireType>(type), body_len, traced, checksummed};
 }
 
 Result<TraceContext> decode_trace_context(std::span<const std::byte> datagram) {
@@ -158,20 +217,23 @@ Result<TraceContext> decode_trace_context(std::span<const std::byte> datagram) {
 }
 
 void encode(const CollectiveQuery& msg, std::vector<std::byte>& out,
-            const TraceContext* trace) {
+            const TraceContext* trace, bool checksummed) {
+  const std::size_t start = out.size();
   const auto words = static_cast<std::uint32_t>(msg.scope_words.size());
-  put_header(out, WireType::kCollectiveQuery, 8 + 8 + 1 + 4 + words * 8, trace);
+  put_header(out, WireType::kCollectiveQuery, 8 + 8 + 1 + 4 + words * 8, trace, checksummed);
   put_u64(out, msg.req_id);
   put_u64(out, msg.k);
   put_u8(out, msg.collect_hashes ? 1 : 0);
   put_u32(out, words);
   for (const std::uint64_t w : msg.scope_words) put_u64(out, w);
+  seal(out, start, trace, checksummed);
 }
 
 void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
-            const TraceContext* trace) {
+            const TraceContext* trace, bool checksummed) {
+  const std::size_t start = out.size();
   const auto count = static_cast<std::uint32_t>(msg.k_hashes.size());
-  put_header(out, WireType::kCollectiveReply, 8 + 5 * 8 + 4 + count * 16, trace);
+  put_header(out, WireType::kCollectiveReply, 8 + 5 * 8 + 4 + count * 16, trace, checksummed);
   put_u64(out, msg.req_id);
   put_u64(out, msg.total);
   put_u64(out, msg.unique);
@@ -183,6 +245,7 @@ void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
     put_u64(out, h.hi);
     put_u64(out, h.lo);
   }
+  seal(out, start, trace, checksummed);
 }
 
 Result<CollectiveQuery> decode_collective_query(std::span<const std::byte> datagram) {
@@ -197,7 +260,8 @@ Result<CollectiveQuery> decode_collective_query(std::span<const std::byte> datag
     return Status::kInvalidArgument;
   }
   if (words > 1u << 16) return Status::kInvalidArgument;  // 4M entities is plenty
-  msg.collect_hashes = collect != 0;
+  if (collect > 1) return Status::kInvalidArgument;  // non-canonical bool byte
+  msg.collect_hashes = collect == 1;
   msg.scope_words.reserve(words);
   for (std::uint32_t i = 0; i < words; ++i) {
     std::uint64_t w = 0;
@@ -231,12 +295,13 @@ Result<CollectiveReply> decode_collective_reply(std::span<const std::byte> datag
 }
 
 void encode(const ReplicaSync& msg, std::vector<std::byte>& out,
-            const TraceContext* trace) {
+            const TraceContext* trace, bool checksummed) {
+  const std::size_t start = out.size();
   const auto count = static_cast<std::uint16_t>(msg.records.size());
   put_header(out, WireType::kReplicaSync,
              static_cast<std::uint32_t>(kReplicaSyncFixedBytes +
                                         msg.records.size() * kDhtUpdateRecordBytes),
-             trace);
+             trace, checksummed);
   put_u32(out, msg.home);
   put_u64(out, msg.epoch);
   put_u8(out, msg.last ? 1 : 0);
@@ -247,6 +312,7 @@ void encode(const ReplicaSync& msg, std::vector<std::byte>& out,
     put_u64(out, rec.hash.lo);
     put_u32(out, raw(rec.entity));
   }
+  seal(out, start, trace, checksummed);
 }
 
 Result<ReplicaSync> decode_replica_sync(std::span<const std::byte> datagram) {

@@ -35,6 +35,16 @@ inline constexpr std::uint8_t kVersion = 1;
 /// datagrams still encode as version 1, so enabling the capability without
 /// tracing changes no byte anywhere.
 inline constexpr std::uint8_t kVersionTraced = 2;
+/// Version bytes of checksummed datagrams: an 8-byte FNV-1a-64 checksum over
+/// the whole datagram (computed with the checksum field itself zeroed) sits
+/// after the fixed header — and after the trace context, when present —
+/// directly before the body, which is laid out exactly as in version 1.
+/// Like tracing, the leg is opt-in per datagram: encoders emit it only when
+/// asked, so unchecksummed traffic stays byte-identical to the pre-checksum
+/// format, and decoders verify it before handing out a body reader, so a
+/// corrupted datagram is rejected at the header instead of half-decoded.
+inline constexpr std::uint8_t kVersionChecksummed = 3;
+inline constexpr std::uint8_t kVersionTracedChecksummed = 4;
 
 enum class WireType : std::uint8_t {
   kDhtInsert = 1,
@@ -52,9 +62,12 @@ inline constexpr std::uint8_t kMaxWireType = 9;
 struct WireHeader {
   WireType type{};
   std::uint32_t body_len = 0;
-  bool traced = false;  // version kVersionTraced: trace context follows header
+  bool traced = false;       // trace context follows the fixed header
+  bool checksummed = false;  // verified FNV-1a-64 checksum precedes the body
 };
 inline constexpr std::size_t kHeaderLen = 4 + 1 + 1 + 4;  // magic, ver, type, len
+/// Size of the optional checksum field (versions 3 and 4).
+inline constexpr std::size_t kChecksumBytes = 8;
 
 struct DhtUpdate {
   ContentHash hash;
@@ -125,23 +138,26 @@ struct CollectiveReply {
 
 // --- encoders: append header+body to `out` and return the datagram span
 // boundaries (the datagram is out's new suffix). Passing a valid `trace`
-// emits the version-2 traced layout; nullptr (or an invalid context) emits
-// bytes identical to the pre-tracing format.
+// emits the traced layout; nullptr (or an invalid context) emits bytes
+// identical to the pre-tracing format. Passing `checksummed = true` emits the
+// version-3/4 layout with a verified FNV-1a-64 checksum between header (and
+// trace context, when present) and body; the default emits no checksum, so
+// existing call sites produce byte-identical datagrams.
 
 void encode(const DhtUpdate& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 void encode(const DhtUpdateBatch& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 void encode(const Query& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 void encode(const QueryReply& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 void encode(const CollectiveQuery& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 void encode(const CollectiveReply& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 void encode(const ReplicaSync& msg, std::vector<std::byte>& out,
-            const TraceContext* trace = nullptr);
+            const TraceContext* trace = nullptr, bool checksummed = false);
 
 // --- decoding: header first, then the matching body.
 

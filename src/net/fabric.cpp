@@ -58,6 +58,22 @@ obs::Counter& Fabric::shed_type_cell(MsgType t) {
   return *c;
 }
 
+obs::Counter& Fabric::corrupt_cell(NodeId node) {
+  obs::Counter*& c = corrupt_cells_[node];
+  if (c == nullptr) {
+    c = &metrics().counter("net", "msgs_corrupt_dropped", static_cast<std::int32_t>(raw(node)));
+  }
+  return *c;
+}
+
+obs::Counter& Fabric::corrupt_type_cell(MsgType t) {
+  obs::Counter*& c = corrupt_type_cells_[static_cast<std::size_t>(t)];
+  if (c == nullptr) {
+    c = &metrics().counter("net", "corrupt_msgs." + std::string(to_string(t)));
+  }
+  return *c;
+}
+
 obs::Counter& Fabric::site_counter(const char* name) {
   // Not cached: these sit on cold paths (breaker transitions, in-flight
   // blackholes) where a map lookup in the registry is fine.
@@ -111,6 +127,17 @@ void Fabric::bind_metrics(obs::Registry& registry) {
     shed_type_cells_[t] = nullptr;
     shed_type_cell(static_cast<MsgType>(t)).inc(old->value());
   }
+  for (auto& [node, cell] : corrupt_cells_) {
+    obs::Counter* old = cell;
+    cell = &registry.counter("net", "msgs_corrupt_dropped", static_cast<std::int32_t>(raw(node)));
+    cell->inc(old->value());
+  }
+  for (std::size_t t = 0; t < corrupt_type_cells_.size(); ++t) {
+    if (corrupt_type_cells_[t] == nullptr) continue;
+    obs::Counter* old = corrupt_type_cells_[t];
+    corrupt_type_cells_[t] = nullptr;
+    corrupt_type_cell(static_cast<MsgType>(t)).inc(old->value());
+  }
   if (own_metrics_) {
     for (const char* name : {"breaker_trips", "breaker_fastfail", "msgs_blackholed_inflight"}) {
       const std::uint64_t v = own_metrics_->counter_total("net", name);
@@ -154,6 +181,41 @@ void Fabric::set_link_loss(NodeId src, NodeId dst, double p) {
 double Fabric::link_loss(NodeId src, NodeId dst) const {
   const auto it = lossy_links_.find(link_key(src, dst));
   return it == lossy_links_.end() ? 0.0 : it->second;
+}
+
+void Fabric::set_link_corrupt(NodeId src, NodeId dst, double p) {
+  if (p <= 0.0) {
+    corrupt_links_.erase(link_key(src, dst));
+  } else {
+    corrupt_links_[link_key(src, dst)] = p;
+  }
+}
+
+double Fabric::link_corrupt(NodeId src, NodeId dst) const {
+  const auto it = corrupt_links_.find(link_key(src, dst));
+  return it == corrupt_links_.end() ? 0.0 : it->second;
+}
+
+bool Fabric::roll_corrupt(NodeId src, NodeId dst) {
+  double p = params_.corrupt_rate;
+  if (!corrupt_links_.empty()) {
+    const auto it = corrupt_links_.find(link_key(src, dst));
+    if (it != corrupt_links_.end()) p = p + it->second - p * it->second;
+  }
+  if (p <= 0.0) return false;  // no RNG draw: fault-free runs stay byte-identical
+  return sim_.rng().chance(p);
+}
+
+void Fabric::count_corrupt_drop(const Message& msg) {
+  corrupt_cell(msg.dst).inc();
+  corrupt_type_cell(msg.type).inc();
+  fr_record(msg.dst, obs::FrEvent::kMsgCorrupt, msg.type, msg.src, msg.wire_size);
+}
+
+std::uint64_t Fabric::corrupt_dropped() const {
+  return metrics_ != nullptr ? metrics_->counter_total("net", "msgs_corrupt_dropped")
+         : own_metrics_     ? own_metrics_->counter_total("net", "msgs_corrupt_dropped")
+                            : 0;
 }
 
 sim::Time Fabric::transmit(NodeId src, NodeId dst, std::size_t wire_size, bool lossy,
@@ -375,6 +437,7 @@ void Fabric::account_send(Message& msg) {
 
 void Fabric::send_unreliable(Message msg) {
   maybe_stamp(msg);
+  maybe_checksum_charge(msg);
   if (msg.src == msg.dst) {
     deliver_at(sim_.now() + kLoopbackLatency, std::move(msg), Delivery::kLoopback);
     return;
@@ -383,13 +446,39 @@ void Fabric::send_unreliable(Message msg) {
   const sim::Time arrival =
       transmit(msg.src, msg.dst, msg.wire_size, /*lossy=*/true, msg.type);
   if (arrival < 0) return;  // lost in flight or blackholed
+  if (roll_corrupt(msg.src, msg.dst)) {
+    if (params_.checksum_enabled) {
+      // The receiver's checksum verification fails: the datagram is counted
+      // and dropped before it reaches a handler. For this class that is the
+      // end of it — updates are best-effort by design.
+      count_corrupt_drop(msg);
+      return;
+    }
+    // No checksum: the bit-flip rides through undetected. The typed payload
+    // is poisoned in place (the cluster's corruptor knows the types); the
+    // quarantine scrub is what eventually finds the damage.
+    if (corruptor_) corruptor_(msg);
+  }
   const std::optional<Delivery> admitted = admit_ingress(msg);
   if (!admitted.has_value()) return;  // tail-dropped at the full ingress queue
+  if (params_.duplicate_rate > 0 && sim_.rng().chance(params_.duplicate_rate)) {
+    // Duplication: the receiver sees the datagram twice. Both copies verify
+    // (a checksum cannot catch a faithful duplicate); handlers cope by
+    // idempotence. Counted at manufacture so the conservation identity can
+    // subtract it whichever way the copy ends (delivered, shed, blackholed).
+    ++duplicates_delivered_;
+    Message dup = msg;
+    const std::optional<Delivery> dup_admitted = admit_ingress(dup);
+    if (dup_admitted.has_value()) {
+      deliver_at(rx_schedule(dup.dst, arrival), std::move(dup), *dup_admitted);
+    }
+  }
   deliver_at(rx_schedule(msg.dst, arrival), std::move(msg), *admitted);
 }
 
 void Fabric::send_reliable(Message msg, SendCallback on_done) {
   maybe_stamp(msg);
+  maybe_checksum_charge(msg);
   if (msg.src == msg.dst) {
     // Loopback: intra-node messages never touch the NIC and cannot be lost.
     const sim::Time when = sim_.now() + kLoopbackLatency;
@@ -421,7 +510,8 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
   // the data as well. A tail-drop at the destination's bounded ingress queue
   // looks exactly like loss to the sender — that is what makes the sender
   // back off instead of amplifying the overload.
-  constexpr std::size_t kAckBytes = kWireHeaderBytes;
+  const std::size_t kAckBytes =
+      kWireHeaderBytes + (params_.checksum_enabled ? kWireChecksumBytes : 0);
   const NodeId src = msg.src;
   const NodeId dst = msg.dst;
   sim::Time elapsed = 0;
@@ -432,6 +522,20 @@ void Fabric::send_reliable(Message msg, SendCallback on_done) {
     ++attempt;
     if (attempt > 1) cells_for(src).retransmits->inc();
     sim::Time arrival = transmit(src, dst, msg.wire_size, /*lossy=*/true, msg.type);
+    if (arrival >= 0 && roll_corrupt(src, dst)) {
+      if (params_.checksum_enabled) {
+        // The receiver verifies the checksum, drops the frame, and never
+        // acks: to the sender this attempt is indistinguishable from loss,
+        // so the normal backoff/retry machinery re-sends it.
+        count_corrupt_drop(msg);
+        arrival = -1;
+      } else if (corruptor_) {
+        // Undetected: the poisoned frame is delivered and acked like any
+        // other. (A second corrupt roll on a retransmit re-flips the same
+        // bit — the corruptor is deterministic per message.)
+        corruptor_(msg);
+      }
+    }
     std::optional<Delivery> admitted;
     if (arrival >= 0) {
       admitted = admit_ingress(msg);

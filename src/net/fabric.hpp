@@ -88,6 +88,27 @@ struct FabricParams {
   /// 0 = disabled.
   int breaker_threshold = 0;
   sim::Time breaker_cooldown = 50 * sim::kMillisecond;
+
+  // --- data integrity (all off by default) --------------------------------
+  /// When on, every non-loopback datagram carries the codec's 8-byte
+  /// FNV-1a-64 checksum (wire versions 3/4): traffic accounting grows by
+  /// kWireChecksumBytes per datagram, and a corrupted datagram is detected
+  /// at the receiver, dropped, and counted (net/msgs_corrupt_dropped plus
+  /// per-type cells) instead of being delivered — the reliable class then
+  /// retries it through the normal backoff machinery. Off: no extra bytes,
+  /// no extra cells, byte-identical traffic.
+  bool checksum_enabled = false;
+  /// I.i.d. payload bit-flip probability per transmitted datagram; per-link
+  /// corruption rates stack multiplicatively on top, like loss. With
+  /// checksums on, a corrupted datagram is detected and dropped; with
+  /// checksums off it is *silently* poisoned through the payload-corruptor
+  /// hook and delivered — the hazard the quarantine scrub exists to heal.
+  double corrupt_rate = 0.0;
+  /// I.i.d. duplication probability per delivered unreliable datagram: the
+  /// receiver sees the same datagram twice (a checksum cannot help — both
+  /// copies verify). Receivers tolerate this by idempotence; the DHT's
+  /// insert/remove records already are.
+  double duplicate_rate = 0.0;
 };
 
 /// Intra-node messages bypass the NIC entirely (shared-memory handoff):
@@ -268,6 +289,33 @@ class Fabric {
   void set_link_loss(NodeId src, NodeId dst, double p);
   [[nodiscard]] double link_loss(NodeId src, NodeId dst) const;
 
+  // --- data integrity surface --------------------------------------------
+  void set_checksum_enabled(bool on) noexcept { params_.checksum_enabled = on; }
+  [[nodiscard]] bool checksum_enabled() const noexcept {
+    return params_.checksum_enabled;
+  }
+  /// Global per-datagram bit-flip probability (stacks with per-link rates).
+  void set_corrupt_rate(double p) noexcept { params_.corrupt_rate = p; }
+  /// Per-link bit-flip probability, stacking multiplicatively on the global
+  /// rate (same composition as per-link loss).
+  void set_link_corrupt(NodeId src, NodeId dst, double p);
+  [[nodiscard]] double link_corrupt(NodeId src, NodeId dst) const;
+  void set_duplicate_rate(double p) noexcept { params_.duplicate_rate = p; }
+  /// Hook that flips a bit in a message's *typed* payload when a corruption
+  /// roll fires with checksums disabled. The fabric cannot mutate a
+  /// std::any it does not understand, so the cluster — which knows the
+  /// payload types — installs this. Must be deterministic.
+  using CorruptFn = std::function<void(Message&)>;
+  void set_payload_corruptor(CorruptFn fn) { corruptor_ = std::move(fn); }
+  /// Corrupted datagrams detected by checksum and dropped, site-wide.
+  [[nodiscard]] std::uint64_t corrupt_dropped() const;
+  /// Duplicate deliveries manufactured by the fault layer — each is one
+  /// extra msgs_received (or shed / in-flight blackhole) with no msgs_sent
+  /// of its own, so the conservation identity subtracts them.
+  [[nodiscard]] std::uint64_t duplicates_delivered() const noexcept {
+    return duplicates_delivered_;
+  }
+
  private:
   [[nodiscard]] static std::uint64_t link_key(NodeId src, NodeId dst) noexcept {
     return (static_cast<std::uint64_t>(raw(src)) << 32) | raw(dst);
@@ -356,6 +404,22 @@ class Fabric {
   obs::Histogram& depth_hist(NodeId node);
   obs::Counter& shed_type_cell(MsgType t);
   obs::Counter& site_counter(const char* name);
+  obs::Counter& corrupt_cell(NodeId node);
+  obs::Counter& corrupt_type_cell(MsgType t);
+
+  /// Rolls the (src, dst) corruption hazard. Returns false without drawing
+  /// from the RNG when no corruption is configured, so default runs stay
+  /// byte-identical.
+  [[nodiscard]] bool roll_corrupt(NodeId src, NodeId dst);
+  /// Accounts one checksum-detected corrupt datagram dropped at msg.dst.
+  void count_corrupt_drop(const Message& msg);
+  /// Charges the checksum field's wire bytes on non-loopback datagrams when
+  /// checksums are enabled (the codec's versions 3/4 layout).
+  void maybe_checksum_charge(Message& msg) const noexcept {
+    if (params_.checksum_enabled && msg.src != msg.dst) {
+      msg.wire_size += kWireChecksumBytes;
+    }
+  }
 
   sim::Simulation& sim_;
   FabricParams params_;
@@ -368,6 +432,10 @@ class Fabric {
   std::unordered_map<NodeId, obs::Histogram*> depth_hists_;
   std::array<TypeCells, kNumMsgTypes> type_cells_{};
   std::array<obs::Counter*, kNumMsgTypes> shed_type_cells_{};
+  std::array<obs::Counter*, kNumMsgTypes> corrupt_type_cells_{};
+  std::unordered_map<NodeId, obs::Counter*> corrupt_cells_;
+  std::unordered_map<std::uint64_t, double> corrupt_links_;  // per-link bit-flip
+  CorruptFn corruptor_;  // silent-poisoning hook (checksums off)
   std::unordered_map<std::uint64_t, Breaker> breakers_;    // by link_key
   BreakerTripFn on_breaker_trip_;
   std::unordered_set<std::uint32_t> unreachable_;          // down nodes
@@ -385,6 +453,7 @@ class Fabric {
   // Conservation accounting (see the public accessors).
   std::uint64_t acks_completed_ = 0;
   std::uint64_t loopback_delivered_ = 0;
+  std::uint64_t duplicates_delivered_ = 0;
 };
 
 }  // namespace concord::net

@@ -66,6 +66,15 @@ void FaultInjector::set_link_loss(NodeId a, NodeId b, double p) {
   }
 }
 
+void FaultInjector::set_link_corrupt(NodeId a, NodeId b, double p) {
+  fabric_.set_link_corrupt(a, b, p);
+  if (p > 0.0) {
+    corrupt_links_.insert(link_key(a, b));
+  } else {
+    corrupt_links_.erase(link_key(a, b));
+  }
+}
+
 std::vector<NodeId> FaultInjector::down_nodes() const {
   std::vector<NodeId> out;
   out.reserve(down_count());
@@ -93,6 +102,11 @@ void FaultInjector::heal_all() {
                           node_id(static_cast<std::uint32_t>(key)), 0.0);
   }
   lossy_links_.clear();
+  for (const std::uint64_t key : corrupt_links_) {
+    fabric_.set_link_corrupt(node_id(static_cast<std::uint32_t>(key >> 32)),
+                             node_id(static_cast<std::uint32_t>(key)), 0.0);
+  }
+  corrupt_links_.clear();
 }
 
 void FaultInjector::apply(const FaultEvent& e) {
@@ -103,6 +117,8 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultKind::kResume: resume(e.a); break;
     case FaultKind::kCutLink: cut_link(e.a, e.b); break;
     case FaultKind::kHealLink: heal_link(e.a, e.b); break;
+    case FaultKind::kCorruptLink: set_link_corrupt(e.a, e.b, e.rate); break;
+    case FaultKind::kHealCorrupt: set_link_corrupt(e.a, e.b, 0.0); break;
   }
 }
 

@@ -14,6 +14,10 @@
 //     kernel, livelock). Indistinguishable from a crash on the wire.
 //   * asymmetric link cuts and symmetric partitions.
 //   * per-link loss rates (a flaky cable rather than a cut one).
+//   * per-link and global payload corruption (bit-flips in flight) and
+//     datagram duplication — the data-integrity hazards: with the fabric's
+//     checksums on, corruption is detected and dropped; off, it silently
+//     poisons typed payloads through the cluster's corruptor hook.
 //
 // Faults can be applied immediately, or scheduled on the virtual clock from
 // a FaultEvent list — including a seeded random schedule — so chaos runs
@@ -38,8 +42,10 @@ enum class FaultKind : std::uint8_t {
   kRestart,
   kPause,
   kResume,
-  kCutLink,   // a -> b only
-  kHealLink,  // a -> b only
+  kCutLink,       // a -> b only
+  kHealLink,      // a -> b only
+  kCorruptLink,   // a -> b only; bit-flip rate from FaultEvent::rate
+  kHealCorrupt,   // a -> b only
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultKind k) noexcept {
@@ -50,6 +56,8 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::kResume: return "resume";
     case FaultKind::kCutLink: return "cut-link";
     case FaultKind::kHealLink: return "heal-link";
+    case FaultKind::kCorruptLink: return "corrupt-link";
+    case FaultKind::kHealCorrupt: return "heal-corrupt";
   }
   return "unknown";
 }
@@ -58,7 +66,8 @@ struct FaultEvent {
   sim::Time at = 0;
   FaultKind kind = FaultKind::kCrash;
   NodeId a{};
-  NodeId b{};  // only meaningful for link faults
+  NodeId b{};         // only meaningful for link faults
+  double rate = 0.0;  // only meaningful for kCorruptLink
 };
 
 class FaultInjector {
@@ -86,9 +95,17 @@ class FaultInjector {
     return fabric_.link_blocked(a, b) && fabric_.link_blocked(b, a);
   }
   void set_link_loss(NodeId a, NodeId b, double p);
+  /// Per-link payload bit-flip rate (stacks on the fabric's global rate).
+  void set_link_corrupt(NodeId a, NodeId b, double p);
+  /// Global payload bit-flip rate on every link.
+  void set_corrupt_rate(double p) { fabric_.set_corrupt_rate(p); }
+  /// Global unreliable-datagram duplication rate.
+  void set_duplicate_rate(double p) { fabric_.set_duplicate_rate(p); }
 
   /// Restarts every crashed node, resumes every paused one, reopens every
-  /// cut link and clears every per-link loss rate set through this injector.
+  /// cut link and clears every per-link loss and corruption rate set through
+  /// this injector. Global rates (loss, corruption, duplication) are fabric
+  /// parameters and stay as set.
   void heal_all();
 
   // --- state ------------------------------------------------------------
@@ -124,8 +141,9 @@ class FaultInjector {
   Fabric& fabric_;
   std::unordered_set<std::uint32_t> crashed_;
   std::unordered_set<std::uint32_t> paused_;
-  std::unordered_set<std::uint64_t> cut_links_;    // keys we blocked
-  std::unordered_set<std::uint64_t> lossy_links_;  // keys we set loss on
+  std::unordered_set<std::uint64_t> cut_links_;      // keys we blocked
+  std::unordered_set<std::uint64_t> lossy_links_;    // keys we set loss on
+  std::unordered_set<std::uint64_t> corrupt_links_;  // keys we set corruption on
   std::vector<NodeHook> crash_hooks_;
   std::vector<NodeHook> restart_hooks_;
 };

@@ -153,6 +153,11 @@ static_assert(
 /// headers plus ConCORD's own message header.
 inline constexpr std::size_t kWireHeaderBytes = 14 + 20 + 8 + 16;
 
+/// Extra wire bytes per datagram when the integrity checksum is enabled —
+/// the codec's 8-byte FNV-1a-64 field (versions 3/4). The emulated fabric
+/// charges the same amount so modeled and real wire volume agree.
+inline constexpr std::size_t kWireChecksumBytes = 8;
+
 struct Message {
   NodeId src{};
   NodeId dst{};

@@ -26,6 +26,10 @@ std::string_view to_string(FrEvent e) noexcept {
     case FrEvent::kDegradedCommand: return "degraded_command";
     case FrEvent::kAuditMismatch: return "audit_mismatch";
     case FrEvent::kWatchdogViolation: return "watchdog_violation";
+    case FrEvent::kMsgCorrupt: return "msg_corrupt";
+    case FrEvent::kEntryQuarantined: return "entry_quarantined";
+    case FrEvent::kEntryRepaired: return "entry_repaired";
+    case FrEvent::kCkptRecordBad: return "ckpt_record_bad";
   }
   return "unknown";
 }

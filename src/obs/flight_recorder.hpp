@@ -45,6 +45,10 @@ enum class FrEvent : std::uint8_t {
   kDegradedCommand,
   kAuditMismatch,
   kWatchdogViolation,
+  kMsgCorrupt,         // checksum-verified datagram failed verification, dropped
+  kEntryQuarantined,   // DHT entry failed re-hash verification, removed
+  kEntryRepaired,      // quarantined entry healed (donor resync or republish)
+  kCkptRecordBad,      // checkpoint record failed checksum / re-hash on restore
 };
 
 [[nodiscard]] std::string_view to_string(FrEvent e) noexcept;

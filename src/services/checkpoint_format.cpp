@@ -2,7 +2,10 @@
 // hash-map iteration order.
 #include "services/checkpoint_format.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/fnv.hpp"
 
 namespace concord::services {
 
@@ -32,25 +35,34 @@ std::uint64_t get_u64(std::span<const std::byte> in, std::size_t off) {
 
 }  // namespace
 
-void append_header(fs::SimFs& fsys, const std::string& path, const CheckpointHeader& h) {
+void append_header(fs::SimFs& fsys, const std::string& path, const CheckpointHeader& h,
+                   bool checksummed) {
   std::vector<std::byte> buf;
-  buf.reserve(kHeaderBytes);
-  put_u32(buf, h.magic);
+  buf.reserve(checksummed ? kHeaderBytesV2 : kHeaderBytes);
+  put_u32(buf, checksummed ? CheckpointHeader::kMagicV2 : h.magic);
   put_u32(buf, h.entity);
   put_u64(buf, h.num_blocks);
   put_u64(buf, h.block_size);
+  if (checksummed) put_u64(buf, fnv1a64(buf));
   fsys.append(path, buf);
 }
 
 void append_record(fs::SimFs& fsys, const std::string& path, const BlockRecord& r,
-                   std::span<const std::byte> content) {
+                   std::span<const std::byte> content, bool checksummed) {
   std::vector<std::byte> buf;
-  buf.reserve(kRecordBytes + content.size());
+  buf.reserve((checksummed ? kRecordBytesV2 : kRecordBytes) + content.size());
   buf.push_back(static_cast<std::byte>(r.kind));
   put_u64(buf, r.block);
   put_u64(buf, r.hash.hi);
   put_u64(buf, r.hash.lo);
   put_u64(buf, r.location);
+  if (checksummed) {
+    put_u32(buf, static_cast<std::uint32_t>(content.size()));
+    // The checksum covers the fixed prefix chained with the content bytes;
+    // the content itself lands after the checksum so the fixed part of every
+    // record stays fixed-size and walkable.
+    put_u64(buf, fnv1a64(content, fnv1a64(buf)));
+  }
   buf.insert(buf.end(), content.begin(), content.end());
   fsys.append(path, buf);
 }
@@ -61,38 +73,71 @@ Result<CheckpointHeader> read_header(const fs::SimFs& fsys, const std::string& p
   if (!ok(s)) return s;
   CheckpointHeader h;
   h.magic = get_u32(buf, 0);
-  if (h.magic != CheckpointHeader::kMagic) return Status::kInvalidArgument;
+  if (h.magic != CheckpointHeader::kMagic && h.magic != CheckpointHeader::kMagicV2) {
+    return Status::kInvalidArgument;
+  }
   h.entity = get_u32(buf, 4);
   h.num_blocks = get_u64(buf, 8);
   h.block_size = get_u64(buf, 16);
+  if (h.checksummed()) {
+    std::vector<std::byte> ck(kChecksumBytes);
+    const Status cs = fsys.pread(path, kHeaderBytes, ck);
+    if (!ok(cs)) return cs;
+    if (get_u64(ck, 0) != fnv1a64(buf)) return Status::kStale;
+  }
   return h;
 }
 
 Result<BlockRecord> read_record(const fs::SimFs& fsys, const std::string& path,
                                 std::uint64_t block_size, FileOffset& offset,
-                                std::vector<std::byte>& content_out) {
-  std::vector<std::byte> buf(kRecordBytes);
+                                std::vector<std::byte>& content_out, bool checksummed) {
+  const std::size_t fixed = checksummed ? kRecordBytesV2 : kRecordBytes;
+  std::vector<std::byte> buf(fixed);
   Status s = fsys.pread(path, offset, buf);
   if (!ok(s)) return s;
   BlockRecord r;
   const auto kind = static_cast<RecordKind>(buf[0]);
-  if (kind != RecordKind::kPointer && kind != RecordKind::kContent) {
-    return Status::kInvalidArgument;
-  }
   r.kind = kind;
   r.block = get_u64(buf, 1);
   r.hash.hi = get_u64(buf, 9);
   r.hash.lo = get_u64(buf, 17);
   r.location = get_u64(buf, 25);
-  offset += kRecordBytes;
 
-  content_out.clear();
-  if (r.kind == RecordKind::kContent) {
-    content_out.resize(block_size);
-    s = fsys.pread(path, offset, content_out);
-    if (!ok(s)) return s;
-    offset += block_size;
+  if (!checksummed) {
+    if (kind != RecordKind::kPointer && kind != RecordKind::kContent) {
+      return Status::kInvalidArgument;
+    }
+    offset += kRecordBytes;
+    content_out.clear();
+    if (r.kind == RecordKind::kContent) {
+      content_out.resize(block_size);
+      s = fsys.pread(path, offset, content_out);
+      if (!ok(s)) return s;
+      offset += block_size;
+    }
+    return r;
   }
+
+  // v2: the explicit content_len lets us walk past a rotten record as long
+  // as the length is one of the two legal values — a corrupted length field
+  // (kInvalidArgument) is the only unwalkable case.
+  const std::uint32_t content_len = get_u32(buf, 33);
+  const std::uint64_t stored = get_u64(buf, 37);
+  if (content_len != 0 && content_len != block_size) return Status::kInvalidArgument;
+  content_out.clear();
+  if (content_len > 0) {
+    content_out.resize(content_len);
+    s = fsys.pread(path, offset + kRecordBytesV2, content_out);
+    if (!ok(s)) return s;
+  }
+  offset += kRecordBytesV2 + content_len;
+  const std::uint64_t computed =
+      fnv1a64(content_out, fnv1a64(std::span<const std::byte>(buf.data(), kRecordPrefixBytesV2)));
+  if (stored != computed) return Status::kStale;
+  if (kind != RecordKind::kPointer && kind != RecordKind::kContent) {
+    return Status::kInvalidArgument;  // checksum fine, writer emitted garbage
+  }
+  if ((kind == RecordKind::kContent) != (content_len != 0)) return Status::kInvalidArgument;
   return r;
 }
 
@@ -104,9 +149,10 @@ Result<std::vector<std::byte>> restore_entity(const fs::SimFs& fsys, const std::
 
   std::vector<std::byte> memory(h.num_blocks * h.block_size);
   std::vector<std::byte> content;
-  FileOffset off = kHeaderBytes;
+  FileOffset off = header_bytes(h);
   for (std::uint64_t i = 0; i < h.num_blocks; ++i) {
-    const Result<BlockRecord> rr = read_record(fsys, se_path, h.block_size, off, content);
+    const Result<BlockRecord> rr =
+        read_record(fsys, se_path, h.block_size, off, content, h.checksummed());
     if (!rr.has_value()) return rr.status();
     const BlockRecord& r = rr.value();
     if (r.block >= h.num_blocks) return Status::kInvalidArgument;
@@ -120,6 +166,126 @@ Result<std::vector<std::byte>> restore_entity(const fs::SimFs& fsys, const std::
     }
   }
   return memory;
+}
+
+RestoreReport restore_entity_verified(const fs::SimFs& fsys, const std::string& se_path,
+                                      const std::string& shared_path,
+                                      const hash::BlockHasher* rehash) {
+  RestoreReport rep;
+  const Result<CheckpointHeader> hr = read_header(fsys, se_path);
+  if (!hr.has_value()) {
+    rep.status = hr.status();
+    return rep;
+  }
+  const CheckpointHeader& h = hr.value();
+  rep.records_total = h.num_blocks;
+  rep.memory.assign(h.num_blocks * h.block_size, std::byte{0});
+  std::vector<bool> restored(h.num_blocks, false);
+
+  std::vector<std::byte> content;
+  FileOffset off = header_bytes(h);
+  for (std::uint64_t i = 0; i < h.num_blocks; ++i) {
+    const Result<BlockRecord> rr =
+        read_record(fsys, se_path, h.block_size, off, content, h.checksummed());
+    if (!rr.has_value()) {
+      ++rep.records_bad;
+      // kStale means the record was walked past (its length fields were
+      // plausible); anything else means we lost the frame — a torn file or
+      // rotten length field takes every later record with it.
+      if (rr.status() == Status::kStale) continue;
+      rep.records_bad += h.num_blocks - i - 1;
+      break;
+    }
+    const BlockRecord& r = rr.value();
+    if (r.block >= h.num_blocks) {
+      ++rep.records_bad;
+      continue;
+    }
+    std::byte* dst = rep.memory.data() + r.block * h.block_size;
+    const std::span<std::byte> dst_span(dst, h.block_size);
+    if (r.kind == RecordKind::kContent) {
+      std::memcpy(dst, content.data(), h.block_size);
+    } else if (const Status s = fsys.pread(shared_path, r.location, dst_span); !ok(s)) {
+      ++rep.records_bad;
+      continue;
+    }
+    if (rehash != nullptr && (*rehash)(dst_span) != r.hash) {
+      // The record survived intact but its content did not (rot in the
+      // shared file, or an embedded block whose corruption produced a
+      // colliding record checksum — astronomically unlikely but free to
+      // cover here).
+      std::memset(dst, 0, h.block_size);
+      ++rep.records_bad;
+      continue;
+    }
+    restored[r.block] = true;
+  }
+
+  for (std::uint64_t b = 0; b < h.num_blocks; ++b) {
+    if (!restored[b]) rep.quarantined_blocks.push_back(b);
+  }
+  rep.status = rep.quarantined_blocks.empty() ? Status::kOk : Status::kDegraded;
+  return rep;
+}
+
+Status write_manifest(fs::SimFs& fsys, const std::string& path,
+                      std::vector<std::string> files) {
+  std::sort(files.begin(), files.end());
+  std::vector<std::byte> buf;
+  put_u32(buf, kManifestMagic);
+  put_u32(buf, static_cast<std::uint32_t>(files.size()));
+  for (const std::string& name : files) {
+    const Result<std::vector<std::byte>> data = fsys.read_all(name);
+    if (!data.has_value()) return data.status();
+    put_u32(buf, static_cast<std::uint32_t>(name.size()));
+    for (const char c : name) buf.push_back(static_cast<std::byte>(c));
+    put_u64(buf, data.value().size());
+    put_u64(buf, fnv1a64(data.value()));
+  }
+  put_u64(buf, fnv1a64(std::span<const std::byte>(buf.data(), buf.size())));
+  if (fsys.exists(path)) {
+    const Status rm = fsys.remove(path);
+    if (!ok(rm)) return rm;
+  }
+  fsys.append(path, buf);
+  return Status::kOk;
+}
+
+Result<std::vector<std::string>> verify_manifest(const fs::SimFs& fsys,
+                                                 const std::string& path) {
+  const Result<std::vector<std::byte>> raw = fsys.read_all(path);
+  if (!raw.has_value()) return raw.status();
+  const std::vector<std::byte>& buf = raw.value();
+  if (buf.size() < 4 + 4 + kChecksumBytes) return Status::kInvalidArgument;
+  const std::size_t body = buf.size() - kChecksumBytes;
+  if (get_u64(buf, body) != fnv1a64(std::span<const std::byte>(buf.data(), body))) {
+    return Status::kStale;
+  }
+  if (get_u32(buf, 0) != kManifestMagic) return Status::kInvalidArgument;
+  const std::uint32_t count = get_u32(buf, 4);
+
+  std::vector<std::string> mismatched;
+  std::size_t off = 8;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (off + 4 > body) return Status::kInvalidArgument;
+    const std::uint32_t name_len = get_u32(buf, off);
+    off += 4;
+    if (off + name_len + 16 > body) return Status::kInvalidArgument;
+    std::string name(name_len, '\0');
+    for (std::uint32_t c = 0; c < name_len; ++c) {
+      name[c] = static_cast<char>(buf[off + c]);
+    }
+    off += name_len;
+    const std::uint64_t size = get_u64(buf, off);
+    const std::uint64_t digest = get_u64(buf, off + 8);
+    off += 16;
+    const Result<std::vector<std::byte>> data = fsys.read_all(name);
+    if (!data.has_value() || data.value().size() != size || fnv1a64(data.value()) != digest) {
+      mismatched.push_back(name);
+    }
+  }
+  if (off != body) return Status::kInvalidArgument;
+  return mismatched;
 }
 
 }  // namespace concord::services

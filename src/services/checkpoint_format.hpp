@@ -11,6 +11,20 @@
 //
 // Records are fixed-header + optional payload so a reader can walk the file
 // without an index. All integers little-endian.
+//
+// Two format versions coexist:
+//   * v1 ("CKP1") — the original layout, byte-identical to pre-integrity
+//     builds. No checksums; restore aborts on the first malformed record.
+//   * v2 ("CKP2") — the durable layout: the header and every record carry a
+//     trailing FNV-1a-64 checksum (computed over the preceding bytes,
+//     including any embedded content), and records gain an explicit
+//     content_len field so a verifier can walk the file even when a record
+//     body is rotten. restore_entity_verified() quarantines bad records
+//     instead of aborting and can re-hash every restored block against the
+//     record's ContentHash to catch rot in the shared content file too.
+// A separate manifest file ("CMF1") lists each checkpoint file with its size
+// and whole-file digest so a restore can detect torn or missing files before
+// parsing them.
 // concord-lint: emit-path — bytes or messages produced here must not depend on
 // hash-map iteration order.
 #pragma once
@@ -23,16 +37,20 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "fs/simfs.hpp"
+#include "hash/block_hasher.hpp"
 
 namespace concord::services {
 
 /// Per-SE checkpoint file header.
 struct CheckpointHeader {
-  static constexpr std::uint32_t kMagic = 0x434b5031;  // "CKP1"
+  static constexpr std::uint32_t kMagic = 0x434b5031;    // "CKP1"
+  static constexpr std::uint32_t kMagicV2 = 0x434b5032;  // "CKP2" (checksummed)
   std::uint32_t magic = kMagic;
   std::uint32_t entity = 0;
   std::uint64_t num_blocks = 0;
   std::uint64_t block_size = 0;
+
+  [[nodiscard]] constexpr bool checksummed() const noexcept { return magic == kMagicV2; }
 };
 
 enum class RecordKind : std::uint8_t {
@@ -54,24 +72,87 @@ struct BlockRecord {
 /// wire layout rather than dumping structs).
 inline constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
 inline constexpr std::size_t kRecordBytes = 1 + 8 + 16 + 8;
+/// v2 adds a u64 checksum to the header and, to every record, a u32
+/// content_len (0 or block_size) plus a u64 checksum over prefix + content.
+inline constexpr std::size_t kChecksumBytes = 8;
+inline constexpr std::size_t kHeaderBytesV2 = kHeaderBytes + kChecksumBytes;
+inline constexpr std::size_t kRecordPrefixBytesV2 = kRecordBytes + 4;
+inline constexpr std::size_t kRecordBytesV2 = kRecordPrefixBytesV2 + kChecksumBytes;
 
-void append_header(fs::SimFs& fsys, const std::string& path, const CheckpointHeader& h);
+[[nodiscard]] inline constexpr std::size_t header_bytes(const CheckpointHeader& h) noexcept {
+  return h.checksummed() ? kHeaderBytesV2 : kHeaderBytes;
+}
+
+/// When `checksummed`, writes the v2 layout (the header's magic is forced to
+/// kMagicV2); otherwise the v1 bytes are unchanged from pre-integrity builds.
+void append_header(fs::SimFs& fsys, const std::string& path, const CheckpointHeader& h,
+                   bool checksummed = false);
 void append_record(fs::SimFs& fsys, const std::string& path, const BlockRecord& r,
-                   std::span<const std::byte> content = {});
+                   std::span<const std::byte> content = {}, bool checksummed = false);
 
 [[nodiscard]] Result<CheckpointHeader> read_header(const fs::SimFs& fsys,
                                                    const std::string& path);
 
 /// Reads the record at `offset`; advances `offset` past it (including any
 /// embedded content). `content_out` receives embedded content for kContent.
+/// When `checksummed`, parses the v2 layout and returns kStale if the
+/// record's checksum does not match its bytes (the record was still walked:
+/// `offset` lands on the next record whenever the length fields are
+/// plausible, kInvalidArgument when they are not).
 [[nodiscard]] Result<BlockRecord> read_record(const fs::SimFs& fsys, const std::string& path,
                                               std::uint64_t block_size, FileOffset& offset,
-                                              std::vector<std::byte>& content_out);
+                                              std::vector<std::byte>& content_out,
+                                              bool checksummed = false);
 
 /// Restores one SE's full memory image from its checkpoint file plus the
-/// shared content file. Returns the reconstructed memory.
+/// shared content file. Returns the reconstructed memory. Aborts on the
+/// first malformed or checksum-mismatched record — use
+/// restore_entity_verified to quarantine and continue instead.
 [[nodiscard]] Result<std::vector<std::byte>> restore_entity(const fs::SimFs& fsys,
                                                             const std::string& se_path,
                                                             const std::string& shared_path);
+
+/// Outcome of a verified restore. `status` is kOk when every record was
+/// restored and verified, kDegraded when some blocks had to be quarantined
+/// (zero-filled in `memory`, listed in `quarantined_blocks`), or a hard
+/// error when the header itself was unreadable.
+struct RestoreReport {
+  Status status = Status::kOk;
+  std::vector<std::byte> memory;
+  std::vector<std::uint64_t> quarantined_blocks;  // ascending, deduplicated
+  std::uint64_t records_total = 0;
+  std::uint64_t records_bad = 0;
+};
+
+/// Restores one SE with full verification: v2 record checksums are checked,
+/// malformed or mismatched records are quarantined instead of aborting, and
+/// when `rehash` is non-null every restored block (embedded *and* pointer)
+/// is re-hashed and compared against the record's ContentHash — catching
+/// rot in the shared content file that record checksums cannot see. Blocks
+/// never restored (bad record, short file, bad shared read, hash mismatch)
+/// are zero-filled and reported in quarantined_blocks.
+[[nodiscard]] RestoreReport restore_entity_verified(const fs::SimFs& fsys,
+                                                    const std::string& se_path,
+                                                    const std::string& shared_path,
+                                                    const hash::BlockHasher* rehash = nullptr);
+
+// --- checkpoint manifest -------------------------------------------------
+/// The manifest ("CMF1") lists every file of a checkpoint set with its size
+/// and FNV-1a-64 whole-file digest, and carries a trailing checksum over its
+/// own bytes. Written last, through the same temp+rename barrier as the data
+/// files, so its presence certifies the set was completely committed.
+inline constexpr std::uint32_t kManifestMagic = 0x434d4631;  // "CMF1"
+
+/// Computes each file's digest and writes the manifest at `path` (replacing
+/// any previous contents). Files are recorded sorted by name.
+/// kNotFound if any listed file is absent.
+[[nodiscard]] Status write_manifest(fs::SimFs& fsys, const std::string& path,
+                                    std::vector<std::string> files);
+
+/// Verifies the manifest at `path`: returns the names of listed files that
+/// are missing or whose size/digest no longer match (empty = everything
+/// intact). Hard error if the manifest itself is unreadable or corrupt.
+[[nodiscard]] Result<std::vector<std::string>> verify_manifest(const fs::SimFs& fsys,
+                                                               const std::string& path);
 
 }  // namespace concord::services

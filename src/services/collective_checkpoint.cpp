@@ -1,5 +1,7 @@
 #include "services/collective_checkpoint.hpp"
 
+#include <algorithm>
+
 #include "services/checkpoint_format.hpp"
 
 namespace concord::services {
@@ -9,6 +11,21 @@ Status CollectiveCheckpointService::service_init(NodeId node, svc::Mode mode,
   (void)node;
   mode_ = mode;
   dir_ = config.get_or("ckpt.dir", "ckpt");
+  integrity_ = config.get_bool_or("ckpt.integrity", false);
+  committed_ = false;
+  if (integrity_) {
+    // Sweep .tmp debris a crashed previous run may have left under our dir
+    // — its appends would otherwise land after the stale bytes and the
+    // renamed files would restore garbage. Runs once effectively: inits on
+    // every node complete before the first append of the command.
+    const std::string prefix = dir_ + "/";
+    for (const std::string& f : fs_.list()) {
+      if (f.size() > 4 && f.ends_with(".tmp") && f.starts_with(prefix)) {
+        const Status rm = fs_.remove(f);
+        if (!ok(rm)) return rm;
+      }
+    }
+  }
   return Status::kOk;
 }
 
@@ -32,7 +49,7 @@ Result<std::uint64_t> CollectiveCheckpointService::collective_command(
   (void)node;
   (void)entity;
   (void)hash;
-  return fs_.append(shared_path(), data);
+  return fs_.append(staged(shared_path()), data);
 }
 
 Status CollectiveCheckpointService::collective_finalize(NodeId node, svc::Role role,
@@ -50,7 +67,7 @@ Status CollectiveCheckpointService::local_start(NodeId node, EntityId entity) {
   h.entity = raw(entity);
   h.num_blocks = e.num_blocks();
   h.block_size = e.block_size();
-  append_header(fs_, se_path(entity), h);
+  append_header(fs_, staged(se_path(entity)), h, integrity_);
   return Status::kOk;
 }
 
@@ -70,8 +87,9 @@ Status CollectiveCheckpointService::local_command(NodeId node, EntityId entity,
   }
 
   if (mode_ == svc::Mode::kInteractive) {
-    append_record(fs_, se_path(entity), r,
-                  r.kind == RecordKind::kContent ? data : std::span<const std::byte>{});
+    append_record(fs_, staged(se_path(entity)), r,
+                  r.kind == RecordKind::kContent ? data : std::span<const std::byte>{},
+                  integrity_);
     return Status::kOk;
   }
 
@@ -96,7 +114,7 @@ Status CollectiveCheckpointService::local_finalize(NodeId node, EntityId entity)
       r.hash = pe.hash;
       r.kind = pe.pointer ? RecordKind::kPointer : RecordKind::kContent;
       r.location = pe.location;
-      append_record(fs_, se_path(entity), r, pe.content);
+      append_record(fs_, staged(se_path(entity)), r, pe.content, integrity_);
     }
     entries.clear();
   }
@@ -104,9 +122,38 @@ Status CollectiveCheckpointService::local_finalize(NodeId node, EntityId entity)
   return Status::kOk;
 }
 
+Status CollectiveCheckpointService::commit() {
+  // The durability barrier: rename every staged file into place, then write
+  // the manifest (itself staged and renamed) certifying the committed set.
+  // If the file system crashed mid-checkpoint every rename fails and the
+  // previous checkpoint generation survives untouched.
+  std::vector<std::string> files;
+  if (fs_.exists(staged(shared_path()))) {
+    const Status s = fs_.rename(staged(shared_path()), shared_path());
+    if (!ok(s)) return s;
+  }
+  if (fs_.exists(shared_path())) files.push_back(shared_path());
+  for (const EntityId e : checkpointed_) {
+    const std::string final_path = se_path(e);
+    if (fs_.exists(staged(final_path))) {  // absent: committed by an earlier run
+      const Status s = fs_.rename(staged(final_path), final_path);
+      if (!ok(s)) return s;
+    }
+    if (fs_.exists(final_path) &&
+        std::find(files.begin(), files.end(), final_path) == files.end()) {
+      files.push_back(final_path);
+    }
+  }
+  const Status ms = write_manifest(fs_, staged(manifest_path()), std::move(files));
+  if (!ok(ms)) return ms;
+  return fs_.rename(staged(manifest_path()), manifest_path());
+}
+
 Status CollectiveCheckpointService::service_deinit(NodeId node) {
   (void)node;
-  return Status::kOk;
+  if (!integrity_ || committed_) return Status::kOk;
+  committed_ = true;  // even on failure: the command is over either way
+  return commit();
 }
 
 std::uint64_t CollectiveCheckpointService::total_bytes() const {

@@ -12,7 +12,14 @@
 //     handled collectively, otherwise embed the content (the block was
 //     unknown to ConCORD — staleness, loss, or a never-scanned page).
 //
-// Config keys: "ckpt.dir" (default "ckpt") — file name prefix in the SimFs.
+// Config keys:
+//   * "ckpt.dir" (default "ckpt") — file name prefix in the SimFs.
+//   * "ckpt.integrity" (default false) — durable mode: headers and records
+//     carry v2 checksums, every file is staged as "<path>.tmp" and committed
+//     through SimFs::rename at service_deinit (the barrier), and a MANIFEST
+//     with per-file digests is written last. A writer crash before the
+//     barrier leaves only .tmp debris — the previous checkpoint, if any,
+//     stays intact. Off (the default) reproduces the v1 bytes exactly.
 #pragma once
 
 #include <string>
@@ -50,6 +57,8 @@ class CollectiveCheckpointService final : public svc::ApplicationService {
   [[nodiscard]] std::string se_path(EntityId e) const {
     return dir_ + "/se_" + std::to_string(raw(e));
   }
+  [[nodiscard]] std::string manifest_path() const { return dir_ + "/MANIFEST"; }
+  [[nodiscard]] bool integrity() const noexcept { return integrity_; }
 
   /// Total checkpoint bytes (shared content file + every SE file written).
   [[nodiscard]] std::uint64_t total_bytes() const;
@@ -57,10 +66,18 @@ class CollectiveCheckpointService final : public svc::ApplicationService {
   [[nodiscard]] const std::vector<EntityId>& checkpointed() const { return checkpointed_; }
 
  private:
+  /// Integrity mode stages every write here and renames at commit.
+  [[nodiscard]] std::string staged(const std::string& path) const {
+    return integrity_ ? path + ".tmp" : path;
+  }
+  [[nodiscard]] Status commit();
+
   core::Cluster& cluster_;
   fs::SimFs& fs_;
   std::string dir_ = "ckpt";
   svc::Mode mode_ = svc::Mode::kInteractive;
+  bool integrity_ = false;
+  bool committed_ = false;  // deinit runs once per node; commit only once
   std::vector<EntityId> checkpointed_;
 
   // Batch-mode plan: records deferred until local_finalize().

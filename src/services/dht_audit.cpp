@@ -7,6 +7,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/service_daemon.hpp"
+#include "services/integrity_scrub.hpp"
 
 namespace concord::services {
 
@@ -75,6 +76,7 @@ AuditReport DhtAudit::run() {
     core::ServiceDaemon& owner = cluster_.daemon(node_id(n));
     std::vector<std::pair<ContentHash, EntityId>> stale;
     std::vector<std::pair<ContentHash, EntityId>> misplaced;
+    std::vector<std::pair<ContentHash, EntityId>> corrupt;
     sim::Time scan = cm.scan_cost(owner.store().unique_hashes());
 
     owner.store().for_each_entry([&](const ContentHash& h, const std::uint64_t* words,
@@ -118,7 +120,14 @@ AuditReport DhtAudit::run() {
               }
             }
           }
-          if (!substantiated && host_reachable) stale.emplace_back(h, e);
+          if (!substantiated && host_reachable) {
+            stale.emplace_back(h, e);
+          } else if (substantiated && scrub_ != nullptr && !scrub_->verify_entry(h, e)) {
+            // The block map vouches for the entry but the bytes do not:
+            // corrupt, not stale — quarantine through the scrub so the
+            // integrity gauges and flight-recorder events fire.
+            corrupt.emplace_back(h, e);
+          }
         }
       }
     });
@@ -133,6 +142,10 @@ AuditReport DhtAudit::run() {
       owner.store().remove(h, e);
       ++report.misplaced_removed;
       if (replicated) ++report.over_replicated;
+    }
+    for (const auto& [h, e] : corrupt) {
+      scrub_->quarantine(node_id(n), h, e);
+      ++report.corrupt_quarantined;
     }
     simu.run_until(simu.now() + scan);
   }
@@ -173,6 +186,7 @@ AuditReport DhtAudit::run_to_convergence(int max_passes) {
     total.misplaced_removed += r.misplaced_removed;
     total.under_replicated += r.under_replicated;
     total.over_replicated += r.over_replicated;
+    total.corrupt_quarantined += r.corrupt_quarantined;
     total.latency += r.latency;
     if (r.clean()) break;
   }

@@ -22,6 +22,8 @@
 
 namespace concord::services {
 
+class IntegrityScrub;
+
 struct AuditReport {
   std::uint64_t entries_checked = 0;     // (hash, entity) pairs examined
   std::uint64_t missing_repaired = 0;    // inserts issued (one per missing replica)
@@ -33,10 +35,15 @@ struct AuditReport {
   // the misplaced-removal path seen from the replica-group angle.
   std::uint64_t under_replicated = 0;
   std::uint64_t over_replicated = 0;
+  /// Entries that were substantiated by the host's block map but failed
+  /// audit-time re-hash verification (only checked with a scrub attached);
+  /// quarantined through the scrub, not counted as stale.
+  std::uint64_t corrupt_quarantined = 0;
   sim::Time latency = 0;
 
   [[nodiscard]] bool clean() const noexcept {
-    return missing_repaired == 0 && stale_removed == 0 && misplaced_removed == 0;
+    return missing_repaired == 0 && stale_removed == 0 && misplaced_removed == 0 &&
+           corrupt_quarantined == 0;
   }
 };
 
@@ -61,8 +68,15 @@ class DhtAudit {
   /// `max_passes` is hit — datagram loss can make one pass insufficient).
   AuditReport run_to_convergence(int max_passes = 8);
 
+  /// Audit-time re-hash verification: with a scrub attached, pass 2 no
+  /// longer trusts block-map agreement alone — substantiated entries are
+  /// also re-hashed against the entity's actual content and failures are
+  /// quarantined through the scrub (gauge + flight-recorder event).
+  void attach_scrub(IntegrityScrub* scrub) noexcept { scrub_ = scrub; }
+
  private:
   core::Cluster& cluster_;
+  IntegrityScrub* scrub_ = nullptr;
 };
 
 }  // namespace concord::services

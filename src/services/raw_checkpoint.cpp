@@ -31,10 +31,19 @@ RawCheckpointResult raw_checkpoint(core::Cluster& cluster, std::span<const Entit
     for (const EntityId e : list) {
       const mem::MemoryEntity& ent = cluster.entity(e);
       const std::string path = dir + "/raw_" + std::to_string(raw(e));
-      for (BlockIndex b = 0; b < ent.num_blocks(); ++b) {
-        fsys.append(path, ent.block(b));
+      // Stage and rename: the rename is the commit barrier, so a writer
+      // crash (torn write, crash-point) leaves the previous raw checkpoint
+      // intact instead of a half-written image under the final name.
+      const std::string tmp = path + ".tmp";
+      if (fsys.exists(tmp)) {
+        const Status rm = fsys.remove(tmp);  // debris from a crashed run
+        if (!ok(rm)) continue;
       }
-      result.total_bytes += fsys.size(path).value_or(0);
+      for (BlockIndex b = 0; b < ent.num_blocks(); ++b) {
+        fsys.append(tmp, ent.block(b));
+      }
+      const Status committed = fsys.rename(tmp, path);
+      if (ok(committed)) result.total_bytes += fsys.size(path).value_or(0);
       cost += core::CostModel::instance().touch_cost(2 * ent.memory_bytes());
     }
     slowest = std::max(slowest, cost);

@@ -17,6 +17,12 @@ namespace {
 
 constexpr std::size_t kBlk = 256;
 
+std::vector<std::byte> bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
 struct Rig {
   std::unique_ptr<core::Cluster> cluster;
   std::vector<EntityId> ses;
@@ -224,6 +230,232 @@ TEST(CollectiveCheckpoint, ParticipantReplicaSpeedsUpWithoutAppearingInCheckpoin
   for (BlockIndex b = 0; b < 16; ++b) {
     ASSERT_EQ(std::memcmp(mem.value().data() + b * kBlk, se.block(b).data(), kBlk), 0);
   }
+}
+
+// ------------------------------------------------ v2 (checksummed) format
+
+TEST(CheckpointFormat, ChecksummedHeaderRoundTripAndRotDetection) {
+  fs::SimFs fsys;
+  CheckpointHeader h;
+  h.entity = 9;
+  h.num_blocks = 100;
+  h.block_size = 4096;
+  append_header(fsys, "f", h, /*checksummed=*/true);
+  EXPECT_EQ(fsys.size("f").value(), kHeaderBytesV2);
+  const auto back = read_header(fsys, "f");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back.value().checksummed());
+  EXPECT_EQ(back.value().num_blocks, 100u);
+  // One flipped bit anywhere in the header is caught by its checksum.
+  ASSERT_TRUE(ok(fsys.rot("f", 8, 3)));
+  EXPECT_EQ(read_header(fsys, "f").status(), Status::kStale);
+}
+
+TEST(CheckpointFormat, ChecksummedRecordsAreWalkablePastRot) {
+  fs::SimFs fsys;
+  const ContentHash h{0xaa, 0xbb};
+  const std::vector<std::byte> content(64, std::byte{5});
+  append_record(fsys, "f", BlockRecord{RecordKind::kPointer, 3, h, 4096}, {}, true);
+  append_record(fsys, "f", BlockRecord{RecordKind::kContent, 4, h, 0}, content, true);
+  append_record(fsys, "f", BlockRecord{RecordKind::kPointer, 5, h, 8192}, {}, true);
+
+  // Rot one byte of record 2's embedded content.
+  ASSERT_TRUE(ok(fsys.rot("f", kRecordBytesV2 + kRecordBytesV2 + 10, 0)));
+
+  FileOffset off = 0;
+  std::vector<std::byte> got;
+  const auto r1 = read_record(fsys, "f", 64, off, got, true);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1.value().block, 3u);
+
+  // The rotten record reports kStale — but `off` lands on the next record.
+  EXPECT_EQ(read_record(fsys, "f", 64, off, got, true).status(), Status::kStale);
+  const auto r3 = read_record(fsys, "f", 64, off, got, true);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3.value().block, 5u);
+  EXPECT_EQ(r3.value().location, 8192u);
+}
+
+TEST(CheckpointFormat, VerifiedRestoreQuarantinesRottenBlocks) {
+  fs::SimFs fsys;
+  const hash::BlockHasher hasher(hash::Algorithm::kMd5);
+  constexpr std::uint64_t kBlocks = 4;
+  std::vector<std::vector<std::byte>> blocks;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    blocks.emplace_back(kBlk, static_cast<std::byte>(b + 1));
+  }
+  CheckpointHeader h;
+  h.entity = 1;
+  h.num_blocks = kBlocks;
+  h.block_size = kBlk;
+  append_header(fsys, "se", h, true);
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    append_record(fsys, "se",
+                  BlockRecord{RecordKind::kContent, b, hasher(blocks[b]), 0}, blocks[b],
+                  true);
+  }
+
+  // Clean: every block restores bit-exact, no quarantine.
+  RestoreReport rep = restore_entity_verified(fsys, "se", "shared", &hasher);
+  EXPECT_EQ(rep.status, Status::kOk);
+  EXPECT_TRUE(rep.quarantined_blocks.empty());
+  EXPECT_EQ(rep.records_total, kBlocks);
+  ASSERT_EQ(rep.memory.size(), kBlocks * kBlk);
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    EXPECT_EQ(std::memcmp(rep.memory.data() + b * kBlk, blocks[b].data(), kBlk), 0);
+  }
+
+  // Rot one bit inside block 2's embedded content: that block (and only
+  // that block) is quarantined and zero-filled; the rest restore intact.
+  const FileOffset rec2 = kHeaderBytesV2 + 2 * (kRecordBytesV2 + kBlk) + kRecordBytesV2 + 7;
+  ASSERT_TRUE(ok(fsys.rot("se", rec2, 6)));
+  rep = restore_entity_verified(fsys, "se", "shared", &hasher);
+  EXPECT_EQ(rep.status, Status::kDegraded);
+  EXPECT_EQ(rep.quarantined_blocks, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(rep.records_bad, 1u);
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    if (b == 2) continue;
+    EXPECT_EQ(std::memcmp(rep.memory.data() + b * kBlk, blocks[b].data(), kBlk), 0);
+  }
+  const std::vector<std::byte> zeros(kBlk, std::byte{0});
+  EXPECT_EQ(std::memcmp(rep.memory.data() + 2 * kBlk, zeros.data(), kBlk), 0);
+}
+
+TEST(CheckpointFormat, RehashCatchesWrongContentWithValidChecksum) {
+  // A record whose bytes checksum fine but whose content does not match its
+  // declared ContentHash models corruption that happened *before* the
+  // checksum was computed — only the re-hash pass can catch it.
+  fs::SimFs fsys;
+  const hash::BlockHasher hasher(hash::Algorithm::kMd5);
+  const std::vector<std::byte> real(kBlk, std::byte{7});
+  const std::vector<std::byte> impostor(kBlk, std::byte{8});
+  CheckpointHeader h;
+  h.entity = 1;
+  h.num_blocks = 1;
+  h.block_size = kBlk;
+  append_header(fsys, "se", h, true);
+  append_record(fsys, "se", BlockRecord{RecordKind::kContent, 0, hasher(real), 0},
+                impostor, true);
+
+  // Without re-hash the impostor slips through; with it, quarantined.
+  EXPECT_EQ(restore_entity_verified(fsys, "se", "shared").status, Status::kOk);
+  const RestoreReport rep = restore_entity_verified(fsys, "se", "shared", &hasher);
+  EXPECT_EQ(rep.status, Status::kDegraded);
+  EXPECT_EQ(rep.quarantined_blocks, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(CheckpointFormat, ManifestRoundTripAndTamperDetection) {
+  fs::SimFs fsys;
+  fsys.append("ckpt/a", bytes("aaaa"));
+  fsys.append("ckpt/b", bytes("bbbbbb"));
+  ASSERT_TRUE(ok(write_manifest(fsys, "ckpt/MANIFEST", {"ckpt/b", "ckpt/a"})));
+
+  auto bad = verify_manifest(fsys, "ckpt/MANIFEST");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_TRUE(bad.value().empty());
+
+  // Rot one bit of a listed file: the digest mismatch names that file.
+  ASSERT_TRUE(ok(fsys.rot("ckpt/a", 1, 4)));
+  bad = verify_manifest(fsys, "ckpt/MANIFEST");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad.value(), (std::vector<std::string>{"ckpt/a"}));
+
+  // A missing file is named too.
+  ASSERT_TRUE(ok(fsys.remove("ckpt/b")));
+  bad = verify_manifest(fsys, "ckpt/MANIFEST");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad.value(), (std::vector<std::string>{"ckpt/a", "ckpt/b"}));
+
+  // Rot the manifest itself: hard error, not a file list.
+  ASSERT_TRUE(ok(fsys.rot("ckpt/MANIFEST", 5, 2)));
+  EXPECT_EQ(verify_manifest(fsys, "ckpt/MANIFEST").status(), Status::kStale);
+
+  // Writing a manifest over a missing file fails up front.
+  EXPECT_EQ(write_manifest(fsys, "m2", {"nope"}), Status::kNotFound);
+}
+
+TEST(CollectiveCheckpoint, IntegrityModeCommitsVerifiableCheckpoint) {
+  Rig rig = Rig::make(4, 1, workload::Kind::kMoldy, 11);
+  CollectiveCheckpointService svc(*rig.cluster);
+  svc::CommandEngine engine(*rig.cluster);
+  svc::CommandSpec spec;
+  spec.service_entities = rig.ses;
+  spec.config.set("ckpt.dir", "ckpt");
+  spec.config.set("ckpt.integrity", "true");
+  ASSERT_TRUE(ok(engine.execute(svc, spec).status));
+
+  // No staging debris, a manifest that verifies, v2 headers throughout.
+  for (const std::string& f : rig.cluster->fs().list()) {
+    EXPECT_EQ(f.find(".tmp"), std::string::npos) << f;
+  }
+  ASSERT_TRUE(rig.cluster->fs().exists(svc.manifest_path()));
+  const auto bad = verify_manifest(rig.cluster->fs(), svc.manifest_path());
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_TRUE(bad.value().empty());
+
+  // Every SE restores bit-exact through the verified path, re-hash included.
+  const hash::BlockHasher hasher(rig.cluster->params().hash_algorithm);
+  for (const EntityId id : rig.ses) {
+    const auto h = read_header(rig.cluster->fs(), svc.se_path(id));
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(h.value().checksummed());
+    const RestoreReport rep =
+        restore_entity_verified(rig.cluster->fs(), svc.se_path(id), svc.shared_path(), &hasher);
+    ASSERT_EQ(rep.status, Status::kOk) << "entity " << raw(id);
+    const mem::MemoryEntity& e = rig.cluster->entity(id);
+    for (BlockIndex b = 0; b < e.num_blocks(); ++b) {
+      ASSERT_EQ(std::memcmp(rep.memory.data() + b * kBlk, e.block(b).data(), kBlk), 0);
+    }
+  }
+}
+
+TEST(CollectiveCheckpoint, IntegrityOffKeepsTheV1Format) {
+  // Default-off invariant: without ckpt.integrity the bytes are the v1
+  // layout — no magic change, no checksums, no manifest.
+  Rig rig = Rig::make(2, 1, workload::Kind::kMoldy, 12);
+  CollectiveCheckpointService svc(*rig.cluster);
+  ASSERT_TRUE(ok(rig.run_checkpoint(svc).status));
+  EXPECT_FALSE(svc.integrity());
+  EXPECT_FALSE(rig.cluster->fs().exists(svc.manifest_path()));
+  for (const EntityId id : rig.ses) {
+    const auto h = read_header(rig.cluster->fs(), svc.se_path(id));
+    ASSERT_TRUE(h.has_value());
+    EXPECT_FALSE(h.value().checksummed());
+  }
+}
+
+TEST(CollectiveCheckpoint, CrashMidCheckpointLeavesPreviousGenerationIntact) {
+  Rig rig = Rig::make(2, 1, workload::Kind::kMoldy, 13);
+  CollectiveCheckpointService svc(*rig.cluster);
+  svc::CommandEngine engine(*rig.cluster);
+  svc::CommandSpec spec;
+  spec.service_entities = rig.ses;
+  spec.config.set("ckpt.dir", "ckpt");
+  spec.config.set("ckpt.integrity", "true");
+
+  // Generation 1 commits cleanly.
+  ASSERT_TRUE(ok(engine.execute(svc, spec).status));
+  const auto gen1 = rig.cluster->fs().read_all(svc.se_path(rig.ses[0]));
+  ASSERT_TRUE(gen1.has_value());
+
+  // Generation 2 dies mid-write: the staged files never commit, so every
+  // final file — and the manifest — still belongs to generation 1.
+  rig.cluster->fs().arm_crash_after(3);
+  (void)engine.execute(svc, spec);
+  rig.cluster->fs().heal_faults();
+
+  EXPECT_EQ(rig.cluster->fs().read_all(svc.se_path(rig.ses[0])).value(), gen1.value());
+  const auto bad = verify_manifest(rig.cluster->fs(), svc.manifest_path());
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_TRUE(bad.value().empty());
+  const hash::BlockHasher hasher(rig.cluster->params().hash_algorithm);
+  const RestoreReport rep = restore_entity_verified(
+      rig.cluster->fs(), svc.se_path(rig.ses[0]), svc.shared_path(), &hasher);
+  EXPECT_EQ(rep.status, Status::kOk);
+
+  // A healed third run replaces the generation atomically.
+  ASSERT_TRUE(ok(engine.execute(svc, spec).status));
+  EXPECT_TRUE(verify_manifest(rig.cluster->fs(), svc.manifest_path()).value().empty());
 }
 
 TEST(RawCheckpoint, SizesAndGzip) {

@@ -690,6 +690,225 @@ TEST(Codec, TruncationFuzzEveryWireStruct) {
   }
 }
 
+// --------------------------------------------------- checksummed leg (v3/v4)
+
+TEST(Codec, ChecksumFlagOffIsByteIdentical) {
+  // The default-off invariant: not asking for a checksum must emit the exact
+  // same bytes as a build that has never heard of checksums.
+  const DhtUpdate msg{{0x1111, 0x2222}, entity_id(3), true};
+  std::vector<std::byte> plain, off;
+  codec::encode(msg, plain);
+  codec::encode(msg, off, nullptr, /*checksummed=*/false);
+  EXPECT_EQ(plain, off);
+}
+
+TEST(Codec, ChecksummedRoundTripEveryType) {
+  // Every wire struct encoded with the checksum leg grows by exactly the
+  // checksum, advertises the flag in its header, and still round-trips.
+  const auto check = [](const std::vector<std::byte>& wire,
+                        const std::vector<std::byte>& plain) {
+    EXPECT_EQ(wire.size(), plain.size() + codec::kChecksumBytes);
+    const auto h = codec::decode_header(wire);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(h.value().checksummed);
+    EXPECT_FALSE(h.value().traced);
+  };
+
+  const DhtUpdate upd{{1, 2}, entity_id(3), false};
+  std::vector<std::byte> wire, plain;
+  codec::encode(upd, wire, nullptr, true);
+  codec::encode(upd, plain);
+  check(wire, plain);
+  ASSERT_TRUE(codec::decode_dht_update(wire).has_value());
+  EXPECT_EQ(codec::decode_dht_update(wire).value().hash, (ContentHash{1, 2}));
+
+  codec::DhtUpdateBatch batch;
+  batch.records = {{{7, 8}, entity_id(1), true}, {{9, 10}, entity_id(2), false}};
+  wire.clear(), plain.clear();
+  codec::encode(batch, wire, nullptr, true);
+  codec::encode(batch, plain);
+  check(wire, plain);
+  ASSERT_TRUE(codec::decode_dht_update_batch(wire).has_value());
+  EXPECT_EQ(codec::decode_dht_update_batch(wire).value().records.size(), 2u);
+
+  const Query q{77, {5, 6}, true};
+  wire.clear(), plain.clear();
+  codec::encode(q, wire, nullptr, true);
+  codec::encode(q, plain);
+  check(wire, plain);
+  EXPECT_EQ(codec::decode_query(wire).value().req_id, 77u);
+
+  const QueryReply qr{9, 3, {entity_id(1), entity_id(5)}};
+  wire.clear(), plain.clear();
+  codec::encode(qr, wire, nullptr, true);
+  codec::encode(qr, plain);
+  check(wire, plain);
+  EXPECT_EQ(codec::decode_query_reply(wire).value().entities, qr.entities);
+
+  codec::CollectiveQuery cq;
+  cq.req_id = 4;
+  cq.scope_words = {0xff, 0x01};
+  wire.clear(), plain.clear();
+  codec::encode(cq, wire, nullptr, true);
+  codec::encode(cq, plain);
+  check(wire, plain);
+  EXPECT_EQ(codec::decode_collective_query(wire).value().scope_words, cq.scope_words);
+
+  codec::CollectiveReply cr;
+  cr.req_id = 5;
+  cr.unique = 11;
+  cr.k_hashes = {{1, 2}};
+  wire.clear(), plain.clear();
+  codec::encode(cr, wire, nullptr, true);
+  codec::encode(cr, plain);
+  check(wire, plain);
+  EXPECT_EQ(codec::decode_collective_reply(wire).value().unique, 11u);
+
+  codec::ReplicaSync rs;
+  rs.home = 1;
+  rs.epoch = 2;
+  rs.last = true;
+  rs.records = {{{3, 4}, entity_id(5), true}};
+  wire.clear(), plain.clear();
+  codec::encode(rs, wire, nullptr, true);
+  codec::encode(rs, plain);
+  check(wire, plain);
+  EXPECT_EQ(codec::decode_replica_sync(wire).value().home, 1u);
+}
+
+TEST(Codec, ChecksummedAndTracedCompose) {
+  // Version 4: trace context and checksum stack; both optional legs cost
+  // their exact documented bytes and both decode.
+  const TraceContext ctx{0xaaaabbbbccccddddULL, 0x1111222233334444ULL};
+  const DhtUpdate msg{{21, 22}, entity_id(7), true};
+  std::vector<std::byte> wire, plain;
+  codec::encode(msg, wire, &ctx, true);
+  codec::encode(msg, plain);
+  EXPECT_EQ(wire.size(), plain.size() + kTraceCtxBytes + codec::kChecksumBytes);
+  const auto h = codec::decode_header(wire);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(h.value().traced);
+  EXPECT_TRUE(h.value().checksummed);
+  EXPECT_EQ(codec::decode_trace_context(wire).value(), ctx);
+  const auto back = codec::decode_dht_update(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back.value().hash, (ContentHash{21, 22}));
+}
+
+// ------------------------------------------------- corruption-fuzz fixtures
+//
+// The byte-flip twin of the truncation fixtures: for every wire struct, a
+// corrupted datagram must either be rejected by its decoder or decode to a
+// *different* message (re-encoding proves it) — silently absorbing a flip
+// as the original message is the one forbidden outcome, and nothing may
+// crash under ASan/UBSan. With the checksum leg on, every single-bit flip
+// must be rejected outright.
+
+struct CorruptFixture {
+  std::string_view struct_name;
+  std::function<void()> run;
+};
+
+#define CONCORD_CORRUPT_FIXTURE(Struct, decode_fn, ...)                          \
+  CorruptFixture {                                                               \
+    #Struct, [] {                                                                \
+      const codec::Struct msg = __VA_ARGS__;                                     \
+      std::vector<std::byte> clean;                                              \
+      codec::encode(msg, clean);                                                 \
+      Rng rng(0xc0de0000ULL + clean.size());                                     \
+      for (int it = 0; it < 400; ++it) {                                         \
+        auto bad = clean;                                                        \
+        const auto flips = 1 + rng.below(3);                                     \
+        for (std::uint64_t f = 0; f < flips; ++f) {                              \
+          bad[rng.below(bad.size())] ^=                                          \
+              static_cast<std::byte>(1u << rng.below(8));                        \
+        }                                                                        \
+        if (bad == clean) continue;                                              \
+        const auto back = codec::decode_fn(bad);                                 \
+        if (!back.has_value()) continue; /* rejected: fine */                    \
+        std::vector<std::byte> re;                                               \
+        codec::encode(back.value(), re);                                         \
+        EXPECT_NE(re, clean)                                                     \
+            << #Struct << " silently absorbed a corrupting flip (iter " << it    \
+            << ")";                                                              \
+      }                                                                          \
+      /* Checksummed: exhaustive single-bit flips are all detected. */           \
+      std::vector<std::byte> sealed;                                             \
+      codec::encode(msg, sealed, nullptr, true);                                 \
+      ASSERT_EQ(sealed.size(), clean.size() + codec::kChecksumBytes);            \
+      for (std::size_t pos = 0; pos < sealed.size(); ++pos) {                    \
+        for (unsigned bit = 0; bit < 8; ++bit) {                                 \
+          auto bad = sealed;                                                     \
+          bad[pos] ^= static_cast<std::byte>(1u << bit);                         \
+          EXPECT_FALSE(codec::decode_fn(bad).has_value())                        \
+              << #Struct << " byte " << pos << " bit " << bit                    \
+              << " slipped past the checksum";                                   \
+        }                                                                        \
+      }                                                                          \
+    }                                                                            \
+  }
+
+const CorruptFixture kCorruptFixtures[] = {
+    CONCORD_CORRUPT_FIXTURE(DhtUpdate, decode_dht_update,
+                            DhtUpdate{{0x1111, 0x2222}, entity_id(3), true}),
+    CONCORD_CORRUPT_FIXTURE(DhtUpdateBatch, decode_dht_update_batch, [] {
+      codec::DhtUpdateBatch b;
+      b.records = {{{1, 2}, entity_id(3), true}, {{4, 5}, entity_id(6), false}};
+      return b;
+    }()),
+    CONCORD_CORRUPT_FIXTURE(Query, decode_query, Query{7, {8, 9}, true}),
+    CONCORD_CORRUPT_FIXTURE(QueryReply, decode_query_reply,
+                            QueryReply{9, 2, {entity_id(1), entity_id(4)}}),
+    CONCORD_CORRUPT_FIXTURE(CollectiveQuery, decode_collective_query, [] {
+      codec::CollectiveQuery q;
+      q.req_id = 11;
+      q.k = 2;
+      q.collect_hashes = true;
+      q.scope_words = {0xff, 0x1};
+      return q;
+    }()),
+    CONCORD_CORRUPT_FIXTURE(CollectiveReply, decode_collective_reply, [] {
+      codec::CollectiveReply r;
+      r.req_id = 12;
+      r.total = 5;
+      r.unique = 4;
+      r.k_count = 1;
+      r.k_hashes = {{6, 7}};
+      return r;
+    }()),
+    CONCORD_CORRUPT_FIXTURE(ReplicaSync, decode_replica_sync, [] {
+      codec::ReplicaSync s;
+      s.home = 1;
+      s.epoch = 2;
+      s.last = true;
+      s.records = {{{3, 4}, entity_id(5), true}};
+      return s;
+    }()),
+};
+
+TEST(Codec, CorruptionFuzzEveryWireStruct) {
+  for (const CorruptFixture& f : kCorruptFixtures) {
+    SCOPED_TRACE(std::string(f.struct_name));
+    f.run();
+  }
+}
+
+TEST(Codec, CorruptionFixturesCoverEveryBoundStruct) {
+  // Same coverage gate as the truncation twin: every codec struct named in
+  // the binding table must have a corruption fixture.
+  for (std::size_t i = 0; i < kNumMsgTypes; ++i) {
+    const MsgTypeBinding& b = binding(static_cast<MsgType>(i));
+    if (b.codec_struct.empty()) continue;
+    bool covered = false;
+    for (const CorruptFixture& f : kCorruptFixtures) {
+      if (f.struct_name == b.codec_struct) covered = true;
+    }
+    EXPECT_TRUE(covered) << "MsgType::" << to_string(static_cast<MsgType>(i))
+                         << " binds codec struct " << b.codec_struct
+                         << " but no CONCORD_CORRUPT_FIXTURE covers it";
+  }
+}
+
 TEST(Codec, BindingTableCoversEveryMsgType) {
   // Walk every MsgType value through the protocol ground-truth table: the
   // row must self-index, carry a real label, agree on the control-plane

@@ -108,5 +108,102 @@ TEST(SimFs, AtomicAppendWithConcurrentWriters) {
   }
 }
 
+// ------------------------------------------------------------ fault modes
+
+TEST(SimFs, TornWritesPersistOnlyAPrefix) {
+  SimFs fsys;
+  fsys.set_torn_writes(/*seed=*/42, /*torn_rate=*/1.0);
+  const FileOffset off = fsys.append("f", bytes("0123456789"));
+  EXPECT_EQ(off, 0u);  // the offset is where the data was *meant* to land
+  EXPECT_EQ(fsys.torn_writes(), 1u);
+  // A prefix (possibly empty) persisted — never the full record.
+  EXPECT_LT(fsys.size("f").value(), 10u);
+  // Disarm: subsequent appends are whole again, landing after the tear.
+  fsys.set_torn_writes(0, 0.0);
+  const std::uint64_t torn_size = fsys.size("f").value();
+  fsys.append("f", bytes("ab"));
+  EXPECT_EQ(fsys.size("f").value(), torn_size + 2);
+}
+
+TEST(SimFs, TornWritesAreSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    SimFs fsys;
+    fsys.set_torn_writes(seed, 0.5);
+    for (int i = 0; i < 64; ++i) fsys.append("f", bytes("0123456789abcdef"));
+    return std::pair{fsys.size("f").value(), fsys.torn_writes()};
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // different seed, different tear pattern
+}
+
+TEST(SimFs, CrashPointTearsTheTriggeringAppendThenDropsWrites) {
+  SimFs fsys;
+  fsys.append("f", bytes("aaaa"));
+  fsys.arm_crash_after(/*appends=*/1);
+  fsys.append("f", bytes("bbbb"));  // 1 more successful append allowed
+  EXPECT_FALSE(fsys.crashed());
+  fsys.append("f", bytes("cccc"));  // trigger: torn at half length
+  EXPECT_TRUE(fsys.crashed());
+  EXPECT_EQ(fsys.torn_writes(), 1u);
+  EXPECT_EQ(fsys.size("f").value(), 10u);  // 4 + 4 + 2
+  // Crashed: writes and renames are dropped; reads still work (the disk
+  // survived, the process did not).
+  fsys.append("f", bytes("dddd"));
+  EXPECT_EQ(fsys.size("f").value(), 10u);
+  EXPECT_EQ(fsys.rename("f", "g"), Status::kUnavailable);
+  std::vector<std::byte> buf(4);
+  EXPECT_TRUE(ok(fsys.pread("f", 0, buf)));
+  // Heal: the file system accepts writes again.
+  fsys.heal_faults();
+  EXPECT_FALSE(fsys.crashed());
+  fsys.append("f", bytes("eeee"));
+  EXPECT_EQ(fsys.size("f").value(), 14u);
+}
+
+TEST(SimFs, RotFlipsExactlyOneStoredBit) {
+  SimFs fsys;
+  fsys.append("f", bytes("A"));  // 0x41
+  ASSERT_TRUE(ok(fsys.rot("f", 0, 1)));
+  EXPECT_EQ(fsys.rot_flips(), 1u);
+  std::vector<std::byte> buf(1);
+  ASSERT_TRUE(ok(fsys.pread("f", 0, buf)));
+  EXPECT_EQ(buf[0], static_cast<std::byte>(0x43));  // bit 1 flipped
+  // Self-inverse: rotting the same bit again restores the byte.
+  ASSERT_TRUE(ok(fsys.rot("f", 0, 1)));
+  ASSERT_TRUE(ok(fsys.pread("f", 0, buf)));
+  EXPECT_EQ(buf[0], static_cast<std::byte>(0x41));
+  // Bad targets are rejected without touching counters further.
+  EXPECT_EQ(fsys.rot("missing", 0, 0), Status::kNotFound);
+  EXPECT_EQ(fsys.rot("f", 99, 0), Status::kInvalidArgument);
+  EXPECT_EQ(fsys.rot("f", 0, 8), Status::kInvalidArgument);
+  EXPECT_EQ(fsys.rot_flips(), 2u);
+}
+
+TEST(SimFs, RenameIsTheCommitBarrier) {
+  // The checkpoint protocol: stage into a temp file, rename into place.
+  // A reader observes either the complete old file or the complete new one.
+  SimFs fsys;
+  fsys.append("ckpt", bytes("old-generation"));
+  fsys.append("ckpt.tmp", bytes("new-generation!"));
+  ASSERT_TRUE(ok(fsys.rename("ckpt.tmp", "ckpt")));
+  EXPECT_FALSE(fsys.exists("ckpt.tmp"));
+  EXPECT_EQ(fsys.read_all("ckpt").value(), bytes("new-generation!"));
+  // Renaming a missing source fails without clobbering the target.
+  EXPECT_EQ(fsys.rename("ckpt.tmp", "ckpt"), Status::kNotFound);
+  EXPECT_EQ(fsys.read_all("ckpt").value(), bytes("new-generation!"));
+}
+
+TEST(SimFs, CrashBeforeRenameLeavesOldGenerationIntact) {
+  // A writer that dies between staging and commit must leave the previous
+  // checkpoint untouched — the tear hits only the .tmp file.
+  SimFs fsys;
+  fsys.append("ckpt", bytes("old-generation"));
+  fsys.arm_crash_after(0);
+  fsys.append("ckpt.tmp", bytes("half-written-new"));  // torn + crash
+  EXPECT_TRUE(fsys.crashed());
+  EXPECT_EQ(fsys.rename("ckpt.tmp", "ckpt"), Status::kUnavailable);
+  EXPECT_EQ(fsys.read_all("ckpt").value(), bytes("old-generation"));
+}
+
 }  // namespace
 }  // namespace concord::fs
